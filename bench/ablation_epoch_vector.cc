@@ -1,0 +1,138 @@
+// Ablation — epochs-vector mechanics (google-benchmark).
+//
+// Micro-costs behind the Fig 8/9 results: visibility-bitmap construction as
+// a function of epochs-vector length, the effect of purge on that cost, the
+// delete-cleanup second pass, and bess-packed coordinate reads.
+
+#include <benchmark/benchmark.h>
+
+#include "aosi/purge.h"
+#include "aosi/visibility.h"
+#include "common/random.h"
+#include "storage/bess_column.h"
+
+using namespace cubrick;
+using namespace cubrick::aosi;
+
+namespace {
+
+EpochVector MakeHistory(uint64_t entries, uint64_t rows_per_entry,
+                        bool with_deletes = false) {
+  EpochVector ev;
+  for (uint64_t e = 1; e <= entries; ++e) {
+    ev.RecordAppend(e, rows_per_entry);
+    if (with_deletes && e % 64 == 0) {
+      ev.RecordDelete(e);
+    }
+  }
+  return ev;
+}
+
+void BM_BuildVisibility(benchmark::State& state) {
+  const uint64_t entries = static_cast<uint64_t>(state.range(0));
+  const uint64_t rows_per_entry = 1'000'000 / entries;
+  EpochVector ev = MakeHistory(entries, rows_per_entry);
+  Snapshot snap{entries / 2, {}};
+  for (auto _ : state) {
+    Bitmap bm = BuildVisibilityBitmap(ev, snap);
+    benchmark::DoNotOptimize(bm);
+  }
+  state.counters["entries"] = static_cast<double>(entries);
+}
+BENCHMARK(BM_BuildVisibility)->Arg(1)->Arg(16)->Arg(256)->Arg(4096)
+    ->Arg(65536);
+
+void BM_BuildVisibility_WithDeps(benchmark::State& state) {
+  const uint64_t entries = 4096;
+  EpochVector ev = MakeHistory(entries, 256);
+  std::vector<Epoch> deps;
+  for (uint64_t d = 0; d < static_cast<uint64_t>(state.range(0)); ++d) {
+    deps.push_back(1 + d * 7 % entries);
+  }
+  Snapshot snap{entries, EpochSet(deps)};
+  for (auto _ : state) {
+    Bitmap bm = BuildVisibilityBitmap(ev, snap);
+    benchmark::DoNotOptimize(bm);
+  }
+  state.counters["deps"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_BuildVisibility_WithDeps)->Arg(0)->Arg(16)->Arg(256)->Arg(1024);
+
+void BM_BuildVisibility_DeleteCleanupPass(benchmark::State& state) {
+  EpochVector ev = MakeHistory(4096, 256, /*with_deletes=*/true);
+  Snapshot snap{4096, {}};
+  for (auto _ : state) {
+    Bitmap bm = BuildVisibilityBitmap(ev, snap);
+    benchmark::DoNotOptimize(bm);
+  }
+}
+BENCHMARK(BM_BuildVisibility_DeleteCleanupPass);
+
+void BM_VisibilityAfterPurge(benchmark::State& state) {
+  // Same data as BM_BuildVisibility/4096, but history recycled at LSE.
+  EpochVector ev = MakeHistory(4096, 256);
+  auto plan = PlanPurge(ev, /*lse=*/4097);
+  CUBRICK_CHECK(plan.needed);
+  const EpochVector purged = plan.new_history;
+  CUBRICK_CHECK(purged.num_entries() == 1);
+  Snapshot snap{4098, {}};
+  for (auto _ : state) {
+    Bitmap bm = BuildVisibilityBitmap(purged, snap);
+    benchmark::DoNotOptimize(bm);
+  }
+}
+BENCHMARK(BM_VisibilityAfterPurge);
+
+void BM_PlanPurge(benchmark::State& state) {
+  const uint64_t entries = static_cast<uint64_t>(state.range(0));
+  EpochVector ev = MakeHistory(entries, 64, /*with_deletes=*/true);
+  for (auto _ : state) {
+    auto plan = PlanPurge(ev, entries + 1);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PlanPurge)->Arg(256)->Arg(4096);
+
+void BM_PlanRollback(benchmark::State& state) {
+  const uint64_t entries = 4096;
+  EpochVector ev = MakeHistory(entries, 64);
+  for (auto _ : state) {
+    auto plan = PlanRollback(ev, entries / 2);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PlanRollback);
+
+void BM_BessRead(benchmark::State& state) {
+  const uint32_t bits = static_cast<uint32_t>(state.range(0));
+  BessColumn bess({bits, bits, bits});
+  Random rng(9);
+  const uint64_t mask = bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+  for (int i = 0; i < 100'000; ++i) {
+    bess.Append({rng.Next() & mask, rng.Next() & mask, rng.Next() & mask});
+  }
+  uint64_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bess.Get(row % 100'000, row % 3));
+    ++row;
+  }
+  state.counters["bits_per_record"] =
+      static_cast<double>(bess.bits_per_record());
+}
+BENCHMARK(BM_BessRead)->Arg(1)->Arg(7)->Arg(21);
+
+void BM_EpochSetContains(benchmark::State& state) {
+  EpochSet set;
+  for (uint64_t e = 1; e <= static_cast<uint64_t>(state.range(0)); ++e) {
+    set.Insert(e * 3);
+  }
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.Contains(probe++ % 10'000));
+  }
+}
+BENCHMARK(BM_EpochSetContains)->Arg(16)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

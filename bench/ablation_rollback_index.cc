@@ -1,0 +1,94 @@
+// Ablation — the §III-C5 rollback-index trade-off (google-benchmark).
+//
+// The paper rejects a global txn->partition hash map because rollbacks are
+// rare and the map costs memory. This bench quantifies both sides: rollback
+// latency with and without the index as the number of partitions grows, and
+// the index's memory footprint under write activity.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "engine/table.h"
+#include "ingest/parser.h"
+
+using namespace cubrick;
+
+namespace {
+
+std::shared_ptr<const CubeSchema> ManyBrickSchema() {
+  // 4096 possible bricks.
+  return CubeSchema::Make("t", {{"k", 4096, 1, false}},
+                          {{"v", DataType::kInt64}})
+      .value();
+}
+
+/// Populates `table`: `bricks` partitions filled by epoch 1, then epoch 2
+/// touches only 4 partitions — the victim to roll back.
+void Populate(Table* table, int64_t bricks) {
+  auto schema = table->schema_ptr();
+  std::vector<Record> base;
+  for (int64_t k = 0; k < bricks; ++k) {
+    base.push_back({k, k});
+  }
+  CUBRICK_CHECK(
+      table->Append(1, ParseRecords(*schema, base).value().batches).ok());
+  std::vector<Record> victim = {{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  CUBRICK_CHECK(
+      table->Append(2, ParseRecords(*schema, victim).value().batches).ok());
+}
+
+void BM_Rollback_FullScan(benchmark::State& state) {
+  const int64_t bricks = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Table table(ManyBrickSchema(), 2, false, /*rollback_index=*/false);
+    Populate(&table, bricks);
+    state.ResumeTiming();
+    table.Rollback(2);  // must scan every partition's epochs vector
+  }
+  state.counters["bricks"] = static_cast<double>(bricks);
+}
+BENCHMARK(BM_Rollback_FullScan)->Arg(64)->Arg(512)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Rollback_Indexed(benchmark::State& state) {
+  const int64_t bricks = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Table table(ManyBrickSchema(), 2, false, /*rollback_index=*/true);
+    Populate(&table, bricks);
+    state.ResumeTiming();
+    table.Rollback(2);  // touches only the victim's 4 partitions
+  }
+  state.counters["bricks"] = static_cast<double>(bricks);
+}
+BENCHMARK(BM_Rollback_Indexed)->Arg(64)->Arg(512)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RollbackIndex_MemoryCost(benchmark::State& state) {
+  // The other side of the trade-off: index footprint under sustained write
+  // activity with no purge.
+  for (auto _ : state) {
+    Table table(ManyBrickSchema(), 2, false, /*rollback_index=*/true);
+    auto schema = table.schema_ptr();
+    Random rng(3);
+    for (aosi::Epoch e = 1; e <= 500; ++e) {
+      std::vector<Record> rows;
+      for (int i = 0; i < 8; ++i) {
+        rows.push_back(
+            {static_cast<int64_t>(rng.Uniform(4096)), 1});
+      }
+      CUBRICK_CHECK(
+          table.Append(e, ParseRecords(*schema, rows).value().batches).ok());
+    }
+    state.counters["index_bytes"] =
+        static_cast<double>(table.rollback_index()->MemoryUsage());
+    state.counters["epochs_bytes"] =
+        static_cast<double>(table.HistoryMemoryUsage());
+  }
+}
+BENCHMARK(BM_RollbackIndex_MemoryCost)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Shared workload generators and reporting helpers for the experiment
+// drivers in bench/. Each fig*_ binary regenerates one table/figure of the
+// paper (see DESIGN.md §4 and EXPERIMENTS.md); scale knobs default to
+// CI-friendly sizes and can be raised with CUBRICK_BENCH_SCALE=<multiplier>.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "cubrick/database.h"
+#include "ingest/parser.h"
+
+namespace cubrick::bench {
+
+/// Scale multiplier from the environment (default 1.0).
+inline double ScaleFactor() {
+  const char* env = std::getenv("CUBRICK_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline uint64_t Scaled(uint64_t base) {
+  return static_cast<uint64_t>(static_cast<double>(base) * ScaleFactor());
+}
+
+/// Pretty-prints a byte count ("1.5 MB").
+inline std::string HumanBytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[u]);
+  return buf;
+}
+
+inline std::string HumanCount(double n) {
+  const char* units[] = {"", "K", "M", "B"};
+  int u = 0;
+  while (n >= 1000.0 && u < 3) {
+    n /= 1000.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%s", n, units[u]);
+  return buf;
+}
+
+/// The paper's single-column worst case (§VI-A, Fig 6): most concurrency
+/// metadata per byte of data. One 16-way partition-key dimension (zero bess
+/// bits) plus one int64 metric.
+inline Status CreateSingleColumnCube(Database* db, const std::string& name) {
+  return db->CreateCube(name, {{"shard_key", 16, 1, false}},
+                        {{"value", DataType::kInt64}});
+}
+
+/// Generates one batch for the single-column cube.
+inline std::vector<Record> SingleColumnBatch(Random* rng, uint64_t rows) {
+  std::vector<Record> records;
+  records.reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    records.push_back({static_cast<int64_t>(rng->Uniform(16)),
+                       static_cast<int64_t>(rng->Next() & 0xffffff)});
+  }
+  return records;
+}
+
+/// The paper's "typical 40 column dataset" (§VI-A, Fig 7): 4 dimensions and
+/// 36 metrics (30 int64 + 6 double).
+inline Status CreateWideCube(Database* db, const std::string& name) {
+  std::vector<DimensionDef> dims = {
+      {"region", 64, 8, false},
+      {"product", 256, 32, false},
+      {"channel", 8, 8, false},
+      {"day", 32, 32, false},
+  };
+  std::vector<MetricDef> metrics;
+  for (int i = 0; i < 30; ++i) {
+    metrics.push_back({"m_int_" + std::to_string(i), DataType::kInt64});
+  }
+  for (int i = 0; i < 6; ++i) {
+    metrics.push_back({"m_dbl_" + std::to_string(i), DataType::kDouble});
+  }
+  return db->CreateCube(name, std::move(dims), std::move(metrics));
+}
+
+inline std::vector<Record> WideBatch(Random* rng, uint64_t rows) {
+  std::vector<Record> records;
+  records.reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    Record r;
+    r.values.reserve(40);
+    r.values.emplace_back(static_cast<int64_t>(rng->Uniform(64)));
+    r.values.emplace_back(static_cast<int64_t>(rng->Uniform(256)));
+    r.values.emplace_back(static_cast<int64_t>(rng->Uniform(8)));
+    r.values.emplace_back(static_cast<int64_t>(rng->Uniform(32)));
+    for (int m = 0; m < 30; ++m) {
+      r.values.emplace_back(static_cast<int64_t>(rng->Next() & 0xffff));
+    }
+    for (int m = 0; m < 6; ++m) {
+      r.values.emplace_back(rng->NextDouble() * 100.0);
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+/// The canonical aggregation query used by the SI-vs-RU experiments: sum +
+/// count of the first metric grouped by the first dimension.
+inline cubrick::Query AggregationQuery(bool grouped = true) {
+  cubrick::Query q;
+  if (grouped) q.group_by = {0};
+  q.aggs = {{AggSpec::Fn::kSum, 0}, {AggSpec::Fn::kCount, 0}};
+  return q;
+}
+
+}  // namespace cubrick::bench

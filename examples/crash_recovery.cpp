@@ -1,0 +1,83 @@
+// Crash recovery — §III-D durability: background-style flush rounds,
+// a simulated crash, and recovery up to the last complete flush.
+//
+//   ./build/examples/example_crash_recovery
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/random.h"
+#include "cubrick/database.h"
+
+using namespace cubrick;
+
+namespace {
+constexpr char kDdl[] =
+    "CREATE CUBE sensors (device int CARDINALITY 256 RANGE 16, "
+    "reading double)";
+
+std::vector<Record> Batch(Random* rng, uint64_t rows) {
+  std::vector<Record> records;
+  for (uint64_t i = 0; i < rows; ++i) {
+    records.push_back({static_cast<int64_t>(rng->Uniform(256)),
+                       rng->NextDouble() * 50.0});
+  }
+  return records;
+}
+}  // namespace
+
+int main() {
+  const auto dir = std::filesystem::temp_directory_path() / "cubrick_demo";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  DatabaseOptions options;
+  options.data_dir = dir.string();
+
+  Query q;
+  q.aggs = {{AggSpec::Fn::kCount, 0}, {AggSpec::Fn::kSum, 0}};
+
+  {
+    Database db(options);
+    CUBRICK_CHECK(db.ExecuteDdl(kDdl).ok());
+    Random rng(55);
+
+    // Three load transactions, checkpoint after each (the paper's
+    // continuously-running background flush, driven explicitly here).
+    for (int round = 1; round <= 3; ++round) {
+      CUBRICK_CHECK(db.Load("sensors", Batch(&rng, 10'000)).ok());
+      auto lse = db.Checkpoint();
+      CUBRICK_CHECK(lse.ok());
+      std::printf("round %d: %llu records durable, LSE=%llu\n", round,
+                  static_cast<unsigned long long>(db.TotalRecords()),
+                  static_cast<unsigned long long>(*lse));
+    }
+
+    // One more load that never gets flushed: it will be lost by the crash
+    // (on a cluster, replicas would re-supply it; single node loses it, as
+    // the paper states).
+    CUBRICK_CHECK(db.Load("sensors", Batch(&rng, 10'000)).ok());
+    std::printf("pre-crash state: %llu records (10000 of them unflushed)\n",
+                static_cast<unsigned long long>(db.TotalRecords()));
+    // ...process "crashes" here: Database destroyed without a checkpoint.
+  }
+
+  Database db(options);
+  CUBRICK_CHECK(db.ExecuteDdl(kDdl).ok());
+  CUBRICK_CHECK(db.Recover().ok());
+  auto result = db.Query("sensors", q);
+  CUBRICK_CHECK(result.ok());
+  std::printf("after recovery: %llu records, LCE=LSE=%llu, EC=%llu\n",
+              static_cast<unsigned long long>(db.TotalRecords()),
+              static_cast<unsigned long long>(db.txns().LSE()),
+              static_cast<unsigned long long>(db.txns().EC()));
+
+  // The recovered database continues normally.
+  Random rng(77);
+  CUBRICK_CHECK(db.Load("sensors", Batch(&rng, 500)).ok());
+  std::printf("post-recovery load works: %llu records\n",
+              static_cast<unsigned long long>(db.TotalRecords()));
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Distributed cluster — AOSI's §IV flow on a simulated multi-node cluster.
+//
+// Demonstrates: node-strided epochs and Lamport clock piggybacking,
+// the begin broadcast that unions pendingTxs into a transaction's deps,
+// single-roundtrip commits, replication, and failover reads when a node
+// goes down.
+//
+//   ./build/examples/example_distributed_cluster
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+
+using namespace cubrick;
+using cubrick::cluster::Cluster;
+using cubrick::cluster::ClusterOptions;
+
+namespace {
+
+void PrintClocks(Cluster& cluster, const char* when) {
+  std::printf("%-38s ECs:", when);
+  for (uint32_t n = 1; n <= cluster.num_nodes(); ++n) {
+    std::printf(" n%u=%llu", n,
+                static_cast<unsigned long long>(cluster.node(n).txns().EC()));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.replication_factor = 2;
+  options.shards_per_cube = 1;
+  Cluster cluster(options);
+  CUBRICK_CHECK(cluster
+                    .CreateCube("pageviews",
+                                {{"site", 128, 4, false}},
+                                {{"views", DataType::kInt64}})
+                    .ok());
+
+  PrintClocks(cluster, "initial (EC = node index)");
+
+  // A RW transaction on node 1: the begin broadcast advances every clock
+  // past its epoch, so no later transaction anywhere can be older.
+  auto t1 = cluster.BeginReadWrite(1);
+  CUBRICK_CHECK(t1.ok());
+  std::printf("T%llu started on n1, deps=%s\n",
+              static_cast<unsigned long long>(t1->txn.epoch),
+              t1->txn.deps.ToString().c_str());
+  PrintClocks(cluster, "after begin broadcast");
+
+  // Load 32 site partitions; consistent hashing spreads them (x2 replicas).
+  std::vector<Record> rows;
+  for (int64_t site = 0; site < 128; site += 4) {
+    rows.push_back({site, site * 100});
+  }
+  CUBRICK_CHECK(cluster.Append(&*t1, "pageviews", rows).ok());
+
+  // A concurrent transaction from node 2 sees T1 pending in its deps.
+  auto t2 = cluster.BeginReadWrite(2);
+  CUBRICK_CHECK(t2.ok());
+  std::printf("T%llu started on n2, deps=%s (T1 excluded from snapshot)\n",
+              static_cast<unsigned long long>(t2->txn.epoch),
+              t2->txn.deps.ToString().c_str());
+
+  CUBRICK_CHECK(cluster.Commit(&*t1).ok());  // single broadcast, no 2PC
+  CUBRICK_CHECK(cluster.Commit(&*t2).ok());
+  PrintClocks(cluster, "after commits");
+
+  Query q;
+  q.aggs = {{AggSpec::Fn::kSum, 0}, {AggSpec::Fn::kCount, 0}};
+  auto result = cluster.QueryOnce(3, "pageviews", q);
+  CUBRICK_CHECK(result.ok());
+  std::printf("\ncluster query: %0.f rows, views sum=%.0f (each brick "
+              "answered once despite 2x replication)\n",
+              result->Single(1, AggSpec::Fn::kCount),
+              result->Single(0, AggSpec::Fn::kSum));
+
+  // Node failure: replicas answer for the dead node's bricks.
+  CUBRICK_CHECK(cluster.SetNodeOnline(2, false).ok());
+  auto failover = cluster.QueryOnce(1, "pageviews", q);
+  CUBRICK_CHECK(failover.ok());
+  std::printf("node 2 offline -> failover query still sees %.0f rows\n",
+              failover->Single(1, AggSpec::Fn::kCount));
+
+  // LSE refuses to advance while a replica is down (§III-D)...
+  const aosi::Epoch stuck = cluster.AdvanceClusterLSE();
+  CUBRICK_CHECK(cluster.SetNodeOnline(2, true).ok());
+  const aosi::Epoch advanced = cluster.AdvanceClusterLSE();
+  std::printf("LSE while n2 down: %llu; after revival + redelivery: %llu\n",
+              static_cast<unsigned long long>(stuck),
+              static_cast<unsigned long long>(advanced));
+  return 0;
+}

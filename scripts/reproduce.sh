@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# One-shot reproduction: build, run the full test suite, regenerate every
+# paper table/figure, and smoke-run the examples. Outputs land in
+# test_output.txt and bench_output.txt at the repo root.
+#
+# Usage:
+#   ./scripts/reproduce.sh             # default (CI-sized) experiment scales
+#   CUBRICK_BENCH_SCALE=10 ./scripts/reproduce.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    echo "===== $b ====="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+for e in build/examples/example_*; do
+  case "$e" in
+    *cubrick_shell) printf 'STATS\nQUIT\n' | "$e" >/dev/null ;;
+    *) "$e" >/dev/null ;;
+  esac
+  echo "example OK: $e"
+done
+
+echo
+echo "Reproduction complete. See test_output.txt / bench_output.txt and"
+echo "EXPERIMENTS.md for the paper-vs-measured comparison."

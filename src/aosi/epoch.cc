@@ -1,0 +1,18 @@
+#include "aosi/epoch.h"
+
+#include <sstream>
+
+namespace cubrick::aosi {
+
+std::string EpochSet::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < epochs_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << epochs_[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace cubrick::aosi

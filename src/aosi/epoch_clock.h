@@ -1,0 +1,69 @@
+// Node-strided Lamport epoch clock (paper §III-B, §IV-A).
+//
+// Each cluster node maintains an Epoch Clock (EC): the timestamp the next RW
+// transaction will receive. In an N-node cluster, node i (1-based) starts its
+// EC at i and advances it N at a time, so epochs from different nodes never
+// collide. Every message between nodes piggybacks the sender's EC; receivers
+// fast-forward their own clock Lamport-style, keeping the cluster's epochs
+// loosely synchronized without dedicated traffic.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "aosi/epoch.h"
+#include "common/status.h"
+
+namespace cubrick::aosi {
+
+class EpochClock {
+ public:
+  /// node_idx is 1-based and must be in [1, num_nodes].
+  EpochClock(uint32_t node_idx, uint32_t num_nodes)
+      : node_idx_(node_idx), num_nodes_(num_nodes), next_(node_idx) {
+    CUBRICK_CHECK(num_nodes >= 1);
+    CUBRICK_CHECK(node_idx >= 1 && node_idx <= num_nodes);
+  }
+
+  /// Atomically hands out the next epoch and advances the clock by the
+  /// cluster stride. Used when a RW transaction begins.
+  Epoch Acquire() { return next_.fetch_add(num_nodes_); }
+
+  /// Current EC value — the epoch the *next* transaction would get. This is
+  /// the value piggybacked on outgoing messages.
+  Epoch Peek() const { return next_.load(std::memory_order_acquire); }
+
+  /// Lamport observation: fast-forwards the clock to the smallest value
+  /// >= `remote` that this node is allowed to emit (preserving the stride
+  /// residue). No-op when the local clock is already ahead.
+  void Observe(Epoch remote) {
+    Epoch current = next_.load(std::memory_order_acquire);
+    while (current < remote) {
+      const Epoch target = AlignUp(remote);
+      if (next_.compare_exchange_weak(current, target)) {
+        return;
+      }
+      // current was reloaded by compare_exchange; loop re-checks.
+    }
+  }
+
+  uint32_t node_idx() const { return node_idx_; }
+  uint32_t num_nodes() const { return num_nodes_; }
+
+ private:
+  /// Smallest epoch >= v congruent to node_idx modulo num_nodes.
+  Epoch AlignUp(Epoch v) const {
+    const Epoch residue = node_idx_ % num_nodes_;
+    const Epoch mod = v % num_nodes_;
+    Epoch aligned = v - mod + residue;
+    if (aligned < v) aligned += num_nodes_;
+    return aligned;
+  }
+
+  const uint32_t node_idx_;
+  const uint32_t num_nodes_;
+  std::atomic<Epoch> next_;
+};
+
+}  // namespace cubrick::aosi

@@ -1,0 +1,86 @@
+#include "aosi/epoch_vector.h"
+
+#include <sstream>
+
+namespace cubrick::aosi {
+
+void EpochVector::RecordAppend(Epoch txn, uint64_t count) {
+  CUBRICK_CHECK(txn != kNoEpoch);
+  CUBRICK_CHECK(count > 0);
+  const uint64_t new_last = num_records_ + count - 1;
+  if (!entries_.empty() && entries_.back().epoch == txn &&
+      !entries_.back().is_delete()) {
+    // Same transaction as the current back entry: bump its last index
+    // (paper Fig 1 (b)).
+    entries_.back() = EpochEntry::Append(txn, new_last);
+  } else {
+    entries_.push_back(EpochEntry::Append(txn, new_last));
+  }
+  num_records_ += count;
+}
+
+void EpochVector::RecordDelete(Epoch txn) {
+  CUBRICK_CHECK(txn != kNoEpoch);
+  entries_.push_back(EpochEntry::Delete(txn, num_records_));
+}
+
+bool EpochVector::HasDelete() const {
+  for (const auto& e : entries_) {
+    if (e.is_delete()) return true;
+  }
+  return false;
+}
+
+std::vector<EpochRun> EpochVector::Decode() const {
+  std::vector<EpochRun> runs;
+  runs.reserve(entries_.size());
+  uint64_t pos = 0;
+  for (const auto& e : entries_) {
+    EpochRun run;
+    run.epoch = e.epoch;
+    run.is_delete = e.is_delete();
+    if (run.is_delete) {
+      run.begin = run.end = e.index();
+    } else {
+      run.begin = pos;
+      run.end = e.index() + 1;
+      pos = run.end;
+    }
+    runs.push_back(run);
+  }
+  CUBRICK_CHECK(pos == num_records_);
+  return runs;
+}
+
+EpochVector EpochVector::FromRuns(const std::vector<EpochRun>& runs) {
+  EpochVector ev;
+  for (const auto& run : runs) {
+    if (run.is_delete) {
+      CUBRICK_CHECK(run.begin == ev.num_records_);
+      ev.RecordDelete(run.epoch);
+    } else {
+      CUBRICK_CHECK(run.begin == ev.num_records_);
+      CUBRICK_CHECK(run.end > run.begin);
+      // Do not coalesce: purge decides merging explicitly, so install the
+      // entry verbatim even when adjacent to a same-epoch run.
+      ev.entries_.push_back(EpochEntry::Append(run.epoch, run.end - 1));
+      ev.num_records_ = run.end;
+    }
+  }
+  return ev;
+}
+
+std::string EpochVector::ToString() const {
+  std::ostringstream out;
+  for (const auto& run : Decode()) {
+    if (run.is_delete) {
+      out << "[" << run.epoch << ":del@" << run.begin << "]";
+    } else {
+      out << "[" << run.epoch << ":" << run.begin << "-" << (run.end - 1)
+          << "]";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace cubrick::aosi

@@ -1,0 +1,119 @@
+// The per-partition `epochs` auxiliary vector (paper §III-C).
+//
+// This structure is the heart of AOSI's memory efficiency: instead of one or
+// two timestamps per record (MVCC), each partition keeps one small entry per
+// (transaction, contiguous append run). Each entry is a pair of 64-bit
+// integers: the transaction's epoch and the implicit id of the last record
+// that transaction appended. One bit of the second integer is reserved as
+// the is_delete flag; a delete entry marks the whole partition as deleted at
+// that point and stores the data-vector size at delete time.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aosi/epoch.h"
+#include "common/status.h"
+
+namespace cubrick::aosi {
+
+/// One element of the epochs vector: 16 bytes, exactly as the paper sizes it.
+struct EpochEntry {
+  /// Transaction that performed the append / delete.
+  Epoch epoch = kNoEpoch;
+  /// For appends: implicit id (index) of the LAST record of the run, with the
+  /// delete bit clear. For deletes: the data-vector size at delete time (the
+  /// index one past the last record the marker covers), with the bit set.
+  uint64_t packed = 0;
+
+  static constexpr uint64_t kDeleteBit = 1ULL << 63;
+
+  bool is_delete() const { return (packed & kDeleteBit) != 0; }
+  uint64_t index() const { return packed & ~kDeleteBit; }
+
+  static EpochEntry Append(Epoch e, uint64_t last_idx) {
+    return {e, last_idx};
+  }
+  static EpochEntry Delete(Epoch e, uint64_t boundary) {
+    return {e, boundary | kDeleteBit};
+  }
+
+  bool operator==(const EpochEntry& other) const {
+    return epoch == other.epoch && packed == other.packed;
+  }
+};
+
+static_assert(sizeof(EpochEntry) == 16,
+              "epochs vector must cost 16 bytes per entry");
+
+/// A decoded view of one entry, with explicit [begin, end) record range for
+/// append runs. Produced by EpochVector::Decode() for scans and purge.
+struct EpochRun {
+  Epoch epoch = kNoEpoch;
+  /// Append runs: records [begin, end). Delete markers: begin == end ==
+  /// the marker's boundary position.
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  bool is_delete = false;
+};
+
+/// Append-only transactional history of one partition.
+///
+/// Thread-compatibility: like the data vectors it describes, an EpochVector
+/// is written by a single shard thread (paper §V-B) and may be read
+/// concurrently only via the partition-swap discipline of purge/rollback.
+class EpochVector {
+ public:
+  EpochVector() = default;
+
+  /// Records that `txn` appended `count` records to the back of the data
+  /// vectors. Extends the back entry in place when `txn` was also the last
+  /// writer (Fig 1 (b)); otherwise appends a new entry.
+  void RecordAppend(Epoch txn, uint64_t count);
+
+  /// Records a partition delete by `txn` (§III-C2). The marker covers every
+  /// record currently in the partition.
+  void RecordDelete(Epoch txn);
+
+  /// Number of records tracked (i.e. size of the partition's data vectors).
+  uint64_t num_records() const { return num_records_; }
+
+  /// Number of entries currently held (appends + delete markers).
+  size_t num_entries() const { return entries_.size(); }
+
+  const std::vector<EpochEntry>& entries() const { return entries_; }
+
+  /// True if any delete marker is present.
+  bool HasDelete() const;
+
+  /// Expands entries into explicit record ranges, in physical order.
+  std::vector<EpochRun> Decode() const;
+
+  /// Bytes of heap memory consumed by the entries array. This is the "AOSI
+  /// overhead" series of the paper's Figures 6/7.
+  size_t MemoryUsage() const {
+    return entries_.capacity() * sizeof(EpochEntry);
+  }
+
+  /// Releases unused capacity (after purge/compaction).
+  void ShrinkToFit() { entries_.shrink_to_fit(); }
+
+  /// Directly installs decoded runs — used by purge/rollback to rebuild a
+  /// partition's history. Runs must be in physical order; append runs must
+  /// be contiguous starting at record 0.
+  static EpochVector FromRuns(const std::vector<EpochRun>& runs);
+
+  bool operator==(const EpochVector& other) const {
+    return entries_ == other.entries_ && num_records_ == other.num_records_;
+  }
+
+  /// Debug rendering: "[e1:0-2][e2:3-6][e1:del@7]".
+  std::string ToString() const;
+
+ private:
+  std::vector<EpochEntry> entries_;
+  uint64_t num_records_ = 0;
+};
+
+}  // namespace cubrick::aosi

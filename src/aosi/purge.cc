@@ -1,0 +1,149 @@
+#include "aosi/purge.h"
+
+namespace cubrick::aosi {
+
+namespace {
+
+/// Rebuilds a history from the runs that survive, renumbering record ranges
+/// to be dense, and merging adjacent append runs with epoch < merge_below
+/// (pass kNoEpoch to disable merging, e.g. for rollback).
+CompactionPlan BuildPlan(const EpochVector& history,
+                         const std::vector<EpochRun>& runs,
+                         const Bitmap& keep, Epoch merge_below) {
+  CompactionPlan plan;
+  plan.needed = true;
+  plan.keep = keep;
+
+  std::vector<EpochRun> new_runs;
+  uint64_t next_idx = 0;
+  for (const auto& run : runs) {
+    if (run.is_delete) {
+      if (run.epoch == kNoEpoch) continue;  // marked dropped by caller
+      EpochRun marker;
+      marker.epoch = run.epoch;
+      marker.is_delete = true;
+      marker.begin = marker.end = next_idx;
+      new_runs.push_back(marker);
+      continue;
+    }
+    const uint64_t kept = keep.CountSetInRange(run.begin, run.end);
+    if (kept == 0) continue;
+    const bool mergeable =
+        merge_below != kNoEpoch && run.epoch < merge_below &&
+        !new_runs.empty() && !new_runs.back().is_delete &&
+        new_runs.back().epoch < merge_below;
+    if (mergeable) {
+      auto& prev = new_runs.back();
+      prev.epoch = std::max(prev.epoch, run.epoch);
+      prev.end += kept;
+      next_idx += kept;
+    } else {
+      EpochRun out;
+      out.epoch = run.epoch;
+      out.begin = next_idx;
+      out.end = next_idx + kept;
+      out.is_delete = false;
+      new_runs.push_back(out);
+      next_idx = out.end;
+    }
+  }
+  plan.new_history = EpochVector::FromRuns(new_runs);
+  return plan;
+}
+
+}  // namespace
+
+CompactionPlan PlanPurge(const EpochVector& history, Epoch lse) {
+  const auto runs = history.Decode();
+
+  // Decide whether any work is needed: an applicable delete (epoch < lse) or
+  // recyclable history (two adjacent mergeable append runs < lse).
+  bool has_applicable_delete = false;
+  for (const auto& run : runs) {
+    if (run.is_delete && run.epoch < lse) {
+      has_applicable_delete = true;
+      break;
+    }
+  }
+  bool has_mergeable = false;
+  for (size_t i = 0; i + 1 < runs.size(); ++i) {
+    if (!runs[i].is_delete && !runs[i + 1].is_delete &&
+        runs[i].epoch < lse && runs[i + 1].epoch < lse) {
+      has_mergeable = true;
+      break;
+    }
+  }
+  if (!has_applicable_delete && !has_mergeable) {
+    CompactionPlan plan;
+    plan.needed = false;
+    return plan;
+  }
+
+  // Compute surviving records: start from all-kept, then apply every delete
+  // marker with epoch < lse using exactly the visibility cleanup rule.
+  Bitmap keep(history.num_records(), true);
+  std::vector<EpochRun> working = runs;
+  for (auto& del : working) {
+    if (!del.is_delete || del.epoch >= lse) continue;
+    const Epoch k = del.epoch;
+    const uint64_t delete_point = del.begin;
+    for (const auto& run : runs) {
+      if (run.is_delete) continue;
+      if (run.epoch < k) {
+        keep.ClearRange(run.begin, run.end);
+      } else if (run.epoch == k && run.begin < delete_point) {
+        keep.ClearRange(run.begin,
+                        run.end < delete_point ? run.end : delete_point);
+      }
+    }
+    del.epoch = kNoEpoch;  // mark the marker itself as dropped
+  }
+
+  return BuildPlan(history, working, keep, /*merge_below=*/lse);
+}
+
+CompactionPlan PlanRollback(const EpochVector& history, Epoch victim) {
+  const auto runs = history.Decode();
+  bool touched = false;
+  Bitmap keep(history.num_records(), true);
+  std::vector<EpochRun> working = runs;
+  for (auto& run : working) {
+    if (run.epoch != victim) continue;
+    touched = true;
+    if (run.is_delete) {
+      run.epoch = kNoEpoch;  // drop the victim's delete marker
+    } else {
+      keep.ClearRange(run.begin, run.end);
+    }
+  }
+  if (!touched) {
+    CompactionPlan plan;
+    plan.needed = false;
+    return plan;
+  }
+  return BuildPlan(history, working, keep, /*merge_below=*/kNoEpoch);
+}
+
+CompactionPlan PlanRetainUpTo(const EpochVector& history, Epoch lse) {
+  const auto runs = history.Decode();
+  bool touched = false;
+  Bitmap keep(history.num_records(), true);
+  std::vector<EpochRun> working = runs;
+  for (auto& run : working) {
+    if (run.epoch <= lse) continue;
+    touched = true;
+    if (run.is_delete) {
+      run.epoch = kNoEpoch;  // drop the too-new marker
+    } else {
+      keep.ClearRange(run.begin, run.end);
+    }
+  }
+  if (!touched) {
+    CompactionPlan plan;
+    plan.needed = false;
+    return plan;
+  }
+  return BuildPlan(history, working, keep, /*merge_below=*/kNoEpoch);
+}
+
+}  // namespace cubrick::aosi

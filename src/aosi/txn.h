@@ -1,0 +1,45 @@
+// Transaction handle (paper §III-A).
+//
+// Transactions are timestamp-based: each receives an epoch at initialization.
+// RO transactions run against the latest committed epoch (LCE) with an empty
+// dependency set; RW transactions draw a fresh epoch from the node's clock
+// and snapshot the system's pending-transaction set into `deps`, which
+// excludes uncommitted work from their view.
+
+#pragma once
+
+#include <cstdint>
+
+#include "aosi/epoch.h"
+
+namespace cubrick::aosi {
+
+enum class TxnType : uint8_t { kReadOnly, kReadWrite };
+
+enum class TxnState : uint8_t { kPending, kCommitted, kAborted };
+
+/// A value-type transaction descriptor. The TxnManager owns the lifecycle;
+/// this handle carries everything scans and writes need.
+struct Txn {
+  Epoch epoch = kNoEpoch;
+  TxnType type = TxnType::kReadOnly;
+  /// Epochs of RW transactions that were pending when this one started.
+  EpochSet deps;
+
+  bool read_only() const { return type == TxnType::kReadOnly; }
+
+  /// The snapshot this transaction reads: {j : j <= epoch, j not in deps}.
+  /// A RW transaction's own writes are included (its epoch is never in its
+  /// own deps).
+  Snapshot snapshot() const { return Snapshot{epoch, deps}; }
+
+  /// The oldest epoch this transaction may still need to distinguish; LSE
+  /// may never advance past the horizon of any active transaction.
+  Epoch Horizon() const {
+    if (deps.empty()) return epoch;
+    const Epoch min_dep = deps.Min();
+    return min_dep - 1 < epoch ? min_dep - 1 : epoch;
+  }
+};
+
+}  // namespace cubrick::aosi

@@ -1,0 +1,191 @@
+#include "aosi/txn_manager.h"
+
+#include <sstream>
+
+namespace cubrick::aosi {
+
+TxnManager::TxnManager(uint32_t node_idx, uint32_t num_nodes)
+    : clock_(node_idx, num_nodes) {}
+
+Txn TxnManager::BeginReadWrite() {
+  const Epoch epoch = clock_.Acquire();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Txn txn;
+  txn.epoch = epoch;
+  txn.type = TxnType::kReadWrite;
+  for (const auto& [e, info] : tracked_) {
+    if (e < epoch && info.state == TxnState::kPending) {
+      txn.deps.Insert(e);
+    }
+  }
+  tracked_.emplace(epoch, TrackedTxn{});
+  active_horizons_.insert(txn.Horizon());
+  return txn;
+}
+
+Txn TxnManager::BeginReadOnly() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Txn txn;
+  txn.epoch = lce_;
+  txn.type = TxnType::kReadOnly;
+  active_horizons_.insert(txn.Horizon());
+  return txn;
+}
+
+Status TxnManager::Commit(const Txn& txn) {
+  if (txn.read_only()) {
+    EndReadOnly(txn);
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tracked_.find(txn.epoch);
+  if (it == tracked_.end() || it->second.state != TxnState::kPending) {
+    return Status::FailedPrecondition(
+        "commit of unknown or finished transaction epoch " +
+        std::to_string(txn.epoch));
+  }
+  it->second.state = TxnState::kCommitted;
+  auto h = active_horizons_.find(txn.Horizon());
+  if (h != active_horizons_.end()) active_horizons_.erase(h);
+  AdvanceLceLocked();
+  return Status::OK();
+}
+
+Status TxnManager::Rollback(const Txn& txn) {
+  if (txn.read_only()) {
+    EndReadOnly(txn);
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tracked_.find(txn.epoch);
+  if (it == tracked_.end() || it->second.state != TxnState::kPending) {
+    return Status::FailedPrecondition(
+        "rollback of unknown or finished transaction epoch " +
+        std::to_string(txn.epoch));
+  }
+  it->second.state = TxnState::kAborted;
+  auto h = active_horizons_.find(txn.Horizon());
+  if (h != active_horizons_.end()) active_horizons_.erase(h);
+  AdvanceLceLocked();
+  return Status::OK();
+}
+
+void TxnManager::EndReadOnly(const Txn& txn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto h = active_horizons_.find(txn.Horizon());
+  if (h != active_horizons_.end()) active_horizons_.erase(h);
+}
+
+void TxnManager::AugmentDeps(Txn* txn, const EpochSet& remote_pending) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto h = active_horizons_.find(txn->Horizon());
+  if (h != active_horizons_.end()) active_horizons_.erase(h);
+  for (Epoch e : remote_pending) {
+    if (e < txn->epoch) txn->deps.Insert(e);
+  }
+  active_horizons_.insert(txn->Horizon());
+}
+
+void TxnManager::NoteRemoteBegin(Epoch epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (epoch <= lce_) return;  // already passed; stale message
+  tracked_.emplace(epoch, TrackedTxn{});  // no-op if present
+}
+
+void TxnManager::NoteRemoteFinish(Epoch epoch, bool committed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = tracked_.emplace(epoch, TrackedTxn{});
+  if (!inserted && it->second.state != TxnState::kPending) return;
+  it->second.state = committed ? TxnState::kCommitted : TxnState::kAborted;
+  AdvanceLceLocked();
+}
+
+void TxnManager::NoteRemoteDeps(Epoch epoch, const EpochSet& deps) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tracked_.find(epoch);
+  if (it == tracked_.end()) return;
+  it->second.blocking_deps.UnionWith(deps);
+  AdvanceLceLocked();
+}
+
+Epoch TxnManager::LCE() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lce_;
+}
+
+Epoch TxnManager::LSE() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lse_;
+}
+
+EpochSet TxnManager::PendingTxs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EpochSet pending;
+  for (const auto& [e, info] : tracked_) {
+    if (info.state == TxnState::kPending) pending.Insert(e);
+  }
+  return pending;
+}
+
+size_t TxnManager::NumTracked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tracked_.size();
+}
+
+Epoch TxnManager::TryAdvanceLSE(Epoch candidate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Epoch effective = candidate < lce_ ? candidate : lce_;
+  if (!active_horizons_.empty()) {
+    const Epoch min_horizon = *active_horizons_.begin();
+    if (min_horizon < effective) effective = min_horizon;
+  }
+  if (effective > lse_) lse_ = effective;
+  return lse_;
+}
+
+void TxnManager::RestoreAfterRecovery(Epoch lce, Epoch lse) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CUBRICK_CHECK(tracked_.empty() && active_horizons_.empty());
+  CUBRICK_CHECK(lse <= lce);
+  lce_ = lce;
+  lse_ = lse;
+  clock_.Observe(lce + 1);
+}
+
+bool TxnManager::DepsFinishedLocked(const EpochSet& deps) const {
+  for (Epoch d : deps) {
+    if (d <= lce_) continue;
+    auto it = tracked_.find(d);
+    if (it == tracked_.end()) {
+      // Finished and already walked past (e.g. aborted below the walk
+      // front), or a transaction this node never learned about. The begin
+      // broadcast makes the latter impossible in a healthy cluster; treat
+      // absence as finished only when it is below the walk front.
+      if (tracked_.empty() || d < tracked_.begin()->first) continue;
+      return false;
+    }
+    if (it->second.state == TxnState::kPending) return false;
+  }
+  return true;
+}
+
+void TxnManager::AdvanceLceLocked() {
+  // Walk transactions in epoch order; LCE may advance through finished ones
+  // (taking the value of committed epochs) and stops at the first pending or
+  // dep-blocked transaction.
+  auto it = tracked_.begin();
+  while (it != tracked_.end()) {
+    const TrackedTxn& info = it->second;
+    if (info.state == TxnState::kPending) break;
+    if (!info.blocking_deps.empty() &&
+        !DepsFinishedLocked(info.blocking_deps)) {
+      break;
+    }
+    if (info.state == TxnState::kCommitted) {
+      lce_ = it->first;
+    }
+    it = tracked_.erase(it);
+  }
+}
+
+}  // namespace cubrick::aosi

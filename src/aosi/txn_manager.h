@@ -1,0 +1,141 @@
+// Per-node transaction manager (paper §III-A/B, §IV).
+//
+// Maintains the three node-local counters:
+//   EC  — Epoch Clock: timestamp of the next transaction (see EpochClock).
+//   LCE — Latest Committed Epoch: the largest committed epoch such that every
+//         RW transaction before it is finished. RO transactions run at LCE
+//         with no pending-set bookkeeping.
+//   LSE — Latest Safe Epoch: everything at or before it is finished, not
+//         referenced by any active snapshot, and durable; transactional
+//         history before LSE may be purged.
+// Invariant, checked continuously: EC > LCE >= LSE.
+//
+// The manager also tracks pendingTxs — the set of uncommitted RW epochs seen
+// so far (local or learned from remote nodes). A new RW transaction snapshots
+// this set into its deps.
+
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "aosi/epoch.h"
+#include "aosi/epoch_clock.h"
+#include "aosi/txn.h"
+#include "common/status.h"
+
+namespace cubrick::aosi {
+
+class TxnManager {
+ public:
+  /// Single-node constructor.
+  TxnManager() : TxnManager(1, 1) {}
+
+  /// Cluster-member constructor; node_idx is 1-based.
+  TxnManager(uint32_t node_idx, uint32_t num_nodes);
+
+  // --- Transaction lifecycle -------------------------------------------
+
+  /// Starts a RW transaction: draws a fresh epoch, snapshots pendingTxs into
+  /// deps, and registers the transaction as pending.
+  Txn BeginReadWrite();
+
+  /// Starts a RO transaction pinned to the current LCE. The returned handle
+  /// must be released with EndReadOnly so LSE gating can track it.
+  Txn BeginReadOnly();
+
+  /// Commits a RW transaction. Idempotence is not supported: committing an
+  /// unknown or finished epoch is a FailedPrecondition.
+  Status Commit(const Txn& txn);
+
+  /// Aborts a RW transaction. The caller is responsible for physically
+  /// removing its appends (see PlanRollback); the manager only finalizes the
+  /// timestamp bookkeeping.
+  Status Rollback(const Txn& txn);
+
+  /// Releases a RO transaction.
+  void EndReadOnly(const Txn& txn);
+
+  /// Extends an active RW transaction's dependency set with pending
+  /// transactions learned from remote nodes during the begin broadcast
+  /// (§IV-C), re-registering its LSE horizon accordingly. Epochs >= the
+  /// transaction's own are ignored (invisible by timestamp order anyway).
+  void AugmentDeps(Txn* txn, const EpochSet& remote_pending);
+
+  // --- Distributed hooks (driven by the cluster layer) ------------------
+
+  /// Lamport clock observation from an incoming message.
+  void ObserveClock(Epoch remote_ec) { clock_.Observe(remote_ec); }
+
+  /// Registers a RW transaction started on a remote node.
+  void NoteRemoteBegin(Epoch epoch);
+
+  /// Registers a remote transaction's completion.
+  void NoteRemoteFinish(Epoch epoch, bool committed);
+
+  /// Extends a remote transaction's dependency information: LCE may not
+  /// advance past `epoch` until all of `deps` are finished. (The commit
+  /// broadcast carries T.deps; §IV-C.)
+  void NoteRemoteDeps(Epoch epoch, const EpochSet& deps);
+
+  // --- Counters and introspection ---------------------------------------
+
+  /// EC: the epoch the next transaction would receive.
+  Epoch EC() const { return clock_.Peek(); }
+  Epoch LCE() const;
+  Epoch LSE() const;
+
+  /// Snapshot of the pending RW transaction set.
+  EpochSet PendingTxs() const;
+
+  /// Number of transactions tracked (pending + committed-but-blocked).
+  size_t NumTracked() const;
+
+  /// Attempts to advance LSE to `candidate` (e.g. after a flush round has
+  /// made everything <= candidate durable). The effective new LSE is clamped
+  /// to LCE and to the horizons of all active snapshots; returns the LSE in
+  /// effect afterwards.
+  Epoch TryAdvanceLSE(Epoch candidate);
+
+  EpochClock& clock() { return clock_; }
+
+  /// Resets the counters after crash recovery: LCE = LSE = `lse`, clock
+  /// fast-forwarded strictly past it. Must only be called on a manager with
+  /// no transactions (fresh process).
+  void RestoreAfterRecovery(Epoch lse) { RestoreAfterRecovery(lse, lse); }
+
+  /// Two-level restore: a node that caught up from replicas holds data up
+  /// to `lce` in memory but has only flushed up to `lse` locally.
+  void RestoreAfterRecovery(Epoch lce, Epoch lse);
+
+ private:
+  struct TrackedTxn {
+    TxnState state = TxnState::kPending;
+    /// Dependencies that must finish before LCE can pass this epoch.
+    EpochSet blocking_deps;
+  };
+
+  /// Walks finished transactions in epoch order and advances lce_.
+  /// Requires mutex_ held.
+  void AdvanceLceLocked();
+
+  /// True when every epoch in `deps` is finished. Requires mutex_ held.
+  bool DepsFinishedLocked(const EpochSet& deps) const;
+
+  EpochClock clock_;
+
+  mutable std::mutex mutex_;
+  /// All known unfinished-or-LCE-blocked transactions, ordered by epoch.
+  std::map<Epoch, TrackedTxn> tracked_;
+  /// Epochs of transactions that finished but may still block others' deps.
+  /// Cleared as lce_ passes them.
+  std::set<Epoch> finished_;
+  Epoch lce_ = kNoEpoch;
+  Epoch lse_ = kNoEpoch;
+  /// Horizons of active snapshots (RO and RW), for LSE gating.
+  std::multiset<Epoch> active_horizons_;
+};
+
+}  // namespace cubrick::aosi

@@ -1,0 +1,53 @@
+#include "aosi/visibility.h"
+
+namespace cubrick::aosi {
+
+Bitmap BuildVisibilityBitmap(const EpochVector& history,
+                             const Snapshot& snapshot) {
+  Bitmap bitmap(history.num_records(), false);
+  const auto runs = history.Decode();
+
+  // First pass: set bits for append runs whose transaction is in-snapshot.
+  for (const auto& run : runs) {
+    if (!run.is_delete && snapshot.Sees(run.epoch)) {
+      bitmap.SetRange(run.begin, run.end);
+    }
+  }
+
+  // Secondary pass: apply visible deletes. A delete by k clears (a) every
+  // record of transactions j < k regardless of physical position, and (b)
+  // k's own records located before the delete point.
+  for (const auto& del : runs) {
+    if (!del.is_delete || !snapshot.Sees(del.epoch)) continue;
+    const Epoch k = del.epoch;
+    const uint64_t delete_point = del.begin;
+    for (const auto& run : runs) {
+      if (run.is_delete) continue;
+      if (run.epoch < k) {
+        bitmap.ClearRange(run.begin, run.end);
+      } else if (run.epoch == k && run.begin < delete_point) {
+        bitmap.ClearRange(run.begin,
+                          run.end < delete_point ? run.end : delete_point);
+      }
+    }
+  }
+  return bitmap;
+}
+
+Bitmap BuildReadUncommittedBitmap(const EpochVector& history) {
+  return Bitmap(history.num_records(), true);
+}
+
+bool AnyVisible(const EpochVector& history, const Snapshot& snapshot) {
+  // Cheap check without allocating the bitmap when nothing can be visible.
+  if (history.num_records() == 0) return false;
+  if (!history.HasDelete()) {
+    for (const auto& entry : history.entries()) {
+      if (!entry.is_delete() && snapshot.Sees(entry.epoch)) return true;
+    }
+    return false;
+  }
+  return !BuildVisibilityBitmap(history, snapshot).None();
+}
+
+}  // namespace cubrick::aosi

@@ -1,0 +1,463 @@
+#include "cluster/cluster.h"
+
+#include "cubrick/ddl.h"
+
+#include <filesystem>
+#include <thread>
+
+namespace cubrick::cluster {
+
+NodeOptions Cluster::NodeOptionsFor(uint32_t idx) const {
+  NodeOptions node_options;
+  node_options.shards_per_cube = options_.shards_per_cube;
+  node_options.threaded_shards = options_.threaded_shards;
+  if (!options_.data_dir.empty()) {
+    node_options.data_dir =
+        options_.data_dir + "/node" + std::to_string(idx);
+  }
+  return node_options;
+}
+
+Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
+  CUBRICK_CHECK(options_.num_nodes >= 1);
+  CUBRICK_CHECK(options_.replication_factor >= 1);
+  CUBRICK_CHECK(options_.replication_factor <= options_.num_nodes);
+  for (uint32_t i = 1; i <= options_.num_nodes; ++i) {
+    const NodeOptions node_options = NodeOptionsFor(i);
+    if (!node_options.data_dir.empty()) {
+      std::filesystem::create_directories(node_options.data_dir);
+    }
+    nodes_.push_back(
+        std::make_unique<ClusterNode>(i, options_.num_nodes, node_options));
+    ring_.AddNode(i, options_.vnodes_per_node);
+  }
+  missed_ops_.resize(options_.num_nodes);
+}
+
+void Cluster::Latency() const {
+  if (options_.message_latency_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.message_latency_us));
+  }
+}
+
+void Cluster::CarryClocksForward(uint32_t from, uint32_t to) {
+  Latency();
+  node(to).txns().ObserveClock(node(from).txns().EC());
+}
+
+void Cluster::CarryClocksBack(uint32_t from, uint32_t to) {
+  Latency();
+  node(from).txns().ObserveClock(node(to).txns().EC());
+}
+
+Status Cluster::CreateCube(const std::string& name,
+                           std::vector<DimensionDef> dimensions,
+                           std::vector<MetricDef> metrics) {
+  auto schema =
+      CubeSchema::Make(name, std::move(dimensions), std::move(metrics));
+  if (!schema.ok()) return schema.status();
+  for (auto& n : nodes_) {
+    CUBRICK_RETURN_IF_ERROR(n->CreateCube(schema.value()));
+  }
+  catalog_.emplace(name, schema.value());
+  return Status::OK();
+}
+
+Status Cluster::ExecuteDdl(const std::string& ddl) {
+  auto stmt = ParseCreateCube(ddl);
+  if (!stmt.ok()) return stmt.status();
+  return CreateCube(stmt->cube_name, std::move(stmt->dimensions),
+                    std::move(stmt->metrics));
+}
+
+Status Cluster::DropCube(const std::string& name) {
+  for (auto& n : nodes_) {
+    CUBRICK_RETURN_IF_ERROR(n->DropCube(name));
+  }
+  catalog_.erase(name);
+  return Status::OK();
+}
+
+std::shared_ptr<const CubeSchema> Cluster::FindSchema(
+    const std::string& name) const {
+  Table* table = nodes_.front()->FindTable(name);
+  if (table == nullptr) return nullptr;
+  // All nodes share the schema object; grab it via the table's brick map.
+  // (Schema is immutable apart from its internally-synchronized
+  // dictionaries.)
+  return std::shared_ptr<const CubeSchema>(table->schema_ptr());
+}
+
+Result<DistTxn> Cluster::BeginReadWrite(uint32_t coordinator) {
+  // Dependency sets must reflect every node's pending list; an unreachable
+  // node makes the snapshot unsound, so RW begins require full membership.
+  for (auto& n : nodes_) {
+    if (!n->online()) {
+      return Status::Unavailable("node " + std::to_string(n->node_idx()) +
+                                 " is offline; cannot begin RW transaction");
+    }
+  }
+  DistTxn dist;
+  dist.coordinator = coordinator;
+  dist.txn = node(coordinator).txns().BeginReadWrite();
+
+  aosi::EpochSet remote_pending;
+  for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
+    if (o == coordinator) continue;
+    CarryClocksForward(coordinator, o);
+    remote_pending.UnionWith(node(o).HandleBeginBroadcast(dist.txn.epoch));
+    CarryClocksBack(coordinator, o);
+  }
+  node(coordinator).txns().AugmentDeps(&dist.txn, remote_pending);
+  return dist;
+}
+
+DistTxn Cluster::BeginReadOnly(uint32_t coordinator) {
+  DistTxn dist;
+  dist.coordinator = coordinator;
+  dist.txn = node(coordinator).txns().BeginReadOnly();
+  return dist;
+}
+
+void Cluster::DeliverOrQueue(uint32_t from, uint32_t to,
+                             std::function<Status(ClusterNode&)> op) {
+  if (to != from && !node(to).online()) {
+    std::lock_guard<std::mutex> lock(redelivery_mutex_);
+    missed_ops_[to - 1].push_back(std::move(op));
+    return;
+  }
+  if (to != from) CarryClocksForward(from, to);
+  const Status status = op(node(to));
+  // Deterministic operations cannot fail on a healthy node; surface
+  // programming errors loudly instead of silently dropping them.
+  CUBRICK_CHECK(status.ok());
+  if (to != from) CarryClocksBack(from, to);
+}
+
+Status Cluster::Commit(DistTxn* dist) {
+  if (dist->txn.read_only()) {
+    EndReadOnly(dist);
+    return Status::OK();
+  }
+  // Single broadcast, no consensus: commits are deterministic (§IV).
+  const aosi::Epoch epoch = dist->txn.epoch;
+  const aosi::EpochSet deps = dist->txn.deps;
+  for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
+    if (o == dist->coordinator) continue;
+    DeliverOrQueue(dist->coordinator, o, [epoch, deps](ClusterNode& n) {
+      return n.HandleFinish(epoch, deps, /*committed=*/true);
+    });
+  }
+  return node(dist->coordinator).txns().Commit(dist->txn);
+}
+
+Status Cluster::Rollback(DistTxn* dist) {
+  if (dist->txn.read_only()) {
+    EndReadOnly(dist);
+    return Status::OK();
+  }
+  const aosi::Epoch epoch = dist->txn.epoch;
+  const aosi::EpochSet deps = dist->txn.deps;
+  for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
+    if (o == dist->coordinator) continue;
+    DeliverOrQueue(dist->coordinator, o, [epoch, deps](ClusterNode& n) {
+      n.HandleFinish(epoch, deps, /*committed=*/false);
+      // Physically remove the victim's records from every cube (§III-C5).
+      n.RollbackData(epoch);
+      return Status::OK();
+    });
+  }
+  node(dist->coordinator).RollbackData(epoch);
+  return node(dist->coordinator).txns().Rollback(dist->txn);
+}
+
+void Cluster::EndReadOnly(DistTxn* dist) {
+  node(dist->coordinator).txns().EndReadOnly(dist->txn);
+}
+
+Status Cluster::Append(DistTxn* dist, const std::string& cube,
+                       const std::vector<Record>& records,
+                       const ParseOptions& parse_options, LoadStats* stats) {
+  if (dist->txn.read_only()) {
+    return Status::FailedPrecondition("append in a read-only transaction");
+  }
+  Stopwatch total;
+  auto schema = FindSchema(cube);
+  if (schema == nullptr) {
+    return Status::NotFound("cube '" + cube + "' does not exist");
+  }
+
+  // Parse phase: CPU-only, on the node that received the buffer (§V-B).
+  Stopwatch parse_timer;
+  auto parsed = ParseRecords(*schema, records, parse_options);
+  if (!parsed.ok()) return parsed.status();
+  const int64_t parse_us = parse_timer.ElapsedMicros();
+
+  // Validation and forwarding: route each brick's batch to its owners.
+  Stopwatch flush_timer;
+  std::vector<PerBrickBatches> per_node(options_.num_nodes);
+  for (auto& [bid, batch] : parsed->batches) {
+    for (uint32_t owner :
+         ring_.NodesFor(bid, options_.replication_factor)) {
+      per_node[owner - 1].emplace(bid, batch);
+    }
+  }
+  const aosi::Epoch epoch = dist->txn.epoch;
+  for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
+    if (per_node[o - 1].empty()) continue;
+    auto batches =
+        std::make_shared<PerBrickBatches>(std::move(per_node[o - 1]));
+    DeliverOrQueue(dist->coordinator, o, [epoch, cube, batches](
+                                             ClusterNode& n) {
+      return n.HandleAppend(epoch, cube, *batches);
+    });
+  }
+
+  if (stats != nullptr) {
+    stats->parse_us = parse_us;
+    stats->flush_us = flush_timer.ElapsedMicros();
+    stats->total_us = total.ElapsedMicros();
+    stats->accepted = parsed->accepted;
+    stats->rejected = parsed->rejected;
+  }
+  return Status::OK();
+}
+
+Status Cluster::DeleteWhere(DistTxn* dist, const std::string& cube,
+                            const std::vector<FilterClause>& filters) {
+  if (dist->txn.read_only()) {
+    return Status::FailedPrecondition("delete in a read-only transaction");
+  }
+  const aosi::Epoch epoch = dist->txn.epoch;
+  // Phase 1: verify partition granularity on every reachable node before
+  // marking anywhere. (Offline replicas hold copies of bricks that online
+  // nodes also validated, so redelivered marks cannot hit new violations.)
+  for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
+    if (!node(o).online()) continue;
+    if (o != dist->coordinator) CarryClocksForward(dist->coordinator, o);
+    const Status check = node(o).HandleDeleteCheck(cube, filters);
+    if (o != dist->coordinator) CarryClocksBack(dist->coordinator, o);
+    CUBRICK_RETURN_IF_ERROR(check);
+  }
+  // Phase 2: mark everywhere (queued for offline replicas).
+  for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
+    DeliverOrQueue(dist->coordinator, o,
+                   [epoch, cube, filters](ClusterNode& n) {
+                     return n.HandleDeleteMark(epoch, cube, filters);
+                   });
+  }
+  return Status::OK();
+}
+
+uint32_t Cluster::PreferredOwner(Bid bid) const {
+  const auto owners = ring_.NodesFor(bid, options_.replication_factor);
+  for (uint32_t owner : owners) {
+    if (nodes_[owner - 1]->online()) return owner;
+  }
+  return owners.front();  // everything offline: scan will fail anyway
+}
+
+Result<QueryResult> Cluster::Query(DistTxn* dist, const std::string& cube,
+                                   const cubrick::Query& query, ScanMode mode) {
+  QueryResult merged(query.aggs.size());
+  for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
+    if (!node(o).online()) continue;  // replicas answer for its bricks
+    const uint32_t node_idx = o;
+    auto filter = [this, node_idx](Bid bid) {
+      return PreferredOwner(bid) == node_idx;
+    };
+    if (o != dist->coordinator) CarryClocksForward(dist->coordinator, o);
+    auto partial =
+        node(o).HandleScan(cube, dist->txn.snapshot(), mode, query, filter);
+    if (o != dist->coordinator) CarryClocksBack(dist->coordinator, o);
+    if (!partial.ok()) return partial.status();
+    merged.Merge(*partial);
+  }
+  return merged;
+}
+
+Result<QueryResult> Cluster::QueryOnce(uint32_t coordinator,
+                                       const std::string& cube,
+                                       const cubrick::Query& query, ScanMode mode) {
+  DistTxn ro = BeginReadOnly(coordinator);
+  auto result = Query(&ro, cube, query, mode);
+  EndReadOnly(&ro);
+  return result;
+}
+
+aosi::Epoch Cluster::AdvanceClusterLSE() {
+  {
+    std::lock_guard<std::mutex> lock(redelivery_mutex_);
+    for (uint32_t o = 0; o < options_.num_nodes; ++o) {
+      if (!nodes_[o]->online() || !missed_ops_[o].empty()) {
+        // Replication unhealthy: LSE must not advance (§III-D).
+        aosi::Epoch min_lse = ~0ULL;
+        for (auto& n : nodes_) {
+          min_lse = std::min(min_lse, n->txns().LSE());
+        }
+        return min_lse;
+      }
+    }
+  }
+  aosi::Epoch candidate = ~0ULL;
+  for (auto& n : nodes_) {
+    candidate = std::min(candidate, n->txns().LCE());
+    // §III-B condition (c): LSE may not pass data that is not yet durable
+    // on every replica. Diskless clusters return "unbounded" here.
+    candidate = std::min(candidate, n->MinFlushedLse());
+  }
+  aosi::Epoch cluster_lse = ~0ULL;
+  for (auto& n : nodes_) {
+    cluster_lse = std::min(cluster_lse, n->txns().TryAdvanceLSE(candidate));
+  }
+  return cluster_lse;
+}
+
+PurgeStats Cluster::PurgeAll() {
+  PurgeStats total;
+  for (auto& n : nodes_) {
+    const PurgeStats stats = n->HandlePurge();
+    total.bricks_examined += stats.bricks_examined;
+    total.bricks_rewritten += stats.bricks_rewritten;
+    total.bricks_erased += stats.bricks_erased;
+    total.records_removed += stats.records_removed;
+  }
+  return total;
+}
+
+Status Cluster::SetNodeOnline(uint32_t idx, bool online) {
+  if (idx < 1 || idx > options_.num_nodes) {
+    return Status::OutOfRange("no such node");
+  }
+  if (!online) {
+    node(idx).set_online(false);
+    return Status::OK();
+  }
+  node(idx).set_online(true);
+  // Redeliver traffic missed while offline, in order.
+  std::vector<std::function<Status(ClusterNode&)>> queued;
+  {
+    std::lock_guard<std::mutex> lock(redelivery_mutex_);
+    queued.swap(missed_ops_[idx - 1]);
+  }
+  for (auto& op : queued) {
+    const Status status = op(node(idx));
+    CUBRICK_CHECK(status.ok());
+  }
+  return Status::OK();
+}
+
+Result<aosi::Epoch> Cluster::CheckpointAll() {
+  if (options_.data_dir.empty()) {
+    return Status::FailedPrecondition("cluster has no data_dir");
+  }
+  {
+    std::lock_guard<std::mutex> lock(redelivery_mutex_);
+    for (uint32_t o = 0; o < options_.num_nodes; ++o) {
+      if (!nodes_[o]->online() || !missed_ops_[o].empty()) {
+        return Status::Unavailable(
+            "replication unhealthy; checkpoint refused");
+      }
+    }
+  }
+  aosi::Epoch candidate = ~0ULL;
+  for (auto& n : nodes_) {
+    candidate = std::min(candidate, n->txns().LCE());
+  }
+  for (auto& n : nodes_) {
+    CUBRICK_RETURN_IF_ERROR(n->Checkpoint(candidate));
+  }
+  aosi::Epoch cluster_lse = ~0ULL;
+  for (auto& n : nodes_) {
+    cluster_lse = std::min(cluster_lse, n->txns().TryAdvanceLSE(candidate));
+  }
+  return cluster_lse;
+}
+
+Status Cluster::CrashNode(uint32_t idx) {
+  if (idx < 1 || idx > options_.num_nodes) {
+    return Status::OutOfRange("no such node");
+  }
+  {
+    std::lock_guard<std::mutex> lock(redelivery_mutex_);
+    missed_ops_[idx - 1].clear();  // the crashed process loses everything
+  }
+  // Replace the node wholesale: fresh TxnManager, empty tables.
+  auto fresh = std::make_unique<ClusterNode>(idx, options_.num_nodes,
+                                             NodeOptionsFor(idx));
+  for (const auto& [name, schema] : catalog_) {
+    CUBRICK_RETURN_IF_ERROR(fresh->CreateCube(schema));
+  }
+  fresh->set_online(false);
+  nodes_[idx - 1] = std::move(fresh);
+  return Status::OK();
+}
+
+Status Cluster::RecoverNode(uint32_t idx) {
+  if (idx < 1 || idx > options_.num_nodes) {
+    return Status::OutOfRange("no such node");
+  }
+  ClusterNode& target = node(idx);
+  if (target.online()) {
+    return Status::FailedPrecondition("node is not crashed/offline");
+  }
+  // Step 1: local flush segments, up to the node's own durable LSE.
+  auto local = target.RecoverLocal();
+  if (!local.ok()) return local.status();
+  const aosi::Epoch local_lse = *local;
+
+  // Step 2: catch up from replicas. For every brick this node owns a copy
+  // of, the first *other* online owner supplies the runs newer than the
+  // locally recovered LSE.
+  aosi::Epoch cluster_lce = 0;
+  for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
+    if (o == idx || !node(o).online()) continue;
+    cluster_lce = std::max(cluster_lce, node(o).txns().LCE());
+  }
+  for (const auto& [name, schema] : catalog_) {
+    for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
+      if (o == idx || !node(o).online()) continue;
+      Table* peer_table = node(o).FindTable(name);
+      Table* local_table = target.FindTable(name);
+      CUBRICK_CHECK(peer_table != nullptr && local_table != nullptr);
+      CarryClocksForward(idx, o);
+      auto extracted = ExtractTableRuns(peer_table, local_lse, cluster_lce);
+      CarryClocksBack(idx, o);
+      // Keep only bricks (a) replicated onto `idx` and (b) for which `o`
+      // is the first online supplier — each brick is copied exactly once.
+      std::vector<ExtractedBrick> mine;
+      for (auto& brick : extracted) {
+        const auto owners =
+            ring_.NodesFor(brick.bid, options_.replication_factor);
+        bool owned = false;
+        uint32_t supplier = 0;
+        for (uint32_t owner : owners) {
+          if (owner == idx) owned = true;
+          if (supplier == 0 && owner != idx && node(owner).online()) {
+            supplier = owner;
+          }
+        }
+        if (owned && supplier == o) {
+          mine.push_back(std::move(brick));
+        }
+      }
+      CUBRICK_RETURN_IF_ERROR(ReplayExtracted(local_table, mine));
+    }
+  }
+
+  // Step 3: restore counters — caught up to the cluster's LCE in memory,
+  // durable locally only up to local_lse.
+  target.txns().RestoreAfterRecovery(std::max(cluster_lce, local_lse),
+                                     local_lse);
+  target.set_online(true);
+  return Status::OK();
+}
+
+uint64_t Cluster::TotalRecords() {
+  uint64_t n = 0;
+  for (auto& nd : nodes_) n += nd->TotalRecords();
+  return n;
+}
+
+}  // namespace cubrick::cluster

@@ -1,0 +1,47 @@
+// Consistent hashing ring assigning bricks to cluster nodes (paper §V-A:
+// "Bids are also used to assign bricks to cluster nodes through the use of
+// consistent hashing").
+//
+// Each node contributes a configurable number of virtual points; a brick is
+// owned by the first node clockwise from the hash of its bid. NodesFor
+// returns the primary plus the next distinct nodes for replication.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cubrick::cluster {
+
+class HashRing {
+ public:
+  /// node_idx is 1-based (matching EpochClock); vnodes smooths the
+  /// distribution.
+  void AddNode(uint32_t node_idx, uint32_t vnodes = 64);
+
+  /// Removes all of a node's virtual points (e.g. a decommissioned node).
+  void RemoveNode(uint32_t node_idx);
+
+  /// Primary owner of `key`. Ring must be non-empty.
+  uint32_t NodeFor(uint64_t key) const;
+
+  /// The first `count` distinct nodes clockwise from `key`: primary plus
+  /// replicas. Returns fewer when the ring has fewer distinct nodes.
+  std::vector<uint32_t> NodesFor(uint64_t key, size_t count) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  bool empty() const { return points_.empty(); }
+
+ private:
+  static uint64_t HashPoint(uint32_t node_idx, uint32_t vnode);
+  static uint64_t HashKey(uint64_t key);
+
+  std::map<uint64_t, uint32_t> points_;
+  std::set<uint32_t> nodes_;
+};
+
+}  // namespace cubrick::cluster

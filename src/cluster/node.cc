@@ -1,0 +1,190 @@
+#include "cluster/node.h"
+
+namespace cubrick::cluster {
+
+ClusterNode::ClusterNode(uint32_t node_idx, uint32_t num_nodes,
+                         NodeOptions options)
+    : node_idx_(node_idx), options_(options), txns_(node_idx, num_nodes) {}
+
+Status ClusterNode::CreateCube(std::shared_ptr<const CubeSchema> schema) {
+  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  const std::string& name = schema->cube_name();
+  if (cubes_.count(name) > 0) {
+    return Status::AlreadyExists("cube '" + name + "' already exists");
+  }
+  CubeState state;
+  state.table = std::make_unique<Table>(std::move(schema),
+                                        options_.shards_per_cube,
+                                        options_.threaded_shards);
+  if (!options_.data_dir.empty()) {
+    state.flusher =
+        std::make_unique<persist::FlushManager>(options_.data_dir, name);
+  }
+  cubes_.emplace(name, std::move(state));
+  return Status::OK();
+}
+
+Status ClusterNode::DropCube(const std::string& name) {
+  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  if (cubes_.erase(name) == 0) {
+    return Status::NotFound("cube '" + name + "' does not exist");
+  }
+  return Status::OK();
+}
+
+Table* ClusterNode::FindTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  auto it = cubes_.find(name);
+  return it == cubes_.end() ? nullptr : it->second.table.get();
+}
+
+aosi::EpochSet ClusterNode::HandleBeginBroadcast(aosi::Epoch epoch) {
+  aosi::EpochSet pending = txns_.PendingTxs();
+  txns_.NoteRemoteBegin(epoch);
+  return pending;
+}
+
+Status ClusterNode::HandleAppend(aosi::Epoch epoch, const std::string& cube,
+                                 const PerBrickBatches& batches) {
+  Table* table = FindTable(cube);
+  if (table == nullptr) {
+    return Status::NotFound("cube '" + cube + "' does not exist");
+  }
+  return table->Append(epoch, batches);
+}
+
+Status ClusterNode::HandleDelete(aosi::Epoch epoch, const std::string& cube,
+                                 const std::vector<FilterClause>& filters) {
+  Table* table = FindTable(cube);
+  if (table == nullptr) {
+    return Status::NotFound("cube '" + cube + "' does not exist");
+  }
+  return table->DeleteWhere(epoch, filters);
+}
+
+Status ClusterNode::HandleDeleteCheck(
+    const std::string& cube, const std::vector<FilterClause>& filters) {
+  Table* table = FindTable(cube);
+  if (table == nullptr) {
+    return Status::NotFound("cube '" + cube + "' does not exist");
+  }
+  return table->CheckDeleteGranularity(filters);
+}
+
+Status ClusterNode::HandleDeleteMark(aosi::Epoch epoch,
+                                     const std::string& cube,
+                                     const std::vector<FilterClause>& filters) {
+  Table* table = FindTable(cube);
+  if (table == nullptr) {
+    return Status::NotFound("cube '" + cube + "' does not exist");
+  }
+  table->MarkDeleted(epoch, filters);
+  return Status::OK();
+}
+
+void ClusterNode::RollbackData(aosi::Epoch victim) {
+  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  for (auto& [name, state] : cubes_) {
+    state.table->Rollback(victim);
+  }
+}
+
+Status ClusterNode::HandleFinish(aosi::Epoch epoch,
+                                 const aosi::EpochSet& deps, bool committed) {
+  txns_.NoteRemoteDeps(epoch, deps);
+  txns_.NoteRemoteFinish(epoch, committed);
+  return Status::OK();
+}
+
+Result<QueryResult> ClusterNode::HandleScan(
+    const std::string& cube, const aosi::Snapshot& snapshot, ScanMode mode,
+    const Query& query, const std::function<bool(Bid)>& brick_filter) {
+  Table* table = FindTable(cube);
+  if (table == nullptr) {
+    return Status::NotFound("cube '" + cube + "' does not exist");
+  }
+  return table->Scan(snapshot, mode, query, brick_filter);
+}
+
+PurgeStats ClusterNode::HandlePurge() {
+  const aosi::Epoch lse = txns_.LSE();
+  PurgeStats total;
+  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  for (auto& [name, state] : cubes_) {
+    const PurgeStats stats = state.table->Purge(lse);
+    total.bricks_examined += stats.bricks_examined;
+    total.bricks_rewritten += stats.bricks_rewritten;
+    total.bricks_erased += stats.bricks_erased;
+    total.records_removed += stats.records_removed;
+  }
+  return total;
+}
+
+Status ClusterNode::Checkpoint(aosi::Epoch to) {
+  if (options_.data_dir.empty()) {
+    return Status::FailedPrecondition("node has no data_dir");
+  }
+  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  for (auto& [name, state] : cubes_) {
+    const aosi::Epoch from = state.flusher->ManifestLse();
+    if (to <= from) continue;
+    auto stats = state.flusher->FlushRound(state.table.get(), from, to);
+    if (!stats.ok()) return stats.status();
+  }
+  return Status::OK();
+}
+
+Result<aosi::Epoch> ClusterNode::RecoverLocal() {
+  if (options_.data_dir.empty()) {
+    return Status::FailedPrecondition("node has no data_dir");
+  }
+  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  aosi::Epoch min_lse = ~0ULL;
+  bool any = false;
+  for (auto& [name, state] : cubes_) {
+    auto result = state.flusher->Recover(state.table.get());
+    if (!result.ok()) return result.status();
+    any = true;
+    min_lse = std::min(min_lse, result->lse);
+  }
+  if (!any || min_lse == ~0ULL) return aosi::kNoEpoch;
+  for (auto& [name, state] : cubes_) {
+    state.table->TruncateAfter(min_lse);
+  }
+  return min_lse;
+}
+
+aosi::Epoch ClusterNode::MinFlushedLse() {
+  if (options_.data_dir.empty()) return ~0ULL;
+  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  aosi::Epoch min_lse = ~0ULL;
+  for (auto& [name, state] : cubes_) {
+    min_lse = std::min(min_lse, state.flusher->ManifestLse());
+  }
+  return min_lse;
+}
+
+uint64_t ClusterNode::TotalRecords() {
+  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  uint64_t n = 0;
+  for (auto& [name, state] : cubes_) n += state.table->TotalRecords();
+  return n;
+}
+
+size_t ClusterNode::HistoryMemoryUsage() {
+  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  size_t bytes = 0;
+  for (auto& [name, state] : cubes_) {
+    bytes += state.table->HistoryMemoryUsage();
+  }
+  return bytes;
+}
+
+size_t ClusterNode::DataMemoryUsage() {
+  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  size_t bytes = 0;
+  for (auto& [name, state] : cubes_) bytes += state.table->DataMemoryUsage();
+  return bytes;
+}
+
+}  // namespace cubrick::cluster

@@ -1,0 +1,129 @@
+// One simulated cluster node (paper §IV).
+//
+// A node owns a TxnManager (EC/LCE/LSE, pendingTxs) and the local storage of
+// every cube — a sharded Table holding the bricks consistent hashing
+// assigned to it (plus replicas). The Handle* methods are the node's RPC
+// surface; the Cluster's message bus piggybacks epoch clocks on every
+// request and response (§IV-A), so handlers assume ObserveClock has already
+// been applied by the bus.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "aosi/txn_manager.h"
+#include "engine/table.h"
+#include "persist/flush_manager.h"
+#include "query/query.h"
+
+namespace cubrick::cluster {
+
+struct NodeOptions {
+  size_t shards_per_cube = 1;
+  bool threaded_shards = false;
+  /// Per-node flush directory; empty disables persistence.
+  std::string data_dir;
+};
+
+class ClusterNode {
+ public:
+  ClusterNode(uint32_t node_idx, uint32_t num_nodes, NodeOptions options);
+
+  uint32_t node_idx() const { return node_idx_; }
+  aosi::TxnManager& txns() { return txns_; }
+
+  /// Simulated availability. RPCs to an offline node fail with Unavailable;
+  /// the cluster layer uses this to exercise replication / LSE gating.
+  bool online() const { return online_.load(); }
+  void set_online(bool v) { online_.store(v); }
+
+  // --- Cube lifecycle ----------------------------------------------------
+
+  Status CreateCube(std::shared_ptr<const CubeSchema> schema);
+  Status DropCube(const std::string& name);
+  /// Local table for `name`, or nullptr.
+  Table* FindTable(const std::string& name);
+
+  // --- RPC surface ---------------------------------------------------------
+
+  /// Begin broadcast (§IV-C): registers a remote RW transaction and returns
+  /// this node's pendingTxs set.
+  aosi::EpochSet HandleBeginBroadcast(aosi::Epoch epoch);
+
+  /// Appends forwarded, already-parsed batches.
+  Status HandleAppend(aosi::Epoch epoch, const std::string& cube,
+                      const PerBrickBatches& batches);
+
+  /// Partition-granular delete (validate + mark).
+  Status HandleDelete(aosi::Epoch epoch, const std::string& cube,
+                      const std::vector<FilterClause>& filters);
+
+  /// Phase-1 validation of a distributed delete predicate.
+  Status HandleDeleteCheck(const std::string& cube,
+                           const std::vector<FilterClause>& filters);
+
+  /// Phase-2 marking; never fails on a healthy node.
+  Status HandleDeleteMark(aosi::Epoch epoch, const std::string& cube,
+                          const std::vector<FilterClause>& filters);
+
+  /// Physically removes every append/delete of `victim` from local cubes.
+  void RollbackData(aosi::Epoch victim);
+
+  /// Commit/abort broadcast carrying the transaction's deps (§IV-C).
+  Status HandleFinish(aosi::Epoch epoch, const aosi::EpochSet& deps,
+                      bool committed);
+
+  /// Scan of locally-owned bricks. `brick_filter` selects which local
+  /// bricks this node is responsible for answering.
+  Result<QueryResult> HandleScan(const std::string& cube,
+                                 const aosi::Snapshot& snapshot,
+                                 ScanMode mode, const Query& query,
+                                 const std::function<bool(Bid)>& brick_filter);
+
+  /// Runs the purge procedure on every local cube at this node's LSE.
+  PurgeStats HandlePurge();
+
+  // --- Persistence (§III-D) -----------------------------------------------
+
+  /// Flushes every cube's data up to `to` (from each cube's last flushed
+  /// point) and returns OK when all segments are durable. Requires a
+  /// data_dir.
+  Status Checkpoint(aosi::Epoch to);
+
+  /// Replays local flush segments into the (freshly created) cubes and
+  /// returns the node's consistent recovered LSE (inconsistent tails are
+  /// truncated, as in Database::Recover).
+  Result<aosi::Epoch> RecoverLocal();
+
+  /// The highest epoch durably flushed for every local cube — LSE may not
+  /// pass it (§III-B condition (c)). Unbounded when persistence is
+  /// disabled (a diskless deployment relies on replication alone).
+  aosi::Epoch MinFlushedLse();
+
+  // --- Local helpers -------------------------------------------------------
+
+  /// Aggregate statistics across local cubes.
+  uint64_t TotalRecords();
+  size_t HistoryMemoryUsage();
+  size_t DataMemoryUsage();
+
+ private:
+  const uint32_t node_idx_;
+  const NodeOptions options_;
+  aosi::TxnManager txns_;
+  std::atomic<bool> online_{true};
+
+  struct CubeState {
+    std::unique_ptr<Table> table;
+    std::unique_ptr<persist::FlushManager> flusher;
+  };
+
+  std::mutex cubes_mutex_;
+  std::unordered_map<std::string, CubeState> cubes_;
+};
+
+}  // namespace cubrick::cluster

@@ -1,0 +1,48 @@
+// Minimal leveled logging to stderr.
+//
+// The library is quiet by default (kWarning); tools and benches can raise
+// verbosity with SetLogLevel(). No timestamps or thread ids: log lines in
+// this codebase are diagnostics, not an event stream.
+
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+
+namespace cubrick {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (under a lock) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define CUBRICK_LOG(level)                                                \
+  if (static_cast<int>(::cubrick::LogLevel::k##level) >=                  \
+      static_cast<int>(::cubrick::GetLogLevel()))                         \
+  ::cubrick::internal::LogMessage(::cubrick::LogLevel::k##level, __FILE__, \
+                                  __LINE__)
+
+}  // namespace cubrick

@@ -1,0 +1,88 @@
+// Bounded multi-producer single-consumer work queue for brick shards.
+//
+// Cubrick shards all bricks by bid across CPU cores; each shard owns an input
+// queue of operations (loads, queries, deletes, purges) drained by exactly
+// one thread (paper §V-B, "Flushing"). Because a single thread applies every
+// operation for a shard, no low-level locking is needed on the bricks
+// themselves — the queue is the only synchronized structure.
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/status.h"
+
+namespace cubrick {
+
+/// Blocking MPSC queue. Push from any thread; Pop from the single consumer.
+template <typename T>
+class ShardQueue {
+ public:
+  explicit ShardQueue(size_t max_size = 0) : max_size_(max_size) {}
+
+  /// Enqueues an item, blocking while the queue is at capacity.
+  /// Returns false if the queue has been closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] {
+      return closed_ || max_size_ == 0 || items_.size() < max_size_;
+    });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeues one item, blocking while empty. Returns nullopt once the queue
+  /// is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking dequeue.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Marks the queue closed; pending items can still be drained.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const size_t max_size_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cubrick

@@ -1,0 +1,55 @@
+#include "common/status.h"
+
+#include <sstream>
+
+namespace cubrick {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kIOError:
+      return "IOError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::ostringstream out;
+  out << StatusCodeToString(code_) << ": " << message_;
+  return out.str();
+}
+
+namespace internal {
+
+void CheckFailed(const char* expr, const char* file, int line) {
+  std::ostringstream out;
+  out << "CUBRICK_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  throw CheckFailure(out.str());
+}
+
+}  // namespace internal
+}  // namespace cubrick

@@ -1,0 +1,30 @@
+// Tiny DDL parser for the paper's CREATE CUBE statement (§V-A):
+//
+//   CREATE CUBE test_cube (region string CARDINALITY 4 RANGE 2,
+//                          gender string CARDINALITY 4 RANGE 1,
+//                          likes int, comments int)
+//
+// A column with a CARDINALITY clause is a dimension (RANGE defaults to 1);
+// a column without one is a metric. Supported types: string, int / int64,
+// double. Keywords are case-insensitive; identifiers are kept verbatim.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace cubrick {
+
+struct DdlStatement {
+  std::string cube_name;
+  std::vector<DimensionDef> dimensions;
+  std::vector<MetricDef> metrics;
+};
+
+/// Parses one CREATE CUBE statement.
+Result<DdlStatement> ParseCreateCube(const std::string& ddl);
+
+}  // namespace cubrick

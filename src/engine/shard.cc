@@ -1,0 +1,86 @@
+#include "engine/shard.h"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace cubrick {
+
+namespace {
+/// Best-effort CPU pinning of the current thread (§V-B NUMA locality).
+void PinToCpu(int cpu) {
+#ifdef __linux__
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  // Failure (e.g. cpu >= core count in this cgroup) is non-fatal: the
+  // shard simply runs unpinned.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
+}  // namespace
+
+Shard::Shard(std::shared_ptr<const CubeSchema> schema, bool threaded,
+             int cpu_affinity)
+    : bricks_(std::move(schema)), threaded_(threaded) {
+  if (threaded_) {
+    consumer_ = std::thread([this, cpu_affinity] {
+      PinToCpu(cpu_affinity);
+      RunLoop();
+    });
+  }
+}
+
+Shard::~Shard() {
+  if (threaded_) {
+    queue_.Close();
+    consumer_.join();
+  }
+}
+
+std::future<void> Shard::Enqueue(std::function<void(BrickMap&)> op) {
+  if (!threaded_) {
+    std::promise<void> done;
+    {
+      std::lock_guard<std::mutex> lock(inline_mutex_);
+      op(bricks_);
+    }
+    done.set_value();
+    return done.get_future();
+  }
+  Op item;
+  item.fn = std::move(op);
+  std::future<void> fut = item.done.get_future();
+  if (!queue_.Push(std::move(item))) {
+    // Shard shut down: surface as a broken promise rather than deadlock.
+    std::promise<void> dead;
+    dead.set_exception(std::make_exception_ptr(
+        CheckFailure("operation enqueued on a stopped shard")));
+    return dead.get_future();
+  }
+  return fut;
+}
+
+void Shard::Drain() {
+  if (!threaded_) return;
+  Enqueue([](BrickMap&) {}).wait();
+}
+
+size_t Shard::QueueDepth() const { return threaded_ ? queue_.size() : 0; }
+
+void Shard::RunLoop() {
+  while (auto op = queue_.Pop()) {
+    try {
+      op->fn(bricks_);
+      op->done.set_value();
+    } catch (...) {
+      op->done.set_exception(std::current_exception());
+    }
+  }
+}
+
+}  // namespace cubrick

@@ -1,0 +1,308 @@
+#include "engine/table.h"
+
+#include <algorithm>
+
+#include "aosi/purge.h"
+
+namespace cubrick {
+
+Table::Table(std::shared_ptr<const CubeSchema> schema, size_t num_shards,
+             bool threaded, bool rollback_index, bool pin_shard_threads)
+    : schema_(std::move(schema)) {
+  CUBRICK_CHECK(num_shards >= 1);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    const int cpu =
+        pin_shard_threads ? static_cast<int>(i % hw) : -1;
+    shards_.push_back(std::make_unique<Shard>(schema_, threaded, cpu));
+  }
+  if (rollback_index) {
+    rollback_index_.emplace();
+  }
+}
+
+Status Table::Append(aosi::Epoch epoch, const PerBrickBatches& batches) {
+  // Group bricks by shard so each shard receives one operation.
+  std::vector<std::vector<const std::pair<const Bid, EncodedBatch>*>>
+      per_shard(shards_.size());
+  for (const auto& entry : batches) {
+    if (entry.second.num_rows == 0) continue;
+    per_shard[ShardOf(entry.first)].push_back(&entry);
+    if (rollback_index_) {
+      rollback_index_->Note(epoch, entry.first);
+    }
+  }
+  std::vector<std::future<void>> done;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (per_shard[s].empty()) continue;
+    auto work = std::move(per_shard[s]);
+    done.push_back(shards_[s]->Enqueue([epoch, work](BrickMap& bricks) {
+      for (const auto* entry : work) {
+        bricks.GetOrCreate(entry->first).AppendBatch(epoch, entry->second);
+      }
+    }));
+  }
+  for (auto& f : done) f.get();
+  return Status::OK();
+}
+
+Status Table::DeleteWhere(aosi::Epoch epoch,
+                          const std::vector<FilterClause>& filters) {
+  CUBRICK_RETURN_IF_ERROR(CheckDeleteGranularity(filters));
+  MarkDeleted(epoch, filters);
+  return Status::OK();
+}
+
+Status Table::CheckDeleteGranularity(
+    const std::vector<FilterClause>& filters) {
+  Query probe;
+  probe.filters = filters;
+  std::vector<std::future<void>> checks;
+  std::vector<Status> shard_status(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Status* out = &shard_status[s];
+    checks.push_back(shards_[s]->Enqueue([&probe, out](BrickMap& bricks) {
+      bricks.ForEach([&](Brick& brick) {
+        if (!out->ok()) return;
+        if (BrickIntersectsFilters(brick, probe) &&
+            !BrickCoveredByFilters(brick, probe)) {
+          *out = Status::InvalidArgument(
+              "delete predicate only partially covers brick " +
+              std::to_string(brick.bid()) +
+              "; AOSI deletes are partition-granular");
+        }
+      });
+    }));
+  }
+  for (auto& f : checks) f.get();
+  for (const auto& st : shard_status) {
+    CUBRICK_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
+void Table::MarkDeleted(aosi::Epoch epoch,
+                        const std::vector<FilterClause>& filters) {
+  Query probe;
+  probe.filters = filters;
+  RollbackIndex* index = rollback_index_ ? &*rollback_index_ : nullptr;
+  std::vector<std::future<void>> marks;
+  for (auto& shard : shards_) {
+    marks.push_back(shard->Enqueue([&probe, epoch, index](BrickMap& bricks) {
+      bricks.ForEach([&](Brick& brick) {
+        if (brick.num_records() > 0 && BrickCoveredByFilters(brick, probe)) {
+          brick.MarkDeleted(epoch);
+          if (index != nullptr) index->Note(epoch, brick.bid());
+        }
+      });
+    }));
+  }
+  for (auto& f : marks) f.get();
+}
+
+QueryResult Table::Scan(const aosi::Snapshot& snapshot, ScanMode mode,
+                        const Query& query,
+                        const std::function<bool(Bid)>& brick_filter) {
+  std::vector<QueryResult> partials(shards_.size(),
+                                    QueryResult(query.aggs.size()));
+  std::vector<std::future<void>> done;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    QueryResult* out = &partials[s];
+    done.push_back(shards_[s]->Enqueue(
+        [&snapshot, mode, &query, out, &brick_filter](BrickMap& bricks) {
+          bricks.ForEach([&](Brick& brick) {
+            if (brick_filter && !brick_filter(brick.bid())) return;
+            ScanBrick(brick, snapshot, mode, query, out);
+          });
+        }));
+  }
+  for (auto& f : done) f.get();
+  QueryResult result(query.aggs.size());
+  for (const auto& partial : partials) {
+    result.Merge(partial);
+  }
+  return result;
+}
+
+ScanPlanStats Table::ExplainScan(const Query& query) {
+  ScanPlanStats stats;
+  for (auto& shard : shards_) {
+    shard
+        ->Enqueue([&](BrickMap& bricks) {
+          bricks.ForEach(
+              [&](const Brick& brick) { ExplainBrick(brick, query, &stats); });
+        })
+        .get();
+  }
+  return stats;
+}
+
+std::vector<MaterializedRow> Table::Materialize(
+    const aosi::Snapshot& snapshot, ScanMode mode, const Query& query,
+    const MaterializeOptions& options) {
+  std::vector<MaterializedRow> rows;
+  for (auto& shard : shards_) {
+    if (rows.size() >= options.limit) break;
+    shard
+        ->Enqueue([&](BrickMap& bricks) {
+          bricks.ForEach([&](const Brick& brick) {
+            MaterializeBrick(brick, snapshot, mode, query, options, &rows);
+          });
+        })
+        .get();
+  }
+  return rows;
+}
+
+PurgeStats Table::Purge(aosi::Epoch lse) {
+  if (rollback_index_) {
+    // Transactions at or before LSE are finished: their index entries can
+    // never be used and would otherwise grow without bound.
+    rollback_index_->DiscardUpTo(lse);
+  }
+  std::vector<PurgeStats> partials(shards_.size());
+  std::vector<std::future<void>> done;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    PurgeStats* stats = &partials[s];
+    done.push_back(shards_[s]->Enqueue([lse, stats](BrickMap& bricks) {
+      std::vector<Bid> dead;
+      bricks.ForEach([&](Brick& brick) {
+        ++stats->bricks_examined;
+        auto plan = aosi::PlanPurge(brick.history(), lse);
+        if (!plan.needed) return;
+        const uint64_t before = brick.num_records();
+        brick.ApplyCompaction(plan);
+        ++stats->bricks_rewritten;
+        stats->records_removed += before - brick.num_records();
+        if (brick.num_records() == 0 && brick.history().num_entries() == 0) {
+          dead.push_back(brick.bid());
+        }
+      });
+      for (Bid bid : dead) {
+        bricks.Erase(bid);
+        ++stats->bricks_erased;
+      }
+    }));
+  }
+  for (auto& f : done) f.get();
+  PurgeStats total;
+  for (const auto& p : partials) {
+    total.bricks_examined += p.bricks_examined;
+    total.bricks_rewritten += p.bricks_rewritten;
+    total.bricks_erased += p.bricks_erased;
+    total.records_removed += p.records_removed;
+  }
+  return total;
+}
+
+void Table::Rollback(aosi::Epoch victim) {
+  if (rollback_index_) {
+    // Indexed path (§III-C5's alternative): only the victim's bricks are
+    // visited, skipping every untouched partition's epochs vector.
+    std::vector<std::vector<Bid>> per_shard(shards_.size());
+    for (Bid bid : rollback_index_->Take(victim)) {
+      per_shard[ShardOf(bid)].push_back(bid);
+    }
+    std::vector<std::future<void>> done;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (per_shard[s].empty()) continue;
+      auto bids = std::move(per_shard[s]);
+      done.push_back(shards_[s]->Enqueue([victim, bids](BrickMap& bricks) {
+        for (Bid bid : bids) {
+          Brick* brick = bricks.Find(bid);
+          if (brick == nullptr) continue;
+          auto plan = aosi::PlanRollback(brick->history(), victim);
+          if (plan.needed) {
+            brick->ApplyCompaction(plan);
+          }
+        }
+      }));
+    }
+    for (auto& f : done) f.get();
+    return;
+  }
+
+  std::vector<std::future<void>> done;
+  for (auto& shard : shards_) {
+    done.push_back(shard->Enqueue([victim](BrickMap& bricks) {
+      bricks.ForEach([&](Brick& brick) {
+        auto plan = aosi::PlanRollback(brick.history(), victim);
+        if (plan.needed) {
+          brick.ApplyCompaction(plan);
+        }
+      });
+    }));
+  }
+  for (auto& f : done) f.get();
+}
+
+void Table::TruncateAfter(aosi::Epoch lse) {
+  std::vector<std::future<void>> done;
+  for (auto& shard : shards_) {
+    done.push_back(shard->Enqueue([lse](BrickMap& bricks) {
+      std::vector<Bid> dead;
+      bricks.ForEach([&](Brick& brick) {
+        auto plan = aosi::PlanRetainUpTo(brick.history(), lse);
+        if (plan.needed) {
+          brick.ApplyCompaction(plan);
+        }
+        if (brick.num_records() == 0 && brick.history().num_entries() == 0) {
+          dead.push_back(brick.bid());
+        }
+      });
+      for (Bid bid : dead) bricks.Erase(bid);
+    }));
+  }
+  for (auto& f : done) f.get();
+}
+
+void Table::Drain() {
+  for (auto& shard : shards_) shard->Drain();
+}
+
+void Table::VisitBricks(const std::function<void(const Brick&)>& fn) {
+  for (auto& shard : shards_) {
+    shard
+        ->Enqueue([&fn](BrickMap& bricks) {
+          bricks.ForEach([&](const Brick& brick) { fn(brick); });
+        })
+        .get();
+  }
+}
+
+void Table::ApplyToBrick(Bid bid, const std::function<void(Brick&)>& fn) {
+  shards_[ShardOf(bid)]
+      ->Enqueue([bid, &fn](BrickMap& bricks) { fn(bricks.GetOrCreate(bid)); })
+      .get();
+}
+
+uint64_t Table::TotalRecords() {
+  Drain();
+  uint64_t n = 0;
+  for (auto& shard : shards_) n += shard->bricks().TotalRecords();
+  return n;
+}
+
+uint64_t Table::NumBricks() {
+  Drain();
+  uint64_t n = 0;
+  for (auto& shard : shards_) n += shard->bricks().size();
+  return n;
+}
+
+size_t Table::DataMemoryUsage() {
+  Drain();
+  size_t bytes = 0;
+  for (auto& shard : shards_) bytes += shard->bricks().DataMemoryUsage();
+  return bytes;
+}
+
+size_t Table::HistoryMemoryUsage() {
+  Drain();
+  size_t bytes = 0;
+  for (auto& shard : shards_) bytes += shard->bricks().HistoryMemoryUsage();
+  return bytes;
+}
+
+}  // namespace cubrick

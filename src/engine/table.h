@@ -1,0 +1,137 @@
+// Table: the per-node storage engine of one cube.
+//
+// Owns the cube's shards (bricks hashed by bid across shards, paper §V-B)
+// and exposes the low-level AOSI operations — append, partition delete,
+// snapshot scan, purge, rollback — each dispatched onto shard queues and
+// applied by single-writer shard threads.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <memory>
+#include <vector>
+
+#include "aosi/epoch.h"
+#include "engine/rollback_index.h"
+#include "engine/shard.h"
+#include "query/executor.h"
+#include "query/materialize.h"
+#include "query/query.h"
+#include "storage/brick.h"
+#include "storage/schema.h"
+
+namespace cubrick {
+
+/// Parser output: records grouped and encoded per target brick.
+using PerBrickBatches = std::map<Bid, EncodedBatch>;
+
+/// Statistics returned by Table::Purge.
+struct PurgeStats {
+  uint64_t bricks_examined = 0;
+  uint64_t bricks_rewritten = 0;
+  uint64_t bricks_erased = 0;
+  uint64_t records_removed = 0;
+};
+
+class Table {
+ public:
+  /// `threaded` selects dedicated shard threads (production mode) or inline
+  /// execution (deterministic tests / single-thread benches).
+  /// `rollback_index` enables the §III-C5 txn->partition map, making
+  /// Rollback touch only the victim's bricks at a memory cost.
+  /// `pin_shard_threads` binds shard thread i to CPU i % hardware
+  /// concurrency (§V-B NUMA-locality optimization; best-effort).
+  Table(std::shared_ptr<const CubeSchema> schema, size_t num_shards,
+        bool threaded, bool rollback_index = false,
+        bool pin_shard_threads = false);
+
+  const CubeSchema& schema() const { return *schema_; }
+  size_t num_shards() const { return shards_.size(); }
+
+  size_t ShardOf(Bid bid) const { return bid % shards_.size(); }
+
+  /// Appends parsed batches stamped with `epoch`; returns once every shard
+  /// has applied its part (the "flush" step of the ingestion pipeline).
+  Status Append(aosi::Epoch epoch, const PerBrickBatches& batches);
+
+  /// Partition-granular delete: marks deleted every materialized brick
+  /// fully covered by `filters` (empty filters = the whole cube). Fails
+  /// with InvalidArgument — before marking anything — if a brick is only
+  /// partially covered: AOSI does not support sub-partition deletes.
+  Status DeleteWhere(aosi::Epoch epoch,
+                     const std::vector<FilterClause>& filters);
+
+  /// Phase 1 of DeleteWhere: verifies no materialized brick is only
+  /// partially covered by `filters`.
+  Status CheckDeleteGranularity(const std::vector<FilterClause>& filters);
+
+  /// Phase 2 of DeleteWhere: marks covered bricks deleted. Must follow a
+  /// successful granularity check.
+  void MarkDeleted(aosi::Epoch epoch,
+                   const std::vector<FilterClause>& filters);
+
+  /// The shared schema handle (used by the cluster catalog).
+  std::shared_ptr<const CubeSchema> schema_ptr() const { return schema_; }
+
+  /// Scatter-gather scan of all shards under `snapshot`. `brick_filter`
+  /// (optional) restricts the scan to bricks it accepts — the cluster layer
+  /// uses it to scan only bricks this node primarily owns, so replicated
+  /// bricks are not double-counted.
+  QueryResult Scan(const aosi::Snapshot& snapshot, ScanMode mode,
+                   const Query& query,
+                   const std::function<bool(Bid)>& brick_filter = nullptr);
+
+  /// EXPLAIN: reports how many bricks the filters prune without scanning —
+  /// the indexed-access property of granular partitioning.
+  ScanPlanStats ExplainScan(const Query& query);
+
+  /// Materializes up to options.limit visible rows matching the query's
+  /// filters (row-wise, strings decoded). Shards are drained sequentially;
+  /// row order follows physical order within each brick.
+  std::vector<MaterializedRow> Materialize(
+      const aosi::Snapshot& snapshot, ScanMode mode, const Query& query,
+      const MaterializeOptions& options = {});
+
+  /// Runs the purge procedure (§III-C4) over every brick at `lse`.
+  PurgeStats Purge(aosi::Epoch lse);
+
+  /// Physically removes every append/delete made by `victim` (§III-C5).
+  void Rollback(aosi::Epoch victim);
+
+  /// Drops everything newer than `lse` (crash-recovery truncation).
+  void TruncateAfter(aosi::Epoch lse);
+
+  /// Waits for all shard queues to empty.
+  void Drain();
+
+  /// Visits every brick, one shard at a time (fn is never called
+  /// concurrently). Used by the persistence layer to collect flush data.
+  void VisitBricks(const std::function<void(const Brick&)>& fn);
+
+  /// Applies `fn` to the brick `bid` on its owning shard, materializing it
+  /// if absent. Used by recovery to replay delete markers.
+  void ApplyToBrick(Bid bid, const std::function<void(Brick&)>& fn);
+
+  // --- Statistics (each drains pending work first) ----------------------
+  uint64_t TotalRecords();
+  uint64_t NumBricks();
+  size_t DataMemoryUsage();
+  /// Bytes held by all epochs vectors — the AOSI overhead of Figures 6/7.
+  size_t HistoryMemoryUsage();
+
+  /// Access to a shard for white-box tests.
+  Shard& shard(size_t i) { return *shards_[i]; }
+
+  /// The rollback index, or nullptr when disabled.
+  const RollbackIndex* rollback_index() const {
+    return rollback_index_ ? &*rollback_index_ : nullptr;
+  }
+
+ private:
+  std::shared_ptr<const CubeSchema> schema_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::optional<RollbackIndex> rollback_index_;
+};
+
+}  // namespace cubrick

@@ -1,0 +1,200 @@
+#include "ingest/parser.h"
+
+#include <charconv>
+
+namespace cubrick {
+
+namespace {
+
+/// Encodes one dimension value to its coordinate, validating cardinality.
+Result<uint64_t> EncodeDimension(const CubeSchema& schema, size_t dim,
+                                 const Value& value) {
+  const DimensionDef& def = schema.dimensions()[dim];
+  uint64_t coord = 0;
+  if (def.is_string) {
+    if (!value.is_string()) {
+      return Status::InvalidArgument("dimension '" + def.name +
+                                     "' expects a string");
+    }
+    coord = schema.dictionary(dim)->EncodeOrAdd(value.as_string());
+  } else {
+    if (!value.is_int64()) {
+      return Status::InvalidArgument("dimension '" + def.name +
+                                     "' expects an integer");
+    }
+    const int64_t raw = value.as_int64();
+    if (raw < 0) {
+      return Status::OutOfRange("dimension '" + def.name +
+                                "' coordinate is negative");
+    }
+    coord = static_cast<uint64_t>(raw);
+  }
+  if (coord >= def.cardinality) {
+    return Status::OutOfRange("dimension '" + def.name + "' value " +
+                              std::to_string(coord) +
+                              " exceeds declared cardinality " +
+                              std::to_string(def.cardinality));
+  }
+  return coord;
+}
+
+}  // namespace
+
+Result<ParseOutput> ParseRecords(const CubeSchema& schema,
+                                 const std::vector<Record>& records,
+                                 const ParseOptions& options) {
+  ParseOutput out;
+  const size_t num_dims = schema.num_dimensions();
+  const size_t num_metrics = schema.num_metrics();
+  std::vector<uint64_t> coords(num_dims);
+
+  for (const Record& record : records) {
+    Status record_status;
+    if (record.values.size() != num_dims + num_metrics) {
+      record_status = Status::InvalidArgument("wrong number of columns");
+    }
+
+    // Dimensions: encode and validate coordinates.
+    for (size_t d = 0; record_status.ok() && d < num_dims; ++d) {
+      auto coord = EncodeDimension(schema, d, record.values[d]);
+      if (!coord.ok()) {
+        record_status = coord.status();
+        break;
+      }
+      coords[d] = *coord;
+    }
+
+    // Metrics: type-check (values appended only after full validation).
+    std::vector<int64_t> metric_ints(num_metrics, 0);
+    std::vector<double> metric_doubles(num_metrics, 0);
+    for (size_t m = 0; record_status.ok() && m < num_metrics; ++m) {
+      const Value& v = record.values[num_dims + m];
+      const MetricDef& def = schema.metrics()[m];
+      switch (def.type) {
+        case DataType::kInt64:
+          if (!v.is_int64()) {
+            record_status = Status::InvalidArgument("metric '" + def.name +
+                                                    "' expects int64");
+          } else {
+            metric_ints[m] = v.as_int64();
+          }
+          break;
+        case DataType::kDouble:
+          if (v.is_string()) {
+            record_status = Status::InvalidArgument("metric '" + def.name +
+                                                    "' expects a number");
+          } else {
+            metric_doubles[m] = v.ToDouble().value();
+          }
+          break;
+        case DataType::kString:
+          if (!v.is_string()) {
+            record_status = Status::InvalidArgument("metric '" + def.name +
+                                                    "' expects a string");
+          } else {
+            metric_ints[m] = static_cast<int64_t>(
+                schema.dictionary(num_dims + m)->EncodeOrAdd(v.as_string()));
+          }
+          break;
+      }
+    }
+
+    if (!record_status.ok()) {
+      ++out.rejected;
+      if (out.errors.size() < options.max_errors) {
+        out.errors.push_back(record_status.ToString());
+      }
+      continue;
+    }
+
+    const Bid bid = schema.BidFor(coords).value();
+    auto it = out.batches.find(bid);
+    if (it == out.batches.end()) {
+      it = out.batches.emplace(bid, EncodedBatch(schema)).first;
+    }
+    EncodedBatch& batch = it->second;
+    for (size_t d = 0; d < num_dims; ++d) {
+      uint64_t range_idx = 0, offset = 0;
+      schema.SplitCoord(d, coords[d], &range_idx, &offset);
+      batch.dim_offsets[d].push_back(offset);
+    }
+    for (size_t m = 0; m < num_metrics; ++m) {
+      if (schema.metrics()[m].type == DataType::kDouble) {
+        batch.metric_doubles[m].push_back(metric_doubles[m]);
+      } else {
+        batch.metric_ints[m].push_back(metric_ints[m]);
+      }
+    }
+    ++batch.num_rows;
+    ++out.accepted;
+  }
+
+  if (out.rejected > options.max_rejected) {
+    std::string detail = out.errors.empty() ? "" : " (first: " +
+                                                       out.errors.front() +
+                                                       ")";
+    return Status::InvalidArgument(
+        "batch discarded: " + std::to_string(out.rejected) +
+        " records rejected, max_rejected=" +
+        std::to_string(options.max_rejected) + detail);
+  }
+  return out;
+}
+
+Result<Record> ParseCsvLine(const CubeSchema& schema,
+                            const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = line.find(',', start);
+    fields.push_back(line.substr(
+        start, comma == std::string::npos ? std::string::npos
+                                          : comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (fields.size() != schema.num_columns()) {
+    return Status::InvalidArgument("expected " +
+                                   std::to_string(schema.num_columns()) +
+                                   " fields, got " +
+                                   std::to_string(fields.size()));
+  }
+
+  Record record;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const bool is_dim = i < schema.num_dimensions();
+    DataType type;
+    bool is_string;
+    if (is_dim) {
+      is_string = schema.dimensions()[i].is_string;
+      type = is_string ? DataType::kString : DataType::kInt64;
+    } else {
+      type = schema.metrics()[i - schema.num_dimensions()].type;
+      is_string = type == DataType::kString;
+    }
+    const std::string& field = fields[i];
+    if (is_string) {
+      record.values.emplace_back(field);
+      continue;
+    }
+    if (type == DataType::kDouble) {
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str()) {
+        return Status::InvalidArgument("bad double: '" + field + "'");
+      }
+      record.values.emplace_back(v);
+    } else {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(field.data(), field.data() + field.size(), v);
+      if (ec != std::errc() || ptr != field.data() + field.size()) {
+        return Status::InvalidArgument("bad integer: '" + field + "'");
+      }
+      record.values.emplace_back(v);
+    }
+  }
+  return record;
+}
+
+}  // namespace cubrick

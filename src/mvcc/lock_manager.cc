@@ -1,0 +1,92 @@
+#include "mvcc/lock_manager.h"
+
+namespace cubrick::mvcc {
+
+bool LockManager::Compatible(const LockState& state, uint64_t txn_id,
+                             LockMode mode) const {
+  if (state.exclusive_holder == txn_id) return true;  // re-entrant X
+  if (mode == LockMode::kShared) {
+    return state.exclusive_holder == 0;
+  }
+  // Exclusive: no other X holder and no other S holders.
+  if (state.exclusive_holder != 0) return false;
+  if (state.shared_holders.empty()) return true;
+  return state.shared_holders.size() == 1 &&
+         state.shared_holders.count(txn_id) == 1;  // S->X upgrade
+}
+
+bool LockManager::MayWait(const LockState& state, uint64_t txn_id,
+                          LockMode mode) const {
+  // Wait-die: the requester may wait only if every conflicting holder is
+  // younger (has a larger transaction id).
+  if (state.exclusive_holder != 0 && state.exclusive_holder != txn_id &&
+      state.exclusive_holder < txn_id) {
+    return false;
+  }
+  if (mode == LockMode::kExclusive) {
+    for (uint64_t holder : state.shared_holders) {
+      if (holder != txn_id && holder < txn_id) return false;
+    }
+  }
+  return true;
+}
+
+Status LockManager::Acquire(uint64_t txn_id, uint64_t resource,
+                            LockMode mode) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  LockState& state = locks_[resource];
+  while (!Compatible(state, txn_id, mode)) {
+    if (!MayWait(state, txn_id, mode)) {
+      return Status::Aborted("wait-die: transaction " +
+                             std::to_string(txn_id) + " dies on resource " +
+                             std::to_string(resource));
+    }
+    state.cv.wait(lock);
+  }
+  if (mode == LockMode::kShared) {
+    state.shared_holders.insert(txn_id);
+  } else {
+    state.shared_holders.erase(txn_id);  // upgrade drops the S entry
+    state.exclusive_holder = txn_id;
+  }
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    LockState& state = it->second;
+    bool changed = false;
+    if (state.exclusive_holder == txn_id) {
+      state.exclusive_holder = 0;
+      changed = true;
+    }
+    if (state.shared_holders.erase(txn_id) > 0) {
+      changed = true;
+    }
+    if (changed) {
+      state.cv.notify_all();
+    }
+    if (state.exclusive_holder == 0 && state.shared_holders.empty()) {
+      // Cannot erase: waiters may be blocked on state.cv. Only erase when
+      // nobody can be waiting — conservatively keep the entry; the map is
+      // bounded by the number of distinct resources.
+      ++it;
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t LockManager::NumLockedResources() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t count = 0;
+  for (const auto& [resource, state] : locks_) {
+    if (state.exclusive_holder != 0 || !state.shared_holders.empty()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace cubrick::mvcc

@@ -1,0 +1,56 @@
+// Shared/exclusive lock manager with wait-die deadlock avoidance.
+//
+// Substrate for the 2PL baseline (§I, §VII discuss lock-based concurrency
+// control as the traditional alternative to AOSI). Resources are opaque
+// 64-bit ids (a partition, a table). Deadlocks are avoided with wait-die:
+// an older transaction (smaller id) waits for a younger holder; a younger
+// requester is aborted immediately and must restart.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cubrick::mvcc {
+
+enum class LockMode : uint8_t { kShared, kExclusive };
+
+class LockManager {
+ public:
+  /// Blocks until the lock is granted, or returns Aborted (wait-die) when
+  /// waiting could deadlock. Re-entrant: acquiring a mode already held is a
+  /// no-op; upgrading S->X succeeds when the requester is the sole holder.
+  Status Acquire(uint64_t txn_id, uint64_t resource, LockMode mode);
+
+  /// Releases every lock held by `txn_id` and wakes waiters.
+  void ReleaseAll(uint64_t txn_id);
+
+  /// Number of resources with at least one holder (for tests/stats).
+  size_t NumLockedResources() const;
+
+ private:
+  struct LockState {
+    std::set<uint64_t> shared_holders;
+    uint64_t exclusive_holder = 0;  // 0 = none
+    std::condition_variable cv;
+  };
+
+  /// True when `txn_id` may take `mode` right now. Requires mutex_ held.
+  bool Compatible(const LockState& state, uint64_t txn_id,
+                  LockMode mode) const;
+
+  /// True when every conflicting holder is younger (larger id) than the
+  /// requester, i.e. wait-die allows waiting. Requires mutex_ held.
+  bool MayWait(const LockState& state, uint64_t txn_id, LockMode mode) const;
+
+  mutable std::mutex mutex_;
+  std::map<uint64_t, LockState> locks_;
+};
+
+}  // namespace cubrick::mvcc

@@ -1,0 +1,113 @@
+#include "mvcc/two_pl_store.h"
+
+namespace cubrick::mvcc {
+
+TwoPLStore::TwoPLStore(size_t num_columns, size_t num_partitions)
+    : num_columns_(num_columns) {
+  CUBRICK_CHECK(num_columns >= 1 && num_partitions >= 1);
+  partitions_.resize(num_partitions);
+  for (auto& p : partitions_) {
+    p.columns.resize(num_columns);
+  }
+}
+
+TplTxn TwoPLStore::Begin() {
+  TplTxn txn;
+  txn.id = next_txn_.fetch_add(1);
+  return txn;
+}
+
+Status TwoPLStore::Insert(TplTxn* txn, const std::vector<int64_t>& values) {
+  if (values.size() != num_columns_) {
+    return Status::InvalidArgument("arity mismatch");
+  }
+  const uint64_t part =
+      static_cast<uint64_t>(values[0]) % partitions_.size();
+  CUBRICK_RETURN_IF_ERROR(
+      locks_.Acquire(txn->id, part, LockMode::kExclusive));
+  Partition& p = partitions_[part];
+  const uint64_t row = p.tombstone.size();
+  for (size_t c = 0; c < num_columns_; ++c) {
+    p.columns[c].push_back(values[c]);
+  }
+  p.tombstone.push_back(0);
+  txn->inserted.emplace_back(part, row);
+  return Status::OK();
+}
+
+Status TwoPLStore::Delete(TplTxn* txn, uint64_t partition, uint64_t row) {
+  if (partition >= partitions_.size()) {
+    return Status::OutOfRange("partition out of range");
+  }
+  CUBRICK_RETURN_IF_ERROR(
+      locks_.Acquire(txn->id, partition, LockMode::kExclusive));
+  Partition& p = partitions_[partition];
+  if (row >= p.tombstone.size()) {
+    return Status::OutOfRange("row out of range");
+  }
+  if (p.tombstone[row] != 0) {
+    return Status::NotFound("record already deleted");
+  }
+  p.tombstone[row] = 1;
+  txn->deleted.emplace_back(partition, row);
+  return Status::OK();
+}
+
+Result<int64_t> TwoPLStore::ScanSum(TplTxn* txn, size_t column) {
+  if (column >= num_columns_) {
+    return Status::OutOfRange("column out of range");
+  }
+  for (uint64_t part = 0; part < partitions_.size(); ++part) {
+    CUBRICK_RETURN_IF_ERROR(
+        locks_.Acquire(txn->id, part, LockMode::kShared));
+  }
+  int64_t sum = 0;
+  for (const auto& p : partitions_) {
+    const auto& col = p.columns[column];
+    for (uint64_t row = 0; row < col.size(); ++row) {
+      if (p.tombstone[row] == 0) {
+        sum += col[row];
+      }
+    }
+  }
+  return sum;
+}
+
+Status TwoPLStore::Commit(TplTxn* txn) {
+  locks_.ReleaseAll(txn->id);
+  txn->inserted.clear();
+  txn->deleted.clear();
+  return Status::OK();
+}
+
+Status TwoPLStore::Abort(TplTxn* txn) {
+  // Undo in reverse order while still holding the locks.
+  for (auto it = txn->deleted.rbegin(); it != txn->deleted.rend(); ++it) {
+    partitions_[it->first].tombstone[it->second] = 0;
+  }
+  for (auto it = txn->inserted.rbegin(); it != txn->inserted.rend(); ++it) {
+    Partition& p = partitions_[it->first];
+    // Inserts append, so undoing in reverse pops from the back.
+    CUBRICK_CHECK(it->second + 1 == p.tombstone.size());
+    for (auto& col : p.columns) col.pop_back();
+    p.tombstone.pop_back();
+  }
+  locks_.ReleaseAll(txn->id);
+  txn->inserted.clear();
+  txn->deleted.clear();
+  return Status::OK();
+}
+
+uint64_t TwoPLStore::num_rows() const {
+  uint64_t n = 0;
+  for (const auto& p : partitions_) n += p.tombstone.size();
+  return n;
+}
+
+size_t TwoPLStore::MetadataOverhead() const {
+  size_t bytes = 0;
+  for (const auto& p : partitions_) bytes += p.tombstone.capacity();
+  return bytes;
+}
+
+}  // namespace cubrick::mvcc

@@ -1,0 +1,79 @@
+// Persistence and durability (paper §III-D).
+//
+// In-memory OLAP databases ensure durability with background disk flushes
+// plus replication. Each flush round selects a candidate LSE' and writes the
+// data between the current LSE and LSE' on every partition — identified by
+// walking the epochs vectors — to an append-only segment file. After the
+// segment is durable, the manifest (round count + LSE) is atomically
+// replaced. No transactional history needs to be flushed: everything at or
+// before LSE is by definition finished, so recovery only needs the data and
+// a single LSE timestamp.
+//
+// Crash recovery replays the segments the manifest covers, ignoring any
+// trailing partially-written segment, and restores the epoch counters to the
+// flushed LSE. Data after LSE is recovered from replicas (the cluster layer
+// redelivers; a single-node deployment loses it, exactly as the paper
+// states).
+
+#pragma once
+
+#include <string>
+
+#include "aosi/epoch.h"
+#include "engine/table.h"
+#include "storage/schema.h"
+
+namespace cubrick::persist {
+
+struct FlushRoundStats {
+  uint64_t rows_written = 0;
+  uint64_t delete_markers_written = 0;
+  uint64_t bricks_touched = 0;
+};
+
+struct RecoveryResult {
+  /// The LSE recorded by the last complete flush round.
+  aosi::Epoch lse = aosi::kNoEpoch;
+  uint64_t rows_recovered = 0;
+  uint64_t rounds_replayed = 0;
+};
+
+class FlushManager {
+ public:
+  /// `dir` must exist; all segment/manifest files for the cube live there.
+  FlushManager(std::string dir, std::string cube_name);
+
+  /// Writes one flush round covering epochs in (from_lse, to_lse]. The
+  /// caller picks to_lse (typically the node's LCE) and, on success,
+  /// advances the transaction manager's LSE to it.
+  Result<FlushRoundStats> FlushRound(Table* table, aosi::Epoch from_lse,
+                                     aosi::Epoch to_lse);
+
+  /// Replays all complete flush rounds into `table` (which must be empty)
+  /// and returns the recovered LSE. Also restores the schema's string
+  /// dictionaries.
+  Result<RecoveryResult> Recover(Table* table);
+
+  /// LSE recorded in the manifest, or kNoEpoch when none exists.
+  aosi::Epoch ManifestLse() const;
+  /// Number of complete rounds in the manifest.
+  uint64_t ManifestRounds() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string SegmentPath(uint64_t round) const;
+  std::string DictPath() const;
+  std::string ManifestPath() const;
+
+  /// Atomically replaces the manifest (tmp file + rename).
+  Status WriteManifest(uint64_t rounds, aosi::Epoch lse) const;
+
+  Status WriteDictionaries(const CubeSchema& schema) const;
+  Status ReadDictionaries(const CubeSchema& schema) const;
+
+  std::string dir_;
+  std::string cube_name_;
+};
+
+}  // namespace cubrick::persist

@@ -1,0 +1,109 @@
+// Minimal binary serialization for flush segments and manifests.
+//
+// Fixed little-endian 64-bit framing, no varints: flush throughput is
+// dominated by the raw column payloads, and a trivially auditable format
+// beats a compact one for a durability layer.
+
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cubrick::persist {
+
+class BinaryWriter {
+ public:
+  /// Opens `path` for truncating binary write.
+  explicit BinaryWriter(const std::string& path)
+      : out_(path, std::ios::binary | std::ios::trunc) {}
+
+  bool ok() const { return out_.good(); }
+
+  void WriteU64(uint64_t v) {
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  void WriteU8(uint8_t v) {
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  void WriteDouble(double v) {
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(v.size());
+    out_.write(reinterpret_cast<const char*>(v.data()),
+               static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+
+  /// Flushes buffered bytes to the OS. (A real deployment would fsync; the
+  /// simulation treats stream flush as the durability point.)
+  Status Finish() {
+    out_.flush();
+    out_.close();
+    return out_.good() ? Status::OK()
+                       : Status::IOError("flush segment write failed");
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path)
+      : in_(path, std::ios::binary) {}
+
+  bool ok() const { return in_.good(); }
+
+  Result<uint64_t> ReadU64() {
+    uint64_t v = 0;
+    in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!in_.good()) return Status::IOError("truncated segment (u64)");
+    return v;
+  }
+  Result<uint8_t> ReadU8() {
+    uint8_t v = 0;
+    in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!in_.good()) return Status::IOError("truncated segment (u8)");
+    return v;
+  }
+  Result<double> ReadDouble() {
+    double v = 0;
+    in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!in_.good()) return Status::IOError("truncated segment (double)");
+    return v;
+  }
+  Result<std::string> ReadString() {
+    auto len = ReadU64();
+    if (!len.ok()) return len.status();
+    std::string s(*len, '\0');
+    in_.read(s.data(), static_cast<std::streamsize>(*len));
+    if (!in_.good()) return Status::IOError("truncated segment (string)");
+    return s;
+  }
+  template <typename T>
+  Result<std::vector<T>> ReadVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto len = ReadU64();
+    if (!len.ok()) return len.status();
+    std::vector<T> v(*len);
+    in_.read(reinterpret_cast<char*>(v.data()),
+             static_cast<std::streamsize>(*len * sizeof(T)));
+    if (!in_.good()) return Status::IOError("truncated segment (vector)");
+    return v;
+  }
+
+ private:
+  std::ifstream in_;
+};
+
+}  // namespace cubrick::persist

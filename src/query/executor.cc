@@ -1,0 +1,102 @@
+#include "query/executor.h"
+
+#include "aosi/visibility.h"
+
+namespace cubrick {
+
+namespace {
+
+/// [lo, hi] coordinate interval dimension `dim` spans inside `brick`.
+void BrickDimBounds(const Brick& brick, size_t dim, uint64_t* lo,
+                    uint64_t* hi) {
+  const auto& def = brick.schema().dimensions()[dim];
+  const uint64_t range_idx = brick.schema().RangeIndexOf(brick.bid(), dim);
+  *lo = range_idx * def.range_size;
+  const uint64_t end = *lo + def.range_size - 1;
+  const uint64_t max_coord = def.cardinality - 1;
+  *hi = end < max_coord ? end : max_coord;
+}
+
+}  // namespace
+
+bool BrickIntersectsFilters(const Brick& brick, const Query& query) {
+  for (const auto& filter : query.filters) {
+    uint64_t lo = 0, hi = 0;
+    BrickDimBounds(brick, filter.dim, &lo, &hi);
+    if (!filter.Intersects(lo, hi)) return false;
+  }
+  return true;
+}
+
+bool BrickCoveredByFilters(const Brick& brick, const Query& query) {
+  for (const auto& filter : query.filters) {
+    uint64_t lo = 0, hi = 0;
+    BrickDimBounds(brick, filter.dim, &lo, &hi);
+    if (!filter.Covers(lo, hi)) return false;
+  }
+  return true;
+}
+
+void ExplainBrick(const Brick& brick, const Query& query,
+                  ScanPlanStats* stats) {
+  ++stats->bricks_total;
+  if (brick.num_records() == 0 || !BrickIntersectsFilters(brick, query)) {
+    ++stats->bricks_pruned;
+    return;
+  }
+  ++stats->bricks_scanned;
+  stats->rows_considered += brick.num_records();
+  for (const auto& filter : query.filters) {
+    uint64_t lo = 0, hi = 0;
+    BrickDimBounds(brick, filter.dim, &lo, &hi);
+    if (filter.Covers(lo, hi)) {
+      ++stats->filters_skipped_covered;
+    }
+  }
+}
+
+void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
+               ScanMode mode, const Query& query, QueryResult* result) {
+  CUBRICK_CHECK(result->num_aggs() == query.aggs.size());
+  if (brick.num_records() == 0) return;
+  if (!BrickIntersectsFilters(brick, query)) return;
+
+  // Concurrency-control pass: one bitmap per brick.
+  Bitmap visible =
+      mode == ScanMode::kSnapshotIsolation
+          ? aosi::BuildVisibilityBitmap(brick.history(), snapshot)
+          : aosi::BuildReadUncommittedBitmap(brick.history());
+  if (visible.None()) return;
+
+  // Filter pass: clear bits that fail a dimension predicate. Filters whose
+  // clause already covers the brick's whole range are skipped (common with
+  // range predicates aligned to granular partitioning).
+  for (const auto& filter : query.filters) {
+    uint64_t lo = 0, hi = 0;
+    BrickDimBounds(brick, filter.dim, &lo, &hi);
+    if (filter.Covers(lo, hi)) continue;
+    for (size_t row = visible.FindNextSet(0); row < visible.size();
+         row = visible.FindNextSet(row + 1)) {
+      if (!filter.Matches(brick.DimCoord(row, filter.dim))) {
+        visible.Clear(row);
+      }
+    }
+  }
+
+  // Aggregation pass.
+  QueryResult::GroupKey key(query.group_by.size());
+  visible.ForEachSet([&](size_t row) {
+    for (size_t g = 0; g < query.group_by.size(); ++g) {
+      key[g] = brick.DimCoord(row, query.group_by[g]);
+    }
+    for (size_t a = 0; a < query.aggs.size(); ++a) {
+      const AggSpec& agg = query.aggs[a];
+      const double v = agg.fn == AggSpec::Fn::kCount
+                           ? 1.0
+                           : brick.metric(agg.metric).GetAsDouble(row);
+      result->Accumulate(key, a, v);
+    }
+  });
+}
+
+}  // namespace cubrick

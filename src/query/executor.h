@@ -1,0 +1,46 @@
+// Brick scan executor (paper §III-C3, §VI-B).
+//
+// Scans carry a per-brick bitmap: one bit per row saying whether the row is
+// visible to the reading transaction. Under Snapshot Isolation the bitmap is
+// generated from the brick's epochs vector; under Read Uncommitted all rows
+// pass. Filter evaluation clears more bits; rows cleared by concurrency
+// control are never reintroduced.
+
+#pragma once
+
+#include "aosi/epoch.h"
+#include "query/query.h"
+#include "storage/brick.h"
+
+namespace cubrick {
+
+/// True when the brick's dimension ranges can contain a matching record —
+/// the granular-partitioning prune that skips bricks without touching rows.
+bool BrickIntersectsFilters(const Brick& brick, const Query& query);
+
+/// True when the brick's ranges are entirely inside every filter (a
+/// partition-granular delete predicate fully covers it).
+bool BrickCoveredByFilters(const Brick& brick, const Query& query);
+
+/// Scans one brick and accumulates into `result` (which must have been
+/// constructed with query.aggs.size()).
+void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
+               ScanMode mode, const Query& query, QueryResult* result);
+
+/// EXPLAIN-style account of how granular partitioning served a query.
+struct ScanPlanStats {
+  uint64_t bricks_total = 0;
+  /// Bricks skipped because their ranges cannot intersect the filters —
+  /// the indexed-access benefit of granular partitioning (§V-A).
+  uint64_t bricks_pruned = 0;
+  uint64_t bricks_scanned = 0;
+  /// Filters that fully cover a brick's range are never evaluated per row.
+  uint64_t filters_skipped_covered = 0;
+  uint64_t rows_considered = 0;
+};
+
+/// Dry-runs the brick-level planning of `query` over one brick.
+void ExplainBrick(const Brick& brick, const Query& query,
+                  ScanPlanStats* stats);
+
+}  // namespace cubrick

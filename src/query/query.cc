@@ -1,0 +1,41 @@
+#include <algorithm>
+#include <utility>
+
+#include "query/query.h"
+
+namespace cubrick {
+
+void QueryResult::Merge(const QueryResult& other) {
+  CUBRICK_CHECK(num_aggs_ == other.num_aggs_);
+  for (const auto& [key, states] : other.groups_) {
+    auto& mine = groups_[key];
+    if (mine.empty()) mine.resize(num_aggs_);
+    for (size_t i = 0; i < num_aggs_; ++i) {
+      mine[i].Merge(states[i]);
+    }
+  }
+}
+
+std::vector<std::pair<QueryResult::GroupKey, double>> QueryResult::TopK(
+    size_t agg_idx, AggSpec::Fn fn, size_t k) const {
+  std::vector<std::pair<GroupKey, double>> ranked;
+  ranked.reserve(groups_.size());
+  for (const auto& [key, states] : groups_) {
+    ranked.emplace_back(key, states[agg_idx].Finalize(fn));
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+double QueryResult::Value(const GroupKey& key, size_t agg_idx,
+                          AggSpec::Fn fn) const {
+  auto it = groups_.find(key);
+  if (it == groups_.end()) return 0.0;
+  return it->second[agg_idx].Finalize(fn);
+}
+
+}  // namespace cubrick

@@ -1,0 +1,65 @@
+#include "storage/bess_column.h"
+
+namespace cubrick {
+
+BessColumn::BessColumn(std::vector<uint32_t> bits_per_field)
+    : field_bits_(std::move(bits_per_field)) {
+  uint32_t shift = 0;
+  for (uint32_t bits : field_bits_) {
+    CUBRICK_CHECK(bits <= 64);
+    field_shift_.push_back(shift);
+    shift += bits;
+  }
+  bits_per_record_ = shift;
+}
+
+void BessColumn::Append(const std::vector<uint64_t>& offsets) {
+  CUBRICK_CHECK(offsets.size() == field_bits_.size());
+  const uint64_t base = num_records_ * bits_per_record_;
+  const uint64_t needed_bits = base + bits_per_record_;
+  const uint64_t needed_words = (needed_bits + 63) / 64;
+  if (words_.size() < needed_words) {
+    words_.resize(needed_words, 0);
+  }
+  for (size_t d = 0; d < offsets.size(); ++d) {
+    const uint32_t width = field_bits_[d];
+    if (width == 0) {
+      CUBRICK_CHECK(offsets[d] == 0);
+      continue;
+    }
+    CUBRICK_CHECK(width == 64 || offsets[d] < (1ULL << width));
+    WriteBits(base + field_shift_[d], width, offsets[d]);
+  }
+  ++num_records_;
+}
+
+uint64_t BessColumn::Get(uint64_t row, size_t dim) const {
+  CUBRICK_CHECK(row < num_records_ && dim < field_bits_.size());
+  const uint32_t width = field_bits_[dim];
+  if (width == 0) return 0;
+  return ReadBits(row * bits_per_record_ + field_shift_[dim], width);
+}
+
+void BessColumn::WriteBits(uint64_t bit_pos, uint32_t width, uint64_t value) {
+  const uint64_t word = bit_pos >> 6;
+  const uint32_t offset = static_cast<uint32_t>(bit_pos & 63);
+  words_[word] |= value << offset;
+  if (offset + width > 64) {
+    words_[word + 1] |= value >> (64 - offset);
+  }
+}
+
+uint64_t BessColumn::ReadBits(uint64_t bit_pos, uint32_t width) const {
+  const uint64_t word = bit_pos >> 6;
+  const uint32_t offset = static_cast<uint32_t>(bit_pos & 63);
+  uint64_t value = words_[word] >> offset;
+  if (offset + width > 64) {
+    value |= words_[word + 1] << (64 - offset);
+  }
+  if (width < 64) {
+    value &= (1ULL << width) - 1;
+  }
+  return value;
+}
+
+}  // namespace cubrick

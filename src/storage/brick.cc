@@ -1,0 +1,77 @@
+#include "storage/brick.h"
+
+namespace cubrick {
+
+namespace {
+std::vector<uint32_t> BessLayout(const CubeSchema& schema) {
+  std::vector<uint32_t> bits;
+  bits.reserve(schema.num_dimensions());
+  for (size_t d = 0; d < schema.num_dimensions(); ++d) {
+    bits.push_back(schema.bess_bits(d));
+  }
+  return bits;
+}
+}  // namespace
+
+Brick::Brick(std::shared_ptr<const CubeSchema> schema, Bid bid)
+    : schema_(std::move(schema)), bid_(bid), bess_(BessLayout(*schema_)) {
+  for (size_t d = 0; d < schema_->num_dimensions(); ++d) {
+    range_base_.push_back(schema_->RangeIndexOf(bid, d) *
+                          schema_->dimensions()[d].range_size);
+  }
+  for (const auto& m : schema_->metrics()) {
+    metrics_.emplace_back(m.type);
+  }
+}
+
+void Brick::AppendBatch(aosi::Epoch epoch, const EncodedBatch& batch) {
+  CUBRICK_CHECK(batch.num_rows > 0);
+  std::vector<uint64_t> offsets(schema_->num_dimensions());
+  for (uint64_t row = 0; row < batch.num_rows; ++row) {
+    for (size_t d = 0; d < offsets.size(); ++d) {
+      offsets[d] = batch.dim_offsets[d][row];
+    }
+    bess_.Append(offsets);
+  }
+  for (size_t m = 0; m < metrics_.size(); ++m) {
+    if (metrics_[m].type() == DataType::kDouble) {
+      CUBRICK_CHECK(batch.metric_doubles[m].size() == batch.num_rows);
+      for (double v : batch.metric_doubles[m]) metrics_[m].AppendDouble(v);
+    } else {
+      CUBRICK_CHECK(batch.metric_ints[m].size() == batch.num_rows);
+      for (int64_t v : batch.metric_ints[m]) metrics_[m].AppendInt64(v);
+    }
+  }
+  history_.RecordAppend(epoch, batch.num_rows);
+}
+
+void Brick::MarkDeleted(aosi::Epoch epoch) { history_.RecordDelete(epoch); }
+
+void Brick::ApplyCompaction(const aosi::CompactionPlan& plan) {
+  CUBRICK_CHECK(plan.needed);
+  CUBRICK_CHECK(plan.keep.size() == history_.num_records());
+  const auto keep = [&](uint64_t row) { return plan.keep.Get(row); };
+  BessColumn new_bess = bess_.CompactedCopy(keep);
+  std::vector<MetricColumn> new_metrics;
+  new_metrics.reserve(metrics_.size());
+  for (const auto& m : metrics_) {
+    new_metrics.push_back(m.CompactedCopy(keep));
+  }
+  CUBRICK_CHECK(new_bess.num_records() == plan.new_history.num_records());
+  bess_ = std::move(new_bess);
+  metrics_ = std::move(new_metrics);
+  history_ = plan.new_history;
+  // Recycling epochs entries is the point of purge: release the old
+  // capacity so the memory actually returns (Fig 6's post-purge drop).
+  history_.ShrinkToFit();
+}
+
+size_t Brick::DataMemoryUsage() const {
+  size_t bytes = bess_.MemoryUsage();
+  for (const auto& m : metrics_) {
+    bytes += m.MemoryUsage();
+  }
+  return bytes;
+}
+
+}  // namespace cubrick

@@ -1,0 +1,93 @@
+// Brick: one materialized partition of a cube (paper §V-A).
+//
+// A brick stores the records falling into one range per dimension. Data is
+// column-wise, unordered and append-only: dimension offsets live in a single
+// bit-packed bess vector, metrics in one vector per column. Attached to each
+// brick is its AOSI epochs vector, tracking which transaction appended which
+// record range and any partition-delete markers.
+//
+// Thread-compatibility: a brick is owned by exactly one shard thread
+// (paper §V-B); all mutations and scans are applied by that thread, so no
+// internal locking exists.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "aosi/epoch_vector.h"
+#include "aosi/purge.h"
+#include "common/status.h"
+#include "storage/metric_column.h"
+#include "storage/bess_column.h"
+#include "storage/schema.h"
+
+namespace cubrick {
+
+/// Column-major staging buffer of records already encoded for one brick:
+/// dimension offsets-within-range plus metric values.
+struct EncodedBatch {
+  uint64_t num_rows = 0;
+  /// [dimension][row] — offset within the brick's range.
+  std::vector<std::vector<uint64_t>> dim_offsets;
+  /// [metric][row] — used for kInt64 and dictionary-encoded kString metrics.
+  std::vector<std::vector<int64_t>> metric_ints;
+  /// [metric][row] — used for kDouble metrics.
+  std::vector<std::vector<double>> metric_doubles;
+
+  explicit EncodedBatch(const CubeSchema& schema)
+      : dim_offsets(schema.num_dimensions()),
+        metric_ints(schema.num_metrics()),
+        metric_doubles(schema.num_metrics()) {}
+};
+
+class Brick {
+ public:
+  Brick(std::shared_ptr<const CubeSchema> schema, Bid bid);
+
+  Bid bid() const { return bid_; }
+  const CubeSchema& schema() const { return *schema_; }
+
+  /// Appends a batch stamped with `epoch`. Batch columns must be rectangular.
+  void AppendBatch(aosi::Epoch epoch, const EncodedBatch& batch);
+
+  /// Marks the whole brick deleted as of `epoch` (§III-C2). Data stays until
+  /// purge physically removes it.
+  void MarkDeleted(aosi::Epoch epoch);
+
+  uint64_t num_records() const { return history_.num_records(); }
+
+  /// Global encoded coordinate of dimension `dim` for `row` (range base +
+  /// stored offset).
+  uint64_t DimCoord(uint64_t row, size_t dim) const {
+    return range_base_[dim] + bess_.Get(row, dim);
+  }
+
+  const MetricColumn& metric(size_t m) const { return metrics_[m]; }
+  const BessColumn& bess() const { return bess_; }
+  const aosi::EpochVector& history() const { return history_; }
+
+  /// Applies a purge/rollback compaction plan: rebuilds every column keeping
+  /// only plan.keep rows and installs plan.new_history. The rebuild happens
+  /// into fresh vectors which then replace the old ones, mirroring the
+  /// paper's new-partition-then-atomic-swap scheme.
+  void ApplyCompaction(const aosi::CompactionPlan& plan);
+
+  /// Data bytes (bess + metrics). Excludes the epochs vector.
+  size_t DataMemoryUsage() const;
+
+  /// Bytes held by the AOSI epochs vector — the protocol's overhead.
+  size_t HistoryMemoryUsage() const { return history_.MemoryUsage(); }
+
+ private:
+  std::shared_ptr<const CubeSchema> schema_;
+  Bid bid_;
+  /// Per-dimension first encoded coordinate of this brick's range.
+  std::vector<uint64_t> range_base_;
+  BessColumn bess_;
+  std::vector<MetricColumn> metrics_;
+  aosi::EpochVector history_;
+};
+
+}  // namespace cubrick

@@ -1,0 +1,29 @@
+#include "storage/data_type.h"
+
+#include <sstream>
+
+namespace cubrick {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  if (is_int64()) return std::to_string(as_int64());
+  if (is_double()) {
+    std::ostringstream out;
+    out << as_double();
+    return out.str();
+  }
+  return as_string();
+}
+
+}  // namespace cubrick

@@ -1,0 +1,67 @@
+// Value types supported by cube columns.
+//
+// Cubrick columns are either dimensions (low-cardinality coordinates; string
+// dimensions are dictionary-encoded to dense integers) or metrics (numeric
+// measures aggregated by queries). The engine core only handles numeric
+// values; strings exist solely at the ingestion/result boundary (paper §V-A).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace cubrick {
+
+enum class DataType : uint8_t { kInt64, kDouble, kString };
+
+const char* DataTypeToString(DataType type);
+
+/// A dynamically-typed cell used at the API boundary (ingestion rows, query
+/// results). Hot paths never touch Value; they operate on typed columns.
+class Value {
+ public:
+  Value() : value_(int64_t{0}) {}
+  /*implicit*/ Value(int64_t v) : value_(v) {}
+  /*implicit*/ Value(int v) : value_(static_cast<int64_t>(v)) {}
+  /*implicit*/ Value(double v) : value_(v) {}
+  /*implicit*/ Value(std::string v) : value_(std::move(v)) {}
+  /*implicit*/ Value(const char* v) : value_(std::string(v)) {}
+
+  DataType type() const {
+    switch (value_.index()) {
+      case 0:
+        return DataType::kInt64;
+      case 1:
+        return DataType::kDouble;
+      default:
+        return DataType::kString;
+    }
+  }
+
+  bool is_int64() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+
+  int64_t as_int64() const { return std::get<int64_t>(value_); }
+  double as_double() const { return std::get<double>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+
+  /// Numeric coercion: int64 -> double allowed; everything else must match.
+  Result<double> ToDouble() const {
+    if (is_double()) return as_double();
+    if (is_int64()) return static_cast<double>(as_int64());
+    return Status::InvalidArgument("string value is not numeric");
+  }
+
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return value_ == other.value_; }
+
+ private:
+  std::variant<int64_t, double, std::string> value_;
+};
+
+}  // namespace cubrick

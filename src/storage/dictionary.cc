@@ -1,0 +1,50 @@
+#include "storage/dictionary.h"
+
+namespace cubrick {
+
+uint64_t StringDictionary::EncodeOrAdd(const std::string& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = to_id_.find(value);
+  if (it != to_id_.end()) return it->second;
+  const uint64_t id = to_string_.size();
+  to_string_.push_back(value);
+  to_id_.emplace(value, id);
+  return id;
+}
+
+Result<uint64_t> StringDictionary::Encode(const std::string& value) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = to_id_.find(value);
+  if (it == to_id_.end()) {
+    return Status::NotFound("string not in dictionary: " + value);
+  }
+  return it->second;
+}
+
+Result<std::string> StringDictionary::Decode(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= to_string_.size()) {
+    return Status::OutOfRange("dictionary id out of range: " +
+                              std::to_string(id));
+  }
+  return to_string_[id];
+}
+
+size_t StringDictionary::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return to_string_.size();
+}
+
+size_t StringDictionary::MemoryUsage() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t bytes = 0;
+  for (const auto& s : to_string_) {
+    // Counted twice: once in the vector, once as a map key.
+    bytes += 2 * (s.capacity() + sizeof(std::string));
+    bytes += sizeof(uint64_t) + sizeof(void*);  // map payload + bucket link
+  }
+  bytes += to_string_.capacity() * sizeof(std::string);
+  return bytes;
+}
+
+}  // namespace cubrick

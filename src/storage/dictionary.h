@@ -1,0 +1,42 @@
+// Dictionary encoding for string columns (paper §V-A).
+//
+// An auxiliary map is associated with each string column to encode values
+// into a monotonically increasing dense id. Encoding all strings lets the
+// aggregation core deal exclusively with numbers.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cubrick {
+
+class StringDictionary {
+ public:
+  /// Returns the id for `value`, inserting it if new. Thread-safe: parsing
+  /// runs on whichever node received the load buffer.
+  uint64_t EncodeOrAdd(const std::string& value);
+
+  /// Returns the id for `value` or NotFound without inserting.
+  Result<uint64_t> Encode(const std::string& value) const;
+
+  /// Returns the string for `id` or OutOfRange.
+  Result<std::string> Decode(uint64_t id) const;
+
+  size_t size() const;
+
+  /// Approximate heap bytes held by the dictionary (both directions).
+  size_t MemoryUsage() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, uint64_t> to_id_;
+  std::vector<std::string> to_string_;
+};
+
+}  // namespace cubrick

@@ -1,0 +1,28 @@
+#include "storage/metric_column.h"
+
+namespace cubrick {
+
+Status MetricColumn::AppendValue(const Value& v) {
+  switch (type_) {
+    case DataType::kDouble:
+      if (v.is_double()) {
+        AppendDouble(v.as_double());
+      } else if (v.is_int64()) {
+        AppendDouble(static_cast<double>(v.as_int64()));
+      } else {
+        return Status::InvalidArgument("expected numeric value");
+      }
+      return Status::OK();
+    case DataType::kInt64:
+    case DataType::kString:
+      if (!v.is_int64()) {
+        return Status::InvalidArgument(
+            "expected int64 (string metrics must be dictionary-encoded)");
+      }
+      AppendInt64(v.as_int64());
+      return Status::OK();
+  }
+  return Status::Internal("unreachable metric type");
+}
+
+}  // namespace cubrick

@@ -1,0 +1,136 @@
+// Node-strided Lamport clock tests, reproducing the paper's Table IV.
+#include <memory>
+
+#include "aosi/epoch_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace cubrick::aosi {
+namespace {
+
+// Paper Table IV: epoch clocks advancing on a 3-node cluster.
+TEST(EpochClockTest, TableIV_ThreeNodeHistory) {
+  EpochClock n1(1, 3), n2(2, 3), n3(3, 3);
+  // Initially, each node's EC is its own node index.
+  EXPECT_EQ(n1.Peek(), 1u);
+  EXPECT_EQ(n2.Peek(), 2u);
+  EXPECT_EQ(n3.Peek(), 3u);
+
+  // create(n1) -> T1: n1 hands out 1 and advances by num_nodes.
+  const Epoch t1 = n1.Acquire();
+  EXPECT_EQ(t1, 1u);
+  EXPECT_EQ(n1.Peek(), 4u);
+
+  // append(T1): records forwarded to n2/n3 carry n1's EC (4).
+  n2.Observe(n1.Peek());
+  n3.Observe(n1.Peek());
+  EXPECT_EQ(n2.Peek(), 5u);
+  EXPECT_EQ(n3.Peek(), 6u);
+
+  // create(n3) -> T6.
+  const Epoch t6 = n3.Acquire();
+  EXPECT_EQ(t6, 6u);
+  EXPECT_EQ(n3.Peek(), 9u);
+
+  // create(n2) -> T5. Note the logical order does not match the
+  // chronological order: T6 started before T5.
+  const Epoch t5 = n2.Acquire();
+  EXPECT_EQ(t5, 5u);
+  EXPECT_EQ(n2.Peek(), 8u);
+
+  // commit(T1): broadcast carries n1's EC; responses carry n2's and n3's,
+  // so n1 fast-forwards to the smallest aligned epoch >= 9.
+  n2.Observe(n1.Peek());
+  n3.Observe(n1.Peek());
+  EXPECT_EQ(n2.Peek(), 8u);  // already ahead, unchanged
+  EXPECT_EQ(n3.Peek(), 9u);
+  n1.Observe(n2.Peek());
+  n1.Observe(n3.Peek());
+  EXPECT_EQ(n1.Peek(), 10u);
+}
+
+TEST(EpochClockTest, StridePreservesResidue) {
+  EpochClock clock(2, 4);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(clock.Acquire() % 4, 2u);
+  }
+  clock.Observe(1000);
+  EXPECT_EQ(clock.Peek() % 4, 2u);
+  EXPECT_GE(clock.Peek(), 1000u);
+}
+
+TEST(EpochClockTest, EpochsFromDifferentNodesNeverCollide) {
+  constexpr uint32_t kNodes = 5;
+  std::vector<std::unique_ptr<EpochClock>> clocks;
+  for (uint32_t i = 1; i <= kNodes; ++i) {
+    clocks.push_back(std::make_unique<EpochClock>(i, kNodes));
+  }
+  EpochSet all;
+  for (int round = 0; round < 50; ++round) {
+    for (auto& c : clocks) {
+      const Epoch e = c->Acquire();
+      EXPECT_FALSE(all.Contains(e)) << "collision at epoch " << e;
+      all.Insert(e);
+    }
+    // Random-ish gossip to desynchronize the clocks.
+    clocks[static_cast<size_t>(round) % kNodes]->Observe(
+        clocks[static_cast<size_t>(round + 1) % kNodes]->Peek());
+  }
+  EXPECT_EQ(all.size(), kNodes * 50u);
+}
+
+TEST(EpochClockTest, ObserveIsMonotonic) {
+  EpochClock clock(1, 3);
+  clock.Observe(100);
+  const Epoch after_first = clock.Peek();
+  clock.Observe(50);  // stale observation must not move the clock back
+  EXPECT_EQ(clock.Peek(), after_first);
+}
+
+TEST(EpochClockTest, ObserveOfAlignedValueUsesIt) {
+  EpochClock clock(1, 3);
+  // 10 % 3 == 1 == residue: the clock may land exactly on the remote value.
+  clock.Observe(10);
+  EXPECT_EQ(clock.Peek(), 10u);
+}
+
+TEST(EpochClockTest, SingleNodeStrideIsOne) {
+  EpochClock clock(1, 1);
+  EXPECT_EQ(clock.Acquire(), 1u);
+  EXPECT_EQ(clock.Acquire(), 2u);
+  EXPECT_EQ(clock.Acquire(), 3u);
+}
+
+TEST(EpochClockTest, RejectsBadNodeIndex) {
+  EXPECT_THROW(EpochClock(0, 3), cubrick::CheckFailure);
+  EXPECT_THROW(EpochClock(4, 3), cubrick::CheckFailure);
+}
+
+TEST(EpochClockTest, ConcurrentAcquireAndObserveKeepsResidue) {
+  EpochClock clock(3, 4);
+  std::vector<std::thread> threads;
+  std::vector<std::vector<Epoch>> acquired(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        if (i % 10 == 0) clock.Observe(static_cast<Epoch>(i * 7));
+        acquired[t].push_back(clock.Acquire());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EpochSet all;
+  for (const auto& v : acquired) {
+    for (Epoch e : v) {
+      EXPECT_EQ(e % 4, 3u);
+      EXPECT_FALSE(all.Contains(e));
+      all.Insert(e);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cubrick::aosi

@@ -1,0 +1,138 @@
+// Tests for the per-partition epochs vector, including the paper's Figure 1
+// (interleaved appends by two transactions) and Figure 2 (sequences with
+// partition deletes).
+
+#include "aosi/epoch_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace cubrick::aosi {
+namespace {
+
+TEST(EpochVectorTest, StartsEmpty) {
+  EpochVector ev;
+  EXPECT_EQ(ev.num_records(), 0u);
+  EXPECT_EQ(ev.num_entries(), 0u);
+  EXPECT_FALSE(ev.HasDelete());
+  EXPECT_TRUE(ev.Decode().empty());
+}
+
+// Paper Figure 1: transactions T1 and T2 appending to the same partition.
+// (a) T1 inserts 3 records -> entry (T1, 2).
+// (b) T1 inserts 2 more    -> back entry extended in place to (T1, 4).
+// (c) T2 inserts 4         -> new entry (T2, 8).
+// (d) T1 inserts 4         -> new entry (T1, 12): T1 is no longer at the
+//     back, so the entry cannot be extended.
+TEST(EpochVectorTest, Figure1_InterleavedAppends) {
+  EpochVector ev;
+  ev.RecordAppend(1, 3);  // (a)
+  ASSERT_EQ(ev.num_entries(), 1u);
+  EXPECT_EQ(ev.entries()[0], EpochEntry::Append(1, 2));
+
+  ev.RecordAppend(1, 2);  // (b): same txn at the back, extend in place
+  ASSERT_EQ(ev.num_entries(), 1u);
+  EXPECT_EQ(ev.entries()[0], EpochEntry::Append(1, 4));
+
+  ev.RecordAppend(2, 4);  // (c)
+  ASSERT_EQ(ev.num_entries(), 2u);
+  EXPECT_EQ(ev.entries()[1], EpochEntry::Append(2, 8));
+
+  ev.RecordAppend(1, 4);  // (d)
+  ASSERT_EQ(ev.num_entries(), 3u);
+  EXPECT_EQ(ev.entries()[2], EpochEntry::Append(1, 12));
+
+  EXPECT_EQ(ev.num_records(), 13u);
+  EXPECT_EQ(ev.ToString(), "[1:0-4][2:5-8][1:9-12]");
+}
+
+TEST(EpochVectorTest, EntryCostsSixteenBytes) {
+  // The paper's memory-overhead claim rests on one 16-byte pair per
+  // transaction per partition.
+  EpochVector ev;
+  ev.RecordAppend(7, 1000000);
+  EXPECT_EQ(ev.MemoryUsage(), sizeof(EpochEntry) * 1u);
+  EXPECT_EQ(sizeof(EpochEntry), 16u);
+}
+
+TEST(EpochVectorTest, DeleteMarkerRecordsBoundary) {
+  EpochVector ev;
+  ev.RecordAppend(1, 5);
+  ev.RecordDelete(3);
+  ASSERT_EQ(ev.num_entries(), 2u);
+  EXPECT_TRUE(ev.entries()[1].is_delete());
+  EXPECT_EQ(ev.entries()[1].index(), 5u);
+  EXPECT_EQ(ev.entries()[1].epoch, 3u);
+  EXPECT_TRUE(ev.HasDelete());
+  // A delete does not consume record positions.
+  EXPECT_EQ(ev.num_records(), 5u);
+}
+
+TEST(EpochVectorTest, AppendAfterDeleteStartsNewEntry) {
+  EpochVector ev;
+  ev.RecordAppend(1, 2);
+  ev.RecordDelete(1);
+  ev.RecordAppend(1, 2);
+  // Even though T1 wrote the entry before the marker, the marker sits at the
+  // back so a fresh entry is required.
+  ASSERT_EQ(ev.num_entries(), 3u);
+  EXPECT_EQ(ev.ToString(), "[1:0-1][1:del@2][1:2-3]");
+}
+
+// Paper Figure 2 (a)-flavored sequence with a delete from a concurrent
+// transaction logically older than some of the data around it.
+TEST(EpochVectorTest, Figure2_SequenceWithDelete) {
+  EpochVector ev;
+  ev.RecordAppend(1, 2);
+  ev.RecordAppend(3, 2);
+  ev.RecordAppend(5, 1);
+  ev.RecordDelete(3);  // T3 deletes the partition while T5 is in flight
+  ev.RecordAppend(5, 3);
+  ev.RecordAppend(7, 1);
+  EXPECT_EQ(ev.num_records(), 9u);
+  EXPECT_EQ(ev.num_entries(), 6u);
+  EXPECT_EQ(ev.ToString(), "[1:0-1][3:2-3][5:4-4][3:del@5][5:5-7][7:8-8]");
+}
+
+TEST(EpochVectorTest, DecodeRoundTripsThroughFromRuns) {
+  EpochVector ev;
+  ev.RecordAppend(2, 4);
+  ev.RecordDelete(6);
+  ev.RecordAppend(8, 2);
+  const auto runs = ev.Decode();
+  EpochVector rebuilt = EpochVector::FromRuns(runs);
+  EXPECT_TRUE(ev == rebuilt);
+}
+
+TEST(EpochVectorTest, MultipleDeletes) {
+  EpochVector ev;
+  ev.RecordAppend(1, 3);
+  ev.RecordDelete(2);
+  ev.RecordAppend(3, 2);
+  ev.RecordDelete(4);
+  const auto runs = ev.Decode();
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_TRUE(runs[1].is_delete);
+  EXPECT_EQ(runs[1].begin, 3u);
+  EXPECT_TRUE(runs[3].is_delete);
+  EXPECT_EQ(runs[3].begin, 5u);
+}
+
+TEST(EpochVectorTest, RejectsEpochZeroAndEmptyAppends) {
+  EpochVector ev;
+  EXPECT_THROW(ev.RecordAppend(kNoEpoch, 1), cubrick::CheckFailure);
+  EXPECT_THROW(ev.RecordAppend(1, 0), cubrick::CheckFailure);
+  EXPECT_THROW(ev.RecordDelete(kNoEpoch), cubrick::CheckFailure);
+}
+
+TEST(EpochVectorTest, DeleteBitDoesNotCorruptLargeIndexes) {
+  EpochVector ev;
+  ev.RecordAppend(1, (1ULL << 40));
+  ev.RecordDelete(2);
+  EXPECT_EQ(ev.entries()[1].index(), 1ULL << 40);
+  EXPECT_TRUE(ev.entries()[1].is_delete());
+  EXPECT_FALSE(ev.entries()[0].is_delete());
+  EXPECT_EQ(ev.entries()[0].index(), (1ULL << 40) - 1);
+}
+
+}  // namespace
+}  // namespace cubrick::aosi

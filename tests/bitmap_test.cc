@@ -1,0 +1,189 @@
+#include "common/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace cubrick {
+namespace {
+
+TEST(BitmapTest, StartsAllClear) {
+  Bitmap bm(100);
+  EXPECT_EQ(bm.size(), 100u);
+  EXPECT_EQ(bm.CountSet(), 0u);
+  EXPECT_TRUE(bm.None());
+  EXPECT_FALSE(bm.All());
+}
+
+TEST(BitmapTest, InitialAllSetRespectsSize) {
+  Bitmap bm(70, true);
+  EXPECT_EQ(bm.CountSet(), 70u);
+  EXPECT_TRUE(bm.All());
+}
+
+TEST(BitmapTest, SetGetClearSingleBits) {
+  Bitmap bm(130);
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(129);
+  EXPECT_TRUE(bm.Get(0));
+  EXPECT_TRUE(bm.Get(63));
+  EXPECT_TRUE(bm.Get(64));
+  EXPECT_TRUE(bm.Get(129));
+  EXPECT_FALSE(bm.Get(1));
+  EXPECT_EQ(bm.CountSet(), 4u);
+  bm.Clear(63);
+  EXPECT_FALSE(bm.Get(63));
+  EXPECT_EQ(bm.CountSet(), 3u);
+}
+
+TEST(BitmapTest, AssignDispatches) {
+  Bitmap bm(10);
+  bm.Assign(3, true);
+  EXPECT_TRUE(bm.Get(3));
+  bm.Assign(3, false);
+  EXPECT_FALSE(bm.Get(3));
+}
+
+TEST(BitmapTest, SetRangeWithinOneWord) {
+  Bitmap bm(64);
+  bm.SetRange(3, 10);
+  EXPECT_EQ(bm.CountSet(), 7u);
+  for (size_t i = 3; i < 10; ++i) EXPECT_TRUE(bm.Get(i));
+  EXPECT_FALSE(bm.Get(2));
+  EXPECT_FALSE(bm.Get(10));
+}
+
+TEST(BitmapTest, SetRangeAcrossWords) {
+  Bitmap bm(256);
+  bm.SetRange(60, 200);
+  EXPECT_EQ(bm.CountSet(), 140u);
+  EXPECT_FALSE(bm.Get(59));
+  EXPECT_TRUE(bm.Get(60));
+  EXPECT_TRUE(bm.Get(199));
+  EXPECT_FALSE(bm.Get(200));
+}
+
+TEST(BitmapTest, EmptyRangeIsNoOp) {
+  Bitmap bm(64);
+  bm.SetRange(5, 5);
+  EXPECT_TRUE(bm.None());
+  bm.SetRange(0, 64);
+  bm.ClearRange(30, 30);
+  EXPECT_TRUE(bm.All());
+}
+
+TEST(BitmapTest, ClearRangeAcrossWords) {
+  Bitmap bm(300, true);
+  bm.ClearRange(10, 290);
+  EXPECT_EQ(bm.CountSet(), 20u);
+  EXPECT_TRUE(bm.Get(9));
+  EXPECT_FALSE(bm.Get(10));
+  EXPECT_FALSE(bm.Get(289));
+  EXPECT_TRUE(bm.Get(290));
+}
+
+TEST(BitmapTest, CountSetInRangeMatchesBruteForce) {
+  Random rng(42);
+  Bitmap bm(517);
+  for (size_t i = 0; i < bm.size(); ++i) {
+    if (rng.OneIn(3)) bm.Set(i);
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t a = rng.Uniform(bm.size() + 1);
+    size_t b = rng.Uniform(bm.size() + 1);
+    if (a > b) std::swap(a, b);
+    size_t expected = 0;
+    for (size_t i = a; i < b; ++i) {
+      if (bm.Get(i)) ++expected;
+    }
+    EXPECT_EQ(bm.CountSetInRange(a, b), expected) << "range [" << a << "," << b
+                                                  << ")";
+  }
+}
+
+TEST(BitmapTest, AndOrAndNot) {
+  Bitmap a = Bitmap::FromString("110011");
+  Bitmap b = Bitmap::FromString("101010");
+  Bitmap and_result = a;
+  and_result.And(b);
+  EXPECT_EQ(and_result.ToString(), "100010");
+  Bitmap or_result = a;
+  or_result.Or(b);
+  EXPECT_EQ(or_result.ToString(), "111011");
+  Bitmap andnot_result = a;
+  andnot_result.AndNot(b);
+  EXPECT_EQ(andnot_result.ToString(), "010001");
+}
+
+TEST(BitmapTest, FindNextSet) {
+  Bitmap bm(200);
+  bm.Set(5);
+  bm.Set(64);
+  bm.Set(199);
+  EXPECT_EQ(bm.FindNextSet(0), 5u);
+  EXPECT_EQ(bm.FindNextSet(5), 5u);
+  EXPECT_EQ(bm.FindNextSet(6), 64u);
+  EXPECT_EQ(bm.FindNextSet(65), 199u);
+  EXPECT_EQ(bm.FindNextSet(200), 200u);
+}
+
+TEST(BitmapTest, FindNextSetOnEmpty) {
+  Bitmap bm(100);
+  EXPECT_EQ(bm.FindNextSet(0), 100u);
+  Bitmap zero;
+  EXPECT_EQ(zero.FindNextSet(0), 0u);
+}
+
+TEST(BitmapTest, ForEachSetVisitsInOrder) {
+  Bitmap bm(150);
+  bm.Set(0);
+  bm.Set(70);
+  bm.Set(149);
+  std::vector<size_t> seen;
+  bm.ForEachSet([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<size_t>{0, 70, 149}));
+}
+
+TEST(BitmapTest, ResizeGrowZeroFills) {
+  Bitmap bm(10, true);
+  bm.Resize(80);
+  EXPECT_EQ(bm.CountSet(), 10u);
+  EXPECT_FALSE(bm.Get(79));
+}
+
+TEST(BitmapTest, ResizeShrinkDropsBits) {
+  Bitmap bm(80, true);
+  bm.Resize(10);
+  EXPECT_EQ(bm.CountSet(), 10u);
+  bm.Resize(80);
+  // Bits beyond 10 must have been dropped by the shrink.
+  EXPECT_EQ(bm.CountSet(), 10u);
+}
+
+TEST(BitmapTest, RoundTripsThroughString) {
+  const std::string pattern = "10110010011";
+  Bitmap bm = Bitmap::FromString(pattern);
+  EXPECT_EQ(bm.ToString(), pattern);
+  EXPECT_EQ(bm.CountSet(), 6u);
+}
+
+TEST(BitmapTest, EqualityIsSizeAndContent) {
+  Bitmap a = Bitmap::FromString("1010");
+  Bitmap b = Bitmap::FromString("1010");
+  Bitmap c = Bitmap::FromString("10100");
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitmapTest, RangePreconditionsChecked) {
+  Bitmap bm(10);
+  EXPECT_THROW(bm.SetRange(5, 11), CheckFailure);
+  EXPECT_THROW(bm.ClearRange(11, 11), CheckFailure);
+  EXPECT_THROW(bm.CountSetInRange(3, 2), CheckFailure);
+}
+
+}  // namespace
+}  // namespace cubrick

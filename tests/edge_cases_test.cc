@@ -1,0 +1,164 @@
+// Edge-case sweep: empty structures, marker-only histories, error paths of
+// the cluster API, and TxnManager::AugmentDeps.
+
+#include <gtest/gtest.h>
+
+#include "aosi/purge.h"
+#include "aosi/txn_manager.h"
+#include "aosi/visibility.h"
+#include "cluster/cluster.h"
+#include "cubrick/database.h"
+
+namespace cubrick {
+namespace {
+
+using aosi::Epoch;
+using aosi::EpochSet;
+using aosi::EpochVector;
+using aosi::Snapshot;
+using aosi::Txn;
+using aosi::TxnManager;
+
+TEST(EdgeCaseTest, EmptyEpochVector) {
+  EpochVector ev;
+  EXPECT_EQ(ev.ToString(), "");
+  EXPECT_FALSE(aosi::PlanPurge(ev, 100).needed);
+  EXPECT_FALSE(aosi::PlanRollback(ev, 1).needed);
+  EXPECT_FALSE(aosi::PlanRetainUpTo(ev, 0).needed);
+  Snapshot snap{5, {}};
+  EXPECT_EQ(aosi::BuildVisibilityBitmap(ev, snap).size(), 0u);
+}
+
+TEST(EdgeCaseTest, MarkerOnlyHistory) {
+  // A partition that was created and immediately deleted before any data
+  // arrived (e.g. a delete raced ahead of a forwarded append).
+  EpochVector ev;
+  ev.RecordDelete(3);
+  EXPECT_EQ(ev.num_records(), 0u);
+  Snapshot snap{5, {}};
+  EXPECT_EQ(aosi::BuildVisibilityBitmap(ev, snap).size(), 0u);
+  // Purge once the marker is old: the whole history disappears.
+  auto plan = aosi::PlanPurge(ev, 4);
+  ASSERT_TRUE(plan.needed);
+  EXPECT_EQ(plan.new_history.num_entries(), 0u);
+}
+
+TEST(EdgeCaseTest, AppendAfterLoneMarker) {
+  EpochVector ev;
+  ev.RecordDelete(2);
+  ev.RecordAppend(5, 3);
+  Snapshot sees_delete{6, {}};
+  EXPECT_EQ(aosi::BuildVisibilityBitmap(ev, sees_delete).ToString(), "111");
+  Snapshot before_delete{1, {}};
+  EXPECT_EQ(aosi::BuildVisibilityBitmap(ev, before_delete).ToString(),
+            "000");
+}
+
+TEST(EdgeCaseTest, AugmentDepsFiltersAndReregisters) {
+  TxnManager tm(1, 3);  // epochs 1, 4, 7, ...
+  Txn txn = tm.BeginReadWrite();
+  EXPECT_EQ(txn.epoch, 1u);
+  // Remote pending epochs: one older-impossible (0 is reserved), ones both
+  // below and above our epoch.
+  tm.ObserveClock(20);
+  EpochSet remote({2, 3, 5, 17});
+  // Only epochs < txn.epoch may enter deps; with epoch 1 nothing qualifies.
+  tm.AugmentDeps(&txn, remote);
+  EXPECT_TRUE(txn.deps.empty());
+  ASSERT_TRUE(tm.Commit(txn).ok());
+
+  Txn later = tm.BeginReadWrite();  // epoch > all of {2,3,5}
+  tm.AugmentDeps(&later, EpochSet({2, 3, 5, later.epoch + 3}));
+  EXPECT_EQ(later.deps, EpochSet({2, 3, 5}));
+  // The horizon registered for LSE gating reflects the new deps.
+  EXPECT_EQ(tm.TryAdvanceLSE(100), 1u);  // min(deps)-1 = 1
+  ASSERT_TRUE(tm.Commit(later).ok());
+}
+
+TEST(EdgeCaseTest, ClusterErrorPaths) {
+  cluster::ClusterOptions options;
+  options.num_nodes = 2;
+  cluster::Cluster cluster(options);
+  ASSERT_TRUE(cluster
+                  .CreateCube("c", {{"k", 4, 1, false}},
+                              {{"v", DataType::kInt64}})
+                  .ok());
+  // Duplicate cube.
+  EXPECT_EQ(cluster
+                .CreateCube("c", {{"k", 4, 1, false}},
+                            {{"v", DataType::kInt64}})
+                .code(),
+            StatusCode::kAlreadyExists);
+  // Operations on missing cubes.
+  auto txn = cluster.BeginReadWrite(1);
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(cluster.Append(&*txn, "nope", {{0, 1}}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(cluster.Query(&*txn, "nope", {}).status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(cluster.Rollback(&*txn).ok());
+  // Writes inside RO transactions.
+  auto ro = cluster.BeginReadOnly(1);
+  EXPECT_EQ(cluster.Append(&ro, "c", {{0, 1}}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cluster.DeleteWhere(&ro, "c", {}).code(),
+            StatusCode::kFailedPrecondition);
+  cluster.EndReadOnly(&ro);
+  // Bad node indexes.
+  EXPECT_EQ(cluster.SetNodeOnline(0, false).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(cluster.SetNodeOnline(9, false).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(cluster.CrashNode(9).code(), StatusCode::kOutOfRange);
+  // Checkpoint without a data_dir.
+  EXPECT_EQ(cluster.CheckpointAll().status().code(),
+            StatusCode::kFailedPrecondition);
+  // DropCube then recreate with a different shape.
+  ASSERT_TRUE(cluster.DropCube("c").ok());
+  EXPECT_EQ(cluster.DropCube("c").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(cluster
+                  .CreateCube("c", {{"k", 8, 2, false}},
+                              {{"v", DataType::kInt64}})
+                  .ok());
+}
+
+TEST(EdgeCaseTest, SingleNodeClusterDegeneratesToLocal) {
+  cluster::ClusterOptions options;
+  options.num_nodes = 1;
+  cluster::Cluster cluster(options);
+  ASSERT_TRUE(cluster
+                  .CreateCube("c", {{"k", 4, 1, false}},
+                              {{"v", DataType::kInt64}})
+                  .ok());
+  auto txn = cluster.BeginReadWrite(1);
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(txn->txn.epoch, 1u);  // stride 1, like Table I
+  ASSERT_TRUE(cluster.Append(&*txn, "c", {{0, 42}}).ok());
+  ASSERT_TRUE(cluster.Commit(&*txn).ok());
+  Query q;
+  q.aggs = {{AggSpec::Fn::kSum, 0}};
+  EXPECT_DOUBLE_EQ(cluster.QueryOnce(1, "c", q)->Single(0, AggSpec::Fn::kSum),
+                   42.0);
+}
+
+TEST(EdgeCaseTest, ZeroRowBatchesIgnored) {
+  auto schema = CubeSchema::Make("t", {{"k", 4, 4, false}},
+                                 {{"v", DataType::kInt64}})
+                    .value();
+  Table table(schema, 1, false);
+  PerBrickBatches batches;
+  batches.emplace(0, EncodedBatch(*schema));  // zero rows
+  ASSERT_TRUE(table.Append(1, batches).ok());
+  EXPECT_EQ(table.TotalRecords(), 0u);
+  EXPECT_EQ(table.NumBricks(), 0u);  // never materialized
+}
+
+TEST(EdgeCaseTest, EmptyRecordLoadIsANoOpTransaction) {
+  Database db;
+  ASSERT_TRUE(
+      db.ExecuteDdl("CREATE CUBE c (k int CARDINALITY 4, v int)").ok());
+  ASSERT_TRUE(db.Load("c", {}).ok());
+  EXPECT_EQ(db.TotalRecords(), 0u);
+  EXPECT_TRUE(db.txns().PendingTxs().empty());
+}
+
+}  // namespace
+}  // namespace cubrick

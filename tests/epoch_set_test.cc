@@ -1,0 +1,98 @@
+// EpochSet and Snapshot unit tests.
+
+#include "aosi/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include "aosi/txn.h"
+
+namespace cubrick::aosi {
+namespace {
+
+TEST(EpochSetTest, InsertKeepsSortedUnique) {
+  EpochSet set;
+  set.Insert(5);
+  set.Insert(1);
+  set.Insert(9);
+  set.Insert(5);  // duplicate ignored
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.epochs(), (std::vector<Epoch>{1, 5, 9}));
+  EXPECT_EQ(set.Min(), 1u);
+  EXPECT_EQ(set.Max(), 9u);
+}
+
+TEST(EpochSetTest, ConstructorNormalizes) {
+  EpochSet set({7, 3, 7, 1});
+  EXPECT_EQ(set.epochs(), (std::vector<Epoch>{1, 3, 7}));
+}
+
+TEST(EpochSetTest, ContainsBinarySearch) {
+  EpochSet set({2, 4, 6});
+  EXPECT_TRUE(set.Contains(4));
+  EXPECT_FALSE(set.Contains(3));
+  EXPECT_FALSE(set.Contains(0));
+  EXPECT_FALSE(set.Contains(7));
+}
+
+TEST(EpochSetTest, EraseReportsPresence) {
+  EpochSet set({1, 2, 3});
+  EXPECT_TRUE(set.Erase(2));
+  EXPECT_FALSE(set.Erase(2));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_FALSE(set.Contains(2));
+}
+
+TEST(EpochSetTest, UnionMerges) {
+  EpochSet a({1, 3});
+  EpochSet b({2, 3, 4});
+  a.UnionWith(b);
+  EXPECT_EQ(a.epochs(), (std::vector<Epoch>{1, 2, 3, 4}));
+}
+
+TEST(EpochSetTest, EmptySetMinMax) {
+  EpochSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.Min(), kNoEpoch);
+  EXPECT_EQ(set.Max(), kNoEpoch);
+}
+
+TEST(EpochSetTest, ToStringRendering) {
+  EXPECT_EQ(EpochSet().ToString(), "{}");
+  EXPECT_EQ(EpochSet({3, 1}).ToString(), "{1, 3}");
+}
+
+TEST(EpochSetTest, RangeForIteration) {
+  EpochSet set({5, 1, 3});
+  std::vector<Epoch> seen;
+  for (Epoch e : set) seen.push_back(e);
+  EXPECT_EQ(seen, (std::vector<Epoch>{1, 3, 5}));
+}
+
+TEST(SnapshotTest, SeesTimestampOrderAndDeps) {
+  Snapshot snap{10, EpochSet({4, 7})};
+  EXPECT_TRUE(snap.Sees(1));
+  EXPECT_TRUE(snap.Sees(10));   // own epoch
+  EXPECT_FALSE(snap.Sees(11));  // future
+  EXPECT_FALSE(snap.Sees(4));   // pending at begin
+  EXPECT_FALSE(snap.Sees(7));
+  EXPECT_TRUE(snap.Sees(5));
+}
+
+TEST(SnapshotTest, EpochZeroSeesNothing) {
+  Snapshot snap{kNoEpoch, {}};
+  EXPECT_FALSE(snap.Sees(1));
+}
+
+TEST(TxnHorizonTest, HorizonIsMinOfEpochAndDeps) {
+  Txn txn;
+  txn.epoch = 10;
+  EXPECT_EQ(txn.Horizon(), 10u);
+  txn.deps = EpochSet({4, 7});
+  EXPECT_EQ(txn.Horizon(), 3u);
+  txn.deps = EpochSet({12});  // dep above own epoch (cannot happen for RW,
+                              // but Horizon must still be sane)
+  EXPECT_EQ(txn.Horizon(), 10u);
+}
+
+}  // namespace
+}  // namespace cubrick::aosi

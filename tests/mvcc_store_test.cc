@@ -1,0 +1,218 @@
+// Tests for the baseline MVCC store: snapshot isolation semantics, version
+// chains, write-write conflicts, vacuum, and the 16-bytes-per-record
+// overhead accounting the paper's Figures 6/7 compare against.
+
+#include "mvcc/mvcc_store.h"
+
+#include <gtest/gtest.h>
+
+namespace cubrick::mvcc {
+namespace {
+
+TEST(MvccStoreTest, InsertInvisibleUntilCommit) {
+  MvccStore store(1);
+  MvccTxn writer = store.Begin();
+  ASSERT_TRUE(store.Insert(&writer, {42}).ok());
+
+  MvccTxn reader = store.Begin();
+  EXPECT_EQ(store.ScanCount(reader.begin_ts), 0u);
+
+  ASSERT_TRUE(store.Commit(&writer).ok());
+  // Old snapshot still blind; a new one sees the row.
+  EXPECT_EQ(store.ScanCount(reader.begin_ts), 0u);
+  MvccTxn reader2 = store.Begin();
+  EXPECT_EQ(store.ScanCount(reader2.begin_ts), 1u);
+  EXPECT_EQ(store.ScanSum(reader2.begin_ts, 0), 42);
+  ASSERT_TRUE(store.Commit(&reader).ok());
+  ASSERT_TRUE(store.Commit(&reader2).ok());
+}
+
+TEST(MvccStoreTest, AbortedInsertNeverVisible) {
+  MvccStore store(1);
+  MvccTxn writer = store.Begin();
+  ASSERT_TRUE(store.Insert(&writer, {7}).ok());
+  ASSERT_TRUE(store.Abort(&writer).ok());
+  MvccTxn reader = store.Begin();
+  EXPECT_EQ(store.ScanCount(reader.begin_ts), 0u);
+  ASSERT_TRUE(store.Commit(&reader).ok());
+}
+
+TEST(MvccStoreTest, DeleteVisibleOnlyAfterCommit) {
+  MvccStore store(1);
+  MvccTxn setup = store.Begin();
+  ASSERT_TRUE(store.Insert(&setup, {1}).ok());
+  ASSERT_TRUE(store.Commit(&setup).ok());
+
+  MvccTxn deleter = store.Begin();
+  ASSERT_TRUE(store.Delete(&deleter, 0).ok());
+
+  MvccTxn reader = store.Begin();
+  EXPECT_EQ(store.ScanCount(reader.begin_ts), 1u);  // uncommitted delete
+
+  ASSERT_TRUE(store.Commit(&deleter).ok());
+  EXPECT_EQ(store.ScanCount(reader.begin_ts), 1u);  // snapshot stability
+  MvccTxn reader2 = store.Begin();
+  EXPECT_EQ(store.ScanCount(reader2.begin_ts), 0u);
+  ASSERT_TRUE(store.Commit(&reader).ok());
+  ASSERT_TRUE(store.Commit(&reader2).ok());
+}
+
+TEST(MvccStoreTest, WriteWriteConflictAborts) {
+  MvccStore store(1);
+  MvccTxn setup = store.Begin();
+  ASSERT_TRUE(store.Insert(&setup, {1}).ok());
+  ASSERT_TRUE(store.Commit(&setup).ok());
+
+  MvccTxn t1 = store.Begin();
+  MvccTxn t2 = store.Begin();
+  ASSERT_TRUE(store.Delete(&t1, 0).ok());
+  // Second deleter conflicts while t1 is in flight.
+  EXPECT_EQ(store.Delete(&t2, 0).code(), StatusCode::kAborted);
+  ASSERT_TRUE(store.Commit(&t1).ok());
+  ASSERT_TRUE(store.Abort(&t2).ok());
+}
+
+TEST(MvccStoreTest, FirstUpdaterWinsAfterCommitToo) {
+  MvccStore store(1);
+  MvccTxn setup = store.Begin();
+  ASSERT_TRUE(store.Insert(&setup, {1}).ok());
+  ASSERT_TRUE(store.Commit(&setup).ok());
+
+  MvccTxn t2 = store.Begin();  // snapshot before t1's delete commits
+  MvccTxn t1 = store.Begin();
+  ASSERT_TRUE(store.Delete(&t1, 0).ok());
+  ASSERT_TRUE(store.Commit(&t1).ok());
+  // t2 can still see row 0 but must not be able to delete it.
+  EXPECT_EQ(store.Delete(&t2, 0).code(), StatusCode::kAborted);
+  ASSERT_TRUE(store.Abort(&t2).ok());
+}
+
+TEST(MvccStoreTest, AbortedDeleteRestoresRow) {
+  MvccStore store(1);
+  MvccTxn setup = store.Begin();
+  ASSERT_TRUE(store.Insert(&setup, {5}).ok());
+  ASSERT_TRUE(store.Commit(&setup).ok());
+
+  MvccTxn t = store.Begin();
+  ASSERT_TRUE(store.Delete(&t, 0).ok());
+  ASSERT_TRUE(store.Abort(&t).ok());
+  MvccTxn reader = store.Begin();
+  EXPECT_EQ(store.ScanSum(reader.begin_ts, 0), 5);
+  ASSERT_TRUE(store.Commit(&reader).ok());
+}
+
+TEST(MvccStoreTest, UpdateCreatesNewVersion) {
+  MvccStore store(2);
+  MvccTxn setup = store.Begin();
+  ASSERT_TRUE(store.Insert(&setup, {10, 100}).ok());
+  ASSERT_TRUE(store.Commit(&setup).ok());
+
+  MvccTxn old_reader = store.Begin();
+  MvccTxn updater = store.Begin();
+  uint64_t new_row = 0;
+  ASSERT_TRUE(store.Update(&updater, 0, 1, 999, &new_row).ok());
+  EXPECT_EQ(new_row, 1u);
+  ASSERT_TRUE(store.Commit(&updater).ok());
+
+  // Two physical versions now exist — the multiversion cost.
+  EXPECT_EQ(store.num_rows(), 2u);
+  // Old snapshot sees the old version, new snapshot the new one.
+  EXPECT_EQ(store.ScanSum(old_reader.begin_ts, 1), 100);
+  MvccTxn new_reader = store.Begin();
+  EXPECT_EQ(store.ScanSum(new_reader.begin_ts, 1), 999);
+  EXPECT_EQ(store.ScanSum(new_reader.begin_ts, 0), 10);  // untouched column
+  ASSERT_TRUE(store.Commit(&old_reader).ok());
+  ASSERT_TRUE(store.Commit(&new_reader).ok());
+}
+
+TEST(MvccStoreTest, OwnWritesVisibleToSelf) {
+  MvccStore store(1);
+  MvccTxn t = store.Begin();
+  ASSERT_TRUE(store.Insert(&t, {1}).ok());
+  // Own uncommitted insert is resolvable through the reader id.
+  EXPECT_TRUE(store.IsVisible(0, t.begin_ts) == false);
+  ASSERT_TRUE(store.Commit(&t).ok());
+}
+
+TEST(MvccStoreTest, VacuumDropsDeadVersions) {
+  MvccStore store(1);
+  MvccTxn setup = store.Begin();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.Insert(&setup, {i}).ok());
+  }
+  ASSERT_TRUE(store.Commit(&setup).ok());
+
+  MvccTxn deleter = store.Begin();
+  for (uint64_t row = 0; row < 5; ++row) {
+    ASSERT_TRUE(store.Delete(&deleter, row).ok());
+  }
+  ASSERT_TRUE(store.Commit(&deleter).ok());
+
+  EXPECT_EQ(store.num_rows(), 10u);
+  MvccTxn probe = store.Begin();
+  const Timestamp horizon = probe.begin_ts + 1;
+  ASSERT_TRUE(store.Commit(&probe).ok());
+  EXPECT_EQ(store.Vacuum(horizon), 5u);
+  EXPECT_EQ(store.num_rows(), 5u);
+  MvccTxn reader = store.Begin();
+  EXPECT_EQ(store.ScanCount(reader.begin_ts), 5u);
+  EXPECT_EQ(store.ScanSum(reader.begin_ts, 0), 5 + 6 + 7 + 8 + 9);
+  ASSERT_TRUE(store.Commit(&reader).ok());
+}
+
+TEST(MvccStoreTest, VacuumKeepsVersionsAboveHorizon) {
+  MvccStore store(1);
+  MvccTxn setup = store.Begin();
+  ASSERT_TRUE(store.Insert(&setup, {1}).ok());
+  ASSERT_TRUE(store.Commit(&setup).ok());
+  MvccTxn deleter = store.Begin();
+  ASSERT_TRUE(store.Delete(&deleter, 0).ok());
+  ASSERT_TRUE(store.Commit(&deleter).ok());
+  // Horizon below the delete commit: version must survive.
+  EXPECT_EQ(store.Vacuum(deleter.begin_ts), 0u);
+  EXPECT_EQ(store.num_rows(), 1u);
+}
+
+TEST(MvccStoreTest, OverheadIsSixteenBytesPerRecord) {
+  MvccStore store(1);
+  MvccTxn t = store.Begin();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(store.Insert(&t, {i}).ok());
+  }
+  ASSERT_TRUE(store.Commit(&t).ok());
+  EXPECT_EQ(store.TimestampOverhead(), 1000u * 16u);
+  // For a single-column int64 dataset the overhead DOUBLES the footprint —
+  // the paper's §II-A worst case ("can even double the memory
+  // requirements").
+  EXPECT_GE(store.TimestampOverhead(), 1000u * 8u * 2u);
+}
+
+TEST(MvccStoreTest, CommitOfInactiveTxnRejected) {
+  MvccStore store(1);
+  MvccTxn t = store.Begin();
+  ASSERT_TRUE(store.Commit(&t).ok());
+  EXPECT_EQ(store.Commit(&t).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.Abort(&t).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MvccStoreTest, DeleteOfInvisibleRowAborts) {
+  MvccStore store(1);
+  MvccTxn t1 = store.Begin();
+  ASSERT_TRUE(store.Insert(&t1, {1}).ok());
+  // t2 cannot delete a row whose insert hasn't committed.
+  MvccTxn t2 = store.Begin();
+  EXPECT_EQ(store.Delete(&t2, 0).code(), StatusCode::kAborted);
+  ASSERT_TRUE(store.Commit(&t1).ok());
+  ASSERT_TRUE(store.Abort(&t2).ok());
+}
+
+TEST(MvccStoreTest, OutOfRangeRowRejected) {
+  MvccStore store(1);
+  MvccTxn t = store.Begin();
+  EXPECT_EQ(store.Delete(&t, 5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(store.Update(&t, 5, 0, 1).code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(store.Abort(&t).ok());
+}
+
+}  // namespace
+}  // namespace cubrick::mvcc

@@ -1,0 +1,170 @@
+// Randomized transaction-manager schedules: begins, commits, rollbacks and
+// RO snapshots interleaved across threads, checked against the protocol
+// invariants of §III-B.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "aosi/txn_manager.h"
+#include "common/random.h"
+
+namespace cubrick::aosi {
+namespace {
+
+class RandomScheduleTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomScheduleTest, ::testing::Range(0, 8));
+
+TEST_P(RandomScheduleTest, SingleThreadInvariants) {
+  Random rng(100 + static_cast<uint64_t>(GetParam()));
+  TxnManager tm;
+  std::vector<Txn> open;
+  std::vector<Epoch> committed;
+  Epoch max_committed_watched = 0;
+
+  for (int step = 0; step < 300; ++step) {
+    // Invariant 1: EC > LCE >= LSE.
+    ASSERT_GT(tm.EC(), tm.LCE());
+    ASSERT_GE(tm.LCE(), tm.LSE());
+
+    const double dice = rng.NextDouble();
+    if (dice < 0.4 || open.empty()) {
+      Txn t = tm.BeginReadWrite();
+      // deps must be exactly the currently-open older transactions.
+      EpochSet expected;
+      for (const auto& o : open) {
+        if (o.epoch < t.epoch) expected.Insert(o.epoch);
+      }
+      ASSERT_EQ(t.deps, expected);
+      open.push_back(t);
+    } else if (dice < 0.75) {
+      const size_t pick = rng.Uniform(open.size());
+      ASSERT_TRUE(tm.Commit(open[pick]).ok());
+      committed.push_back(open[pick].epoch);
+      max_committed_watched =
+          std::max(max_committed_watched, open[pick].epoch);
+      open.erase(open.begin() + static_cast<ptrdiff_t>(pick));
+    } else if (dice < 0.9) {
+      const size_t pick = rng.Uniform(open.size());
+      ASSERT_TRUE(tm.Rollback(open[pick]).ok());
+      open.erase(open.begin() + static_cast<ptrdiff_t>(pick));
+    } else {
+      // RO probe: snapshot epoch must be committed-prefix-safe: every
+      // committed epoch <= LCE, and no open txn <= LCE.
+      Txn ro = tm.BeginReadOnly();
+      for (const auto& o : open) {
+        ASSERT_GT(o.epoch, ro.epoch)
+            << "RO snapshot " << ro.epoch << " includes pending txn";
+      }
+      tm.EndReadOnly(ro);
+    }
+
+    // LCE must never exceed a pending epoch's predecessor.
+    for (const auto& o : open) {
+      ASSERT_LT(tm.LCE(), o.epoch);
+    }
+    // LSE can always be advanced to at most LCE.
+    const Epoch lse = tm.TryAdvanceLSE(tm.LCE());
+    ASSERT_LE(lse, tm.LCE());
+  }
+
+  // Drain: commit everything; LCE must land on the max committed epoch.
+  for (const auto& o : open) {
+    ASSERT_TRUE(tm.Commit(o).ok());
+    max_committed_watched = std::max(max_committed_watched, o.epoch);
+  }
+  EXPECT_EQ(tm.LCE(), max_committed_watched);
+  EXPECT_TRUE(tm.PendingTxs().empty());
+  EXPECT_EQ(tm.NumTracked(), 0u);
+}
+
+TEST_P(RandomScheduleTest, MultiThreadInvariants) {
+  Random seed_gen(200 + static_cast<uint64_t>(GetParam()));
+  TxnManager tm;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&, w] {
+      Random rng(300 + static_cast<uint64_t>(w) * 7919 +
+                 static_cast<uint64_t>(GetParam()));
+      std::vector<Txn> mine;
+      for (int step = 0; step < 200; ++step) {
+        // Read order matters under concurrency: LCE first (a stale, smaller
+        // value), then EC (which only grows) — EC > LCE must still hold.
+        const Epoch lse = tm.LSE();
+        const Epoch lce = tm.LCE();
+        const Epoch ec = tm.EC();
+        if (ec <= lce || lce < lse) {
+          failed.store(true);
+          return;
+        }
+        if (rng.NextDouble() < 0.5 || mine.empty()) {
+          mine.push_back(tm.BeginReadWrite());
+        } else {
+          const size_t pick = rng.Uniform(mine.size());
+          const bool commit = !rng.OneIn(5);
+          const Status status = commit ? tm.Commit(mine[pick])
+                                       : tm.Rollback(mine[pick]);
+          if (!status.ok()) {
+            failed.store(true);
+            return;
+          }
+          mine.erase(mine.begin() + static_cast<ptrdiff_t>(pick));
+        }
+        if (rng.OneIn(10)) {
+          Txn ro = tm.BeginReadOnly();
+          // The snapshot must stay stable: LCE at or after our epoch.
+          if (tm.LCE() < ro.epoch) {
+            failed.store(true);
+            return;
+          }
+          tm.EndReadOnly(ro);
+        }
+      }
+      for (const auto& t : mine) {
+        if (!tm.Commit(t).ok()) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_TRUE(tm.PendingTxs().empty());
+  EXPECT_EQ(tm.NumTracked(), 0u);
+  EXPECT_GT(tm.EC(), tm.LCE());
+}
+
+TEST_P(RandomScheduleTest, LseHorizonNeverPassesActiveSnapshots) {
+  Random rng(400 + static_cast<uint64_t>(GetParam()));
+  TxnManager tm;
+  std::vector<Txn> open_rw;
+  std::vector<Txn> open_ro;
+  for (int step = 0; step < 200; ++step) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.35) {
+      open_rw.push_back(tm.BeginReadWrite());
+    } else if (dice < 0.55 && !open_rw.empty()) {
+      const size_t pick = rng.Uniform(open_rw.size());
+      ASSERT_TRUE(tm.Commit(open_rw[pick]).ok());
+      open_rw.erase(open_rw.begin() + static_cast<ptrdiff_t>(pick));
+    } else if (dice < 0.7) {
+      open_ro.push_back(tm.BeginReadOnly());
+    } else if (dice < 0.85 && !open_ro.empty()) {
+      tm.EndReadOnly(open_ro.back());
+      open_ro.pop_back();
+    } else {
+      const Epoch lse = tm.TryAdvanceLSE(tm.LCE());
+      for (const auto& t : open_rw) {
+        ASSERT_LE(lse, t.Horizon());
+      }
+      for (const auto& t : open_ro) {
+        ASSERT_LE(lse, t.Horizon());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cubrick::aosi

@@ -1,0 +1,236 @@
+// Query-model and brick-scan executor tests: filters, group-by, aggregation,
+// brick pruning, and SI vs RU scan modes.
+
+#include "query/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "aosi/epoch.h"
+
+namespace cubrick {
+namespace {
+
+std::shared_ptr<CubeSchema> MakeSchema() {
+  return CubeSchema::Make(
+             "sales",
+             {{"region", 8, 4, false}, {"day", 32, 8, false}},
+             {{"units", DataType::kInt64}, {"revenue", DataType::kDouble}})
+      .value();
+}
+
+aosi::Snapshot Snap(aosi::Epoch e, std::vector<aosi::Epoch> deps = {}) {
+  return aosi::Snapshot{e, aosi::EpochSet(std::move(deps))};
+}
+
+/// Appends one record with explicit coordinates to the right brick in a
+/// two-brick test fixture.
+void AppendOne(Brick& brick, aosi::Epoch epoch, uint64_t region_off,
+               uint64_t day_off, int64_t units, double revenue) {
+  EncodedBatch batch(brick.schema());
+  batch.num_rows = 1;
+  batch.dim_offsets[0].push_back(region_off);
+  batch.dim_offsets[1].push_back(day_off);
+  batch.metric_ints[0].push_back(units);
+  batch.metric_doubles[1].push_back(revenue);
+  brick.AppendBatch(epoch, batch);
+}
+
+TEST(FilterClauseTest, MatchSemantics) {
+  FilterClause eq{0, FilterClause::Op::kEq, {5}, 0, 0};
+  EXPECT_TRUE(eq.Matches(5));
+  EXPECT_FALSE(eq.Matches(4));
+
+  FilterClause in{0, FilterClause::Op::kIn, {1, 3, 7}, 0, 0};
+  EXPECT_TRUE(in.Matches(3));
+  EXPECT_FALSE(in.Matches(2));
+
+  FilterClause range{0, FilterClause::Op::kRange, {}, 10, 20};
+  EXPECT_TRUE(range.Matches(10));
+  EXPECT_TRUE(range.Matches(20));
+  EXPECT_FALSE(range.Matches(9));
+  EXPECT_FALSE(range.Matches(21));
+}
+
+TEST(FilterClauseTest, IntersectsAndCovers) {
+  FilterClause range{0, FilterClause::Op::kRange, {}, 10, 20};
+  EXPECT_TRUE(range.Intersects(15, 30));
+  EXPECT_TRUE(range.Intersects(0, 10));
+  EXPECT_FALSE(range.Intersects(21, 40));
+  EXPECT_TRUE(range.Covers(12, 18));
+  EXPECT_FALSE(range.Covers(12, 25));
+
+  FilterClause eq{0, FilterClause::Op::kEq, {5}, 0, 0};
+  EXPECT_TRUE(eq.Intersects(0, 10));
+  EXPECT_FALSE(eq.Intersects(6, 10));
+  EXPECT_TRUE(eq.Covers(5, 5));
+  EXPECT_FALSE(eq.Covers(4, 5));
+
+  FilterClause in{0, FilterClause::Op::kIn, {2, 3}, 0, 0};
+  EXPECT_TRUE(in.Covers(2, 3));
+  EXPECT_FALSE(in.Covers(1, 3));
+}
+
+TEST(AggStateTest, AccumulateAndFinalize) {
+  AggState s;
+  s.Accumulate(3);
+  s.Accumulate(7);
+  s.Accumulate(-2);
+  EXPECT_DOUBLE_EQ(s.Finalize(AggSpec::Fn::kSum), 8.0);
+  EXPECT_DOUBLE_EQ(s.Finalize(AggSpec::Fn::kCount), 3.0);
+  EXPECT_DOUBLE_EQ(s.Finalize(AggSpec::Fn::kMin), -2.0);
+  EXPECT_DOUBLE_EQ(s.Finalize(AggSpec::Fn::kMax), 7.0);
+  EXPECT_NEAR(s.Finalize(AggSpec::Fn::kAvg), 8.0 / 3.0, 1e-12);
+}
+
+TEST(AggStateTest, MergeCombines) {
+  AggState a, b;
+  a.Accumulate(1);
+  a.Accumulate(5);
+  b.Accumulate(10);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Finalize(AggSpec::Fn::kSum), 16.0);
+  EXPECT_DOUBLE_EQ(a.Finalize(AggSpec::Fn::kMax), 10.0);
+  EXPECT_DOUBLE_EQ(a.Finalize(AggSpec::Fn::kCount), 3.0);
+}
+
+TEST(QueryResultTest, MergePreservesGroups) {
+  QueryResult a(1), b(1);
+  a.Accumulate({1}, 0, 10);
+  b.Accumulate({1}, 0, 5);
+  b.Accumulate({2}, 0, 7);
+  a.Merge(b);
+  EXPECT_EQ(a.num_groups(), 2u);
+  EXPECT_DOUBLE_EQ(a.Value({1}, 0, AggSpec::Fn::kSum), 15.0);
+  EXPECT_DOUBLE_EQ(a.Value({2}, 0, AggSpec::Fn::kSum), 7.0);
+  EXPECT_DOUBLE_EQ(a.Value({3}, 0, AggSpec::Fn::kSum), 0.0);
+}
+
+TEST(ScanBrickTest, UngroupedAggregation) {
+  auto schema = MakeSchema();
+  // Brick for region range [4,7], day range [8,15].
+  Brick brick(schema, schema->BidFor({4, 8}).value());
+  AppendOne(brick, 1, 0, 0, 10, 1.5);  // region 4, day 8
+  AppendOne(brick, 1, 1, 2, 20, 2.5);  // region 5, day 10
+  AppendOne(brick, 1, 3, 7, 30, 3.0);  // region 7, day 15
+
+  Query q;
+  q.aggs = {{AggSpec::Fn::kSum, 0},
+            {AggSpec::Fn::kCount, 0},
+            {AggSpec::Fn::kSum, 1}};
+  QueryResult result(q.aggs.size());
+  ScanBrick(brick, Snap(5), ScanMode::kSnapshotIsolation, q, &result);
+  EXPECT_DOUBLE_EQ(result.Single(0, AggSpec::Fn::kSum), 60.0);
+  EXPECT_DOUBLE_EQ(result.Single(1, AggSpec::Fn::kCount), 3.0);
+  EXPECT_DOUBLE_EQ(result.Single(2, AggSpec::Fn::kSum), 7.0);
+}
+
+TEST(ScanBrickTest, FilterOnDimension) {
+  auto schema = MakeSchema();
+  Brick brick(schema, schema->BidFor({4, 8}).value());
+  AppendOne(brick, 1, 0, 0, 10, 0);
+  AppendOne(brick, 1, 1, 0, 20, 0);
+  AppendOne(brick, 1, 1, 1, 40, 0);
+
+  Query q;
+  q.filters = {{0, FilterClause::Op::kEq, {5}, 0, 0}};  // region == 5
+  q.aggs = {{AggSpec::Fn::kSum, 0}};
+  QueryResult result(1);
+  ScanBrick(brick, Snap(1), ScanMode::kSnapshotIsolation, q, &result);
+  EXPECT_DOUBLE_EQ(result.Single(0, AggSpec::Fn::kSum), 60.0);
+}
+
+TEST(ScanBrickTest, GroupByDimension) {
+  auto schema = MakeSchema();
+  Brick brick(schema, schema->BidFor({4, 8}).value());
+  AppendOne(brick, 1, 0, 0, 1, 0);
+  AppendOne(brick, 1, 0, 1, 2, 0);
+  AppendOne(brick, 1, 2, 0, 4, 0);
+
+  Query q;
+  q.group_by = {0};  // by region
+  q.aggs = {{AggSpec::Fn::kSum, 0}};
+  QueryResult result(1);
+  ScanBrick(brick, Snap(1), ScanMode::kSnapshotIsolation, q, &result);
+  EXPECT_EQ(result.num_groups(), 2u);
+  EXPECT_DOUBLE_EQ(result.Value({4}, 0, AggSpec::Fn::kSum), 3.0);
+  EXPECT_DOUBLE_EQ(result.Value({6}, 0, AggSpec::Fn::kSum), 4.0);
+}
+
+TEST(ScanBrickTest, BrickPrunedByRange) {
+  auto schema = MakeSchema();
+  // Brick covers region [4,7]; filter wants region 0-3: prune.
+  Brick brick(schema, schema->BidFor({4, 8}).value());
+  AppendOne(brick, 1, 0, 0, 10, 0);
+  Query q;
+  q.filters = {{0, FilterClause::Op::kRange, {}, 0, 3}};
+  q.aggs = {{AggSpec::Fn::kCount, 0}};
+  EXPECT_FALSE(BrickIntersectsFilters(brick, q));
+  QueryResult result(1);
+  ScanBrick(brick, Snap(1), ScanMode::kSnapshotIsolation, q, &result);
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(ScanBrickTest, SnapshotHidesUncommittedAndFuture) {
+  auto schema = MakeSchema();
+  Brick brick(schema, schema->BidFor({4, 8}).value());
+  AppendOne(brick, 1, 0, 0, 10, 0);
+  AppendOne(brick, 2, 0, 0, 20, 0);  // pending for this reader
+  AppendOne(brick, 5, 0, 0, 40, 0);  // future
+
+  Query q;
+  q.aggs = {{AggSpec::Fn::kSum, 0}};
+  QueryResult si(1);
+  ScanBrick(brick, Snap(3, {2}), ScanMode::kSnapshotIsolation, q, &si);
+  EXPECT_DOUBLE_EQ(si.Single(0, AggSpec::Fn::kSum), 10.0);
+
+  // RU sees all three regardless of snapshot.
+  QueryResult ru(1);
+  ScanBrick(brick, Snap(3, {2}), ScanMode::kReadUncommitted, q, &ru);
+  EXPECT_DOUBLE_EQ(ru.Single(0, AggSpec::Fn::kSum), 70.0);
+}
+
+TEST(ScanBrickTest, DeleteVisibleToScan) {
+  auto schema = MakeSchema();
+  Brick brick(schema, schema->BidFor({4, 8}).value());
+  AppendOne(brick, 1, 0, 0, 10, 0);
+  brick.MarkDeleted(2);
+  AppendOne(brick, 3, 0, 0, 5, 0);
+
+  Query q;
+  q.aggs = {{AggSpec::Fn::kSum, 0}};
+  QueryResult r1(1);
+  ScanBrick(brick, Snap(1), ScanMode::kSnapshotIsolation, q, &r1);
+  EXPECT_DOUBLE_EQ(r1.Single(0, AggSpec::Fn::kSum), 10.0);
+  QueryResult r3(1);
+  ScanBrick(brick, Snap(3), ScanMode::kSnapshotIsolation, q, &r3);
+  EXPECT_DOUBLE_EQ(r3.Single(0, AggSpec::Fn::kSum), 5.0);
+}
+
+TEST(ScanBrickTest, EmptyBrickNoGroups) {
+  auto schema = MakeSchema();
+  Brick brick(schema, 0);
+  Query q;
+  q.aggs = {{AggSpec::Fn::kCount, 0}};
+  QueryResult result(1);
+  ScanBrick(brick, Snap(9), ScanMode::kSnapshotIsolation, q, &result);
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(ScanBrickTest, MultiFilterConjunction) {
+  auto schema = MakeSchema();
+  Brick brick(schema, schema->BidFor({4, 8}).value());
+  AppendOne(brick, 1, 0, 0, 1, 0);  // region 4, day 8
+  AppendOne(brick, 1, 0, 3, 2, 0);  // region 4, day 11
+  AppendOne(brick, 1, 1, 3, 4, 0);  // region 5, day 11
+
+  Query q;
+  q.filters = {{0, FilterClause::Op::kEq, {4}, 0, 0},
+               {1, FilterClause::Op::kRange, {}, 10, 12}};
+  q.aggs = {{AggSpec::Fn::kSum, 0}};
+  QueryResult result(1);
+  ScanBrick(brick, Snap(1), ScanMode::kSnapshotIsolation, q, &result);
+  EXPECT_DOUBLE_EQ(result.Single(0, AggSpec::Fn::kSum), 2.0);
+}
+
+}  // namespace
+}  // namespace cubrick

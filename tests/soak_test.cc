@@ -1,0 +1,123 @@
+// Soak test: a long randomized cluster lifetime mixing every operation the
+// system supports — loads, deletes, rollbacks, queries, checkpoints, purges,
+// node crashes and recoveries — continuously validated against expected
+// committed totals.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+
+namespace cubrick::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SoakTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest, ::testing::Range(0, 3));
+
+TEST_P(SoakTest, FullSystemLifetime) {
+  const auto dir = fs::temp_directory_path() /
+                   ("cubrick_soak_" + std::to_string(GetParam()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.replication_factor = 2;
+  options.shards_per_cube = 2;
+  options.data_dir = dir.string();
+  Cluster cluster(options);
+  ASSERT_TRUE(cluster
+                  .ExecuteDdl("CREATE CUBE soak ("
+                              "bucket int CARDINALITY 64 RANGE 4, v int)")
+                  .ok());
+
+  Random rng(20260705 + static_cast<uint64_t>(GetParam()) * 7919);
+  int64_t live_sum = 0;       // sum of committed, not-deleted records
+  uint64_t live_rows = 0;
+  cubrick::Query q;
+  q.aggs = {{AggSpec::Fn::kSum, 0}, {AggSpec::Fn::kCount, 0}};
+
+  auto verify = [&](const char* when) {
+    for (uint32_t n = 1; n <= 3; ++n) {
+      if (!cluster.node(n).online()) continue;
+      auto result = cluster.QueryOnce(n, "soak", q);
+      ASSERT_TRUE(result.ok());
+      ASSERT_DOUBLE_EQ(result->Single(0, AggSpec::Fn::kSum),
+                       static_cast<double>(live_sum))
+          << when << " node " << n;
+      ASSERT_DOUBLE_EQ(result->Single(1, AggSpec::Fn::kCount),
+                       static_cast<double>(live_rows))
+          << when << " node " << n;
+    }
+  };
+
+  for (int step = 0; step < 200; ++step) {
+    const double dice = rng.NextDouble();
+    const uint32_t coord = 1 + static_cast<uint32_t>(rng.Uniform(3));
+    if (dice < 0.45) {
+      // Committed load.
+      auto txn = cluster.BeginReadWrite(coord);
+      ASSERT_TRUE(txn.ok());
+      std::vector<Record> rows;
+      const uint64_t n = 1 + rng.Uniform(6);
+      int64_t batch_sum = 0;
+      for (uint64_t i = 0; i < n; ++i) {
+        const int64_t v = static_cast<int64_t>(rng.Uniform(50));
+        rows.push_back({static_cast<int64_t>(rng.Uniform(64)), v});
+        batch_sum += v;
+      }
+      ASSERT_TRUE(cluster.Append(&*txn, "soak", rows).ok());
+      ASSERT_TRUE(cluster.Commit(&*txn).ok());
+      live_sum += batch_sum;
+      live_rows += n;
+    } else if (dice < 0.55) {
+      // Aborted load: must leave no trace.
+      auto txn = cluster.BeginReadWrite(coord);
+      ASSERT_TRUE(txn.ok());
+      ASSERT_TRUE(cluster.Append(&*txn, "soak", {{1, 9999}}).ok());
+      ASSERT_TRUE(cluster.Rollback(&*txn).ok());
+    } else if (dice < 0.63) {
+      // Drop everything (partition-granular full delete).
+      auto txn = cluster.BeginReadWrite(coord);
+      ASSERT_TRUE(txn.ok());
+      ASSERT_TRUE(cluster.DeleteWhere(&*txn, "soak", {}).ok());
+      ASSERT_TRUE(cluster.Commit(&*txn).ok());
+      live_sum = 0;
+      live_rows = 0;
+    } else if (dice < 0.75) {
+      cluster.AdvanceClusterLSE();
+      cluster.PurgeAll();
+    } else if (dice < 0.85) {
+      auto lse = cluster.CheckpointAll();
+      ASSERT_TRUE(lse.ok()) << lse.status().ToString();
+    } else if (dice < 0.93) {
+      verify("probe");
+    } else {
+      // Crash + recover a random node.
+      const uint32_t victim = 1 + static_cast<uint32_t>(rng.Uniform(3));
+      ASSERT_TRUE(cluster.CrashNode(victim).ok());
+      verify("during outage");
+      ASSERT_TRUE(cluster.RecoverNode(victim).ok());
+      verify("after recovery");
+    }
+  }
+  verify("final");
+
+  // Everything still works after the soak: one more full cycle.
+  auto txn = cluster.BeginReadWrite(1);
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(cluster.Append(&*txn, "soak", {{0, 1}}).ok());
+  ASSERT_TRUE(cluster.Commit(&*txn).ok());
+  live_sum += 1;
+  live_rows += 1;
+  verify("post-soak");
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace cubrick::cluster

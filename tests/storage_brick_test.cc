@@ -1,0 +1,243 @@
+// Brick, bess-column and dictionary tests.
+
+#include "storage/brick.h"
+
+#include <gtest/gtest.h>
+
+#include "aosi/visibility.h"
+#include "common/random.h"
+#include "storage/bess_column.h"
+#include "storage/brick_map.h"
+#include "storage/dictionary.h"
+
+namespace cubrick {
+namespace {
+
+TEST(DictionaryTest, EncodeAssignsDenseMonotonicIds) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.EncodeOrAdd("US"), 0u);
+  EXPECT_EQ(dict.EncodeOrAdd("BR"), 1u);
+  EXPECT_EQ(dict.EncodeOrAdd("US"), 0u);  // idempotent
+  EXPECT_EQ(dict.EncodeOrAdd("FR"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(DictionaryTest, DecodeRoundTrip) {
+  StringDictionary dict;
+  dict.EncodeOrAdd("male");
+  dict.EncodeOrAdd("female");
+  EXPECT_EQ(dict.Decode(0).value(), "male");
+  EXPECT_EQ(dict.Decode(1).value(), "female");
+  EXPECT_EQ(dict.Decode(2).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DictionaryTest, EncodeWithoutInsert) {
+  StringDictionary dict;
+  dict.EncodeOrAdd("a");
+  EXPECT_EQ(dict.Encode("a").value(), 0u);
+  EXPECT_EQ(dict.Encode("b").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(BessColumnTest, PacksAndUnpacksOffsets) {
+  BessColumn bess({3, 0, 5});
+  EXPECT_EQ(bess.bits_per_record(), 8u);
+  bess.Append({7, 0, 31});
+  bess.Append({1, 0, 2});
+  bess.Append({0, 0, 0});
+  EXPECT_EQ(bess.num_records(), 3u);
+  EXPECT_EQ(bess.Get(0, 0), 7u);
+  EXPECT_EQ(bess.Get(0, 1), 0u);
+  EXPECT_EQ(bess.Get(0, 2), 31u);
+  EXPECT_EQ(bess.Get(1, 0), 1u);
+  EXPECT_EQ(bess.Get(1, 2), 2u);
+  EXPECT_EQ(bess.Get(2, 2), 0u);
+}
+
+TEST(BessColumnTest, ZeroBitRecordsStoreNothing) {
+  BessColumn bess({0, 0});
+  for (int i = 0; i < 1000; ++i) bess.Append({0, 0});
+  EXPECT_EQ(bess.num_records(), 1000u);
+  EXPECT_EQ(bess.MemoryUsage(), 0u);
+  EXPECT_EQ(bess.Get(999, 1), 0u);
+}
+
+TEST(BessColumnTest, CrossWordBoundaries) {
+  // 17 bits per record guarantees fields straddle 64-bit word boundaries.
+  BessColumn bess({17});
+  Random rng(7);
+  std::vector<uint64_t> expected;
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t v = rng.Uniform(1ULL << 17);
+    expected.push_back(v);
+    bess.Append({v});
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(bess.Get(i, 0), expected[i]) << "row " << i;
+  }
+}
+
+TEST(BessColumnTest, WideFieldsUpTo64Bits) {
+  BessColumn bess({64, 1});
+  bess.Append({~0ULL, 1});
+  bess.Append({12345678901234567ULL, 0});
+  EXPECT_EQ(bess.Get(0, 0), ~0ULL);
+  EXPECT_EQ(bess.Get(0, 1), 1u);
+  EXPECT_EQ(bess.Get(1, 0), 12345678901234567ULL);
+}
+
+TEST(BessColumnTest, CompactedCopyKeepsSelectedRows) {
+  BessColumn bess({8});
+  for (uint64_t i = 0; i < 10; ++i) bess.Append({i});
+  BessColumn even = bess.CompactedCopy([](uint64_t row) {
+    return row % 2 == 0;
+  });
+  EXPECT_EQ(even.num_records(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(even.Get(i, 0), i * 2);
+  }
+}
+
+TEST(BessColumnTest, RejectsOverflowingValue) {
+  BessColumn bess({2});
+  EXPECT_THROW(bess.Append({4}), CheckFailure);
+}
+
+std::shared_ptr<CubeSchema> TestSchema() {
+  return CubeSchema::Make(
+             "t",
+             {{"region", 8, 4, false}, {"tag", 16, 2, false}},
+             {{"likes", DataType::kInt64}, {"score", DataType::kDouble}})
+      .value();
+}
+
+EncodedBatch MakeBatch(const CubeSchema& schema, uint64_t rows,
+                       uint64_t seed = 1) {
+  EncodedBatch batch(schema);
+  Random rng(seed);
+  batch.num_rows = rows;
+  for (uint64_t r = 0; r < rows; ++r) {
+    batch.dim_offsets[0].push_back(rng.Uniform(4));
+    batch.dim_offsets[1].push_back(rng.Uniform(2));
+    batch.metric_ints[0].push_back(static_cast<int64_t>(r));
+    batch.metric_doubles[1].push_back(static_cast<double>(r) * 0.5);
+  }
+  return batch;
+}
+
+TEST(BrickTest, AppendsRecordsWithHistory) {
+  auto schema = TestSchema();
+  const Bid bid = schema->BidFor({5, 3}).value();
+  Brick brick(schema, bid);
+  brick.AppendBatch(1, MakeBatch(*schema, 10));
+  brick.AppendBatch(2, MakeBatch(*schema, 5));
+  EXPECT_EQ(brick.num_records(), 15u);
+  EXPECT_EQ(brick.history().ToString(), "[1:0-9][2:10-14]");
+  EXPECT_EQ(brick.metric(0).GetInt64(12), 2);
+  EXPECT_DOUBLE_EQ(brick.metric(1).GetDouble(3), 1.5);
+}
+
+TEST(BrickTest, DimCoordAddsRangeBase) {
+  auto schema = TestSchema();
+  // region coord 5 -> range idx 1 (base 4); tag coord 3 -> range idx 1
+  // (base 2).
+  const Bid bid = schema->BidFor({5, 3}).value();
+  Brick brick(schema, bid);
+  EncodedBatch batch(*schema);
+  batch.num_rows = 1;
+  batch.dim_offsets[0].push_back(1);  // offset 1 within region range
+  batch.dim_offsets[1].push_back(0);  // offset 0 within tag range
+  batch.metric_ints[0].push_back(7);
+  batch.metric_doubles[1].push_back(1.0);
+  brick.AppendBatch(3, batch);
+  EXPECT_EQ(brick.DimCoord(0, 0), 5u);
+  EXPECT_EQ(brick.DimCoord(0, 1), 2u);
+}
+
+TEST(BrickTest, MarkDeletedThenCompact) {
+  auto schema = TestSchema();
+  Brick brick(schema, 0);
+  brick.AppendBatch(1, MakeBatch(*schema, 4));
+  brick.MarkDeleted(2);
+  brick.AppendBatch(3, MakeBatch(*schema, 2, /*seed=*/9));
+  const int64_t kept0 = brick.metric(0).GetInt64(4);
+
+  auto plan = aosi::PlanPurge(brick.history(), /*lse=*/4);
+  ASSERT_TRUE(plan.needed);
+  brick.ApplyCompaction(plan);
+  EXPECT_EQ(brick.num_records(), 2u);
+  EXPECT_EQ(brick.history().ToString(), "[3:0-1]");
+  EXPECT_EQ(brick.metric(0).GetInt64(0), kept0);
+}
+
+TEST(BrickTest, CompactionPreservesColumnAlignment) {
+  auto schema = TestSchema();
+  Brick brick(schema, 0);
+  brick.AppendBatch(2, MakeBatch(*schema, 50, 11));
+  brick.AppendBatch(5, MakeBatch(*schema, 30, 22));
+  // Roll back epoch 5.
+  auto plan = aosi::PlanRollback(brick.history(), 5);
+  ASSERT_TRUE(plan.needed);
+  // Capture surviving rows before compaction.
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+  std::vector<uint64_t> dims;
+  for (uint64_t r = 0; r < 50; ++r) {
+    ints.push_back(brick.metric(0).GetInt64(r));
+    doubles.push_back(brick.metric(1).GetDouble(r));
+    dims.push_back(brick.DimCoord(r, 0));
+  }
+  brick.ApplyCompaction(plan);
+  ASSERT_EQ(brick.num_records(), 50u);
+  for (uint64_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(brick.metric(0).GetInt64(r), ints[r]);
+    EXPECT_DOUBLE_EQ(brick.metric(1).GetDouble(r), doubles[r]);
+    EXPECT_EQ(brick.DimCoord(r, 0), dims[r]);
+  }
+}
+
+TEST(BrickTest, HistoryMemoryIsPerTransactionNotPerRecord) {
+  auto schema = TestSchema();
+  Brick brick(schema, 0);
+  brick.AppendBatch(1, MakeBatch(*schema, 10000));
+  EXPECT_EQ(brick.HistoryMemoryUsage(), sizeof(aosi::EpochEntry));
+  EXPECT_GT(brick.DataMemoryUsage(), 10000u * 8u);
+}
+
+TEST(BrickMapTest, MaterializesOnDemand) {
+  auto schema = TestSchema();
+  BrickMap map(schema);
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(3), nullptr);
+  Brick& b = map.GetOrCreate(3);
+  EXPECT_EQ(b.bid(), 3u);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.Find(3), &b);
+  map.GetOrCreate(3);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(BrickMapTest, AggregatesAcrossBricks) {
+  auto schema = TestSchema();
+  BrickMap map(schema);
+  map.GetOrCreate(0).AppendBatch(1, MakeBatch(*schema, 10));
+  map.GetOrCreate(1).AppendBatch(1, MakeBatch(*schema, 20));
+  EXPECT_EQ(map.TotalRecords(), 30u);
+  EXPECT_GT(map.DataMemoryUsage(), 0u);
+  EXPECT_EQ(map.HistoryMemoryUsage(), 2 * sizeof(aosi::EpochEntry));
+  size_t seen = 0;
+  map.ForEach([&](Brick& brick) { seen += brick.num_records(); });
+  EXPECT_EQ(seen, 30u);
+}
+
+TEST(BrickMapTest, EraseRemovesBrick) {
+  auto schema = TestSchema();
+  BrickMap map(schema);
+  map.GetOrCreate(5);
+  map.Erase(5);
+  EXPECT_EQ(map.Find(5), nullptr);
+  EXPECT_EQ(map.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cubrick
