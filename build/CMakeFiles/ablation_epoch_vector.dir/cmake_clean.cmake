@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_epoch_vector.dir/bench/ablation_epoch_vector.cc.o"
+  "CMakeFiles/ablation_epoch_vector.dir/bench/ablation_epoch_vector.cc.o.d"
+  "bench/ablation_epoch_vector"
+  "bench/ablation_epoch_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_epoch_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_protocols.dir/bench/ablation_protocols.cc.o"
+  "CMakeFiles/ablation_protocols.dir/bench/ablation_protocols.cc.o.d"
+  "bench/ablation_protocols"
+  "bench/ablation_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rollback_index.dir/bench/ablation_rollback_index.cc.o"
+  "CMakeFiles/ablation_rollback_index.dir/bench/ablation_rollback_index.cc.o.d"
+  "bench/ablation_rollback_index"
+  "bench/ablation_rollback_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rollback_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ingestion_scale.dir/bench/fig10_ingestion_scale.cc.o"
+  "CMakeFiles/fig10_ingestion_scale.dir/bench/fig10_ingestion_scale.cc.o.d"
+  "bench/fig10_ingestion_scale"
+  "bench/fig10_ingestion_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ingestion_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_load_latency.dir/bench/fig5_load_latency.cc.o"
+  "CMakeFiles/fig5_load_latency.dir/bench/fig5_load_latency.cc.o.d"
+  "bench/fig5_load_latency"
+  "bench/fig5_load_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_load_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

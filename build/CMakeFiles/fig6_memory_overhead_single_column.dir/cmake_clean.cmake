@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_memory_overhead_single_column.dir/bench/fig6_memory_overhead_single_column.cc.o"
+  "CMakeFiles/fig6_memory_overhead_single_column.dir/bench/fig6_memory_overhead_single_column.cc.o.d"
+  "bench/fig6_memory_overhead_single_column"
+  "bench/fig6_memory_overhead_single_column.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_memory_overhead_single_column.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_memory_overhead_single_column.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_memory_overhead_wide.dir/bench/fig7_memory_overhead_wide.cc.o"
+  "CMakeFiles/fig7_memory_overhead_wide.dir/bench/fig7_memory_overhead_wide.cc.o.d"
+  "bench/fig7_memory_overhead_wide"
+  "bench/fig7_memory_overhead_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_memory_overhead_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

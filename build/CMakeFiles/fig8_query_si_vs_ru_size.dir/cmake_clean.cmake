@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_query_si_vs_ru_size.dir/bench/fig8_query_si_vs_ru_size.cc.o"
+  "CMakeFiles/fig8_query_si_vs_ru_size.dir/bench/fig8_query_si_vs_ru_size.cc.o.d"
+  "bench/fig8_query_si_vs_ru_size"
+  "bench/fig8_query_si_vs_ru_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_query_si_vs_ru_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_query_si_vs_ru_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_query_si_vs_ru_txns.dir/bench/fig9_query_si_vs_ru_txns.cc.o"
+  "CMakeFiles/fig9_query_si_vs_ru_txns.dir/bench/fig9_query_si_vs_ru_txns.cc.o.d"
+  "bench/fig9_query_si_vs_ru_txns"
+  "bench/fig9_query_si_vs_ru_txns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_query_si_vs_ru_txns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_traces.dir/bench/paper_traces.cc.o"
+  "CMakeFiles/paper_traces.dir/bench/paper_traces.cc.o.d"
+  "bench/paper_traces"
+  "bench/paper_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cubrick_shell.dir/cubrick_shell.cpp.o"
+  "CMakeFiles/example_cubrick_shell.dir/cubrick_shell.cpp.o.d"
+  "example_cubrick_shell"
+  "example_cubrick_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cubrick_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dimension_snapshots.dir/dimension_snapshots.cpp.o"
+  "CMakeFiles/example_dimension_snapshots.dir/dimension_snapshots.cpp.o.d"
+  "example_dimension_snapshots"
+  "example_dimension_snapshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dimension_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

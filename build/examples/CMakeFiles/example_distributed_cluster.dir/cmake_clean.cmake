@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_cluster.dir/distributed_cluster.cpp.o"
+  "CMakeFiles/example_distributed_cluster.dir/distributed_cluster.cpp.o.d"
+  "example_distributed_cluster"
+  "example_distributed_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_realtime_dashboard.dir/realtime_dashboard.cpp.o"
+  "CMakeFiles/example_realtime_dashboard.dir/realtime_dashboard.cpp.o.d"
+  "example_realtime_dashboard"
+  "example_realtime_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_realtime_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

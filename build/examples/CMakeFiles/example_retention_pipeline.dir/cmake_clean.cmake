@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_retention_pipeline.dir/retention_pipeline.cpp.o"
+  "CMakeFiles/example_retention_pipeline.dir/retention_pipeline.cpp.o.d"
+  "example_retention_pipeline"
+  "example_retention_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_retention_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_crash_recovery]=] "/root/repo/build/examples/example_crash_recovery")
+set_tests_properties([=[example_crash_recovery]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_cubrick_shell]=] "/root/repo/build/examples/example_cubrick_shell")
+set_tests_properties([=[example_cubrick_shell]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_dimension_snapshots]=] "/root/repo/build/examples/example_dimension_snapshots")
+set_tests_properties([=[example_dimension_snapshots]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_distributed_cluster]=] "/root/repo/build/examples/example_distributed_cluster")
+set_tests_properties([=[example_distributed_cluster]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_quickstart]=] "/root/repo/build/examples/example_quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_realtime_dashboard]=] "/root/repo/build/examples/example_realtime_dashboard")
+set_tests_properties([=[example_realtime_dashboard]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_retention_pipeline]=] "/root/repo/build/examples/example_retention_pipeline")
+set_tests_properties([=[example_retention_pipeline]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")

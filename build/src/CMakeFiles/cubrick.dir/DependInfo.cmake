@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aosi/epoch.cc" "src/CMakeFiles/cubrick.dir/aosi/epoch.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/aosi/epoch.cc.o.d"
+  "/root/repo/src/aosi/epoch_vector.cc" "src/CMakeFiles/cubrick.dir/aosi/epoch_vector.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/aosi/epoch_vector.cc.o.d"
+  "/root/repo/src/aosi/purge.cc" "src/CMakeFiles/cubrick.dir/aosi/purge.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/aosi/purge.cc.o.d"
+  "/root/repo/src/aosi/txn_manager.cc" "src/CMakeFiles/cubrick.dir/aosi/txn_manager.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/aosi/txn_manager.cc.o.d"
+  "/root/repo/src/aosi/visibility.cc" "src/CMakeFiles/cubrick.dir/aosi/visibility.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/aosi/visibility.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/cubrick.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/hash_ring.cc" "src/CMakeFiles/cubrick.dir/cluster/hash_ring.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/cluster/hash_ring.cc.o.d"
+  "/root/repo/src/cluster/node.cc" "src/CMakeFiles/cubrick.dir/cluster/node.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/cluster/node.cc.o.d"
+  "/root/repo/src/common/bitmap.cc" "src/CMakeFiles/cubrick.dir/common/bitmap.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/common/bitmap.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/cubrick.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/cubrick.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/common/status.cc.o.d"
+  "/root/repo/src/cubrick/database.cc" "src/CMakeFiles/cubrick.dir/cubrick/database.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/cubrick/database.cc.o.d"
+  "/root/repo/src/cubrick/ddl.cc" "src/CMakeFiles/cubrick.dir/cubrick/ddl.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/cubrick/ddl.cc.o.d"
+  "/root/repo/src/engine/run_extract.cc" "src/CMakeFiles/cubrick.dir/engine/run_extract.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/engine/run_extract.cc.o.d"
+  "/root/repo/src/engine/shard.cc" "src/CMakeFiles/cubrick.dir/engine/shard.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/engine/shard.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/CMakeFiles/cubrick.dir/engine/table.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/engine/table.cc.o.d"
+  "/root/repo/src/ingest/parser.cc" "src/CMakeFiles/cubrick.dir/ingest/parser.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/ingest/parser.cc.o.d"
+  "/root/repo/src/mvcc/lock_manager.cc" "src/CMakeFiles/cubrick.dir/mvcc/lock_manager.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/mvcc/lock_manager.cc.o.d"
+  "/root/repo/src/mvcc/mvcc_store.cc" "src/CMakeFiles/cubrick.dir/mvcc/mvcc_store.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/mvcc/mvcc_store.cc.o.d"
+  "/root/repo/src/mvcc/two_pl_store.cc" "src/CMakeFiles/cubrick.dir/mvcc/two_pl_store.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/mvcc/two_pl_store.cc.o.d"
+  "/root/repo/src/persist/flush_manager.cc" "src/CMakeFiles/cubrick.dir/persist/flush_manager.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/persist/flush_manager.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/cubrick.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/materialize.cc" "src/CMakeFiles/cubrick.dir/query/materialize.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/query/materialize.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/cubrick.dir/query/query.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/query/query.cc.o.d"
+  "/root/repo/src/storage/bess_column.cc" "src/CMakeFiles/cubrick.dir/storage/bess_column.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/storage/bess_column.cc.o.d"
+  "/root/repo/src/storage/brick.cc" "src/CMakeFiles/cubrick.dir/storage/brick.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/storage/brick.cc.o.d"
+  "/root/repo/src/storage/data_type.cc" "src/CMakeFiles/cubrick.dir/storage/data_type.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/storage/data_type.cc.o.d"
+  "/root/repo/src/storage/dictionary.cc" "src/CMakeFiles/cubrick.dir/storage/dictionary.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/storage/dictionary.cc.o.d"
+  "/root/repo/src/storage/metric_column.cc" "src/CMakeFiles/cubrick.dir/storage/metric_column.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/storage/metric_column.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/cubrick.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/cubrick.dir/storage/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

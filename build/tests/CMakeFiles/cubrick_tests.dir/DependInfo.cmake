@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aosi_epoch_clock_test.cc" "tests/CMakeFiles/cubrick_tests.dir/aosi_epoch_clock_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/aosi_epoch_clock_test.cc.o.d"
+  "/root/repo/tests/aosi_epoch_vector_test.cc" "tests/CMakeFiles/cubrick_tests.dir/aosi_epoch_vector_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/aosi_epoch_vector_test.cc.o.d"
+  "/root/repo/tests/aosi_purge_test.cc" "tests/CMakeFiles/cubrick_tests.dir/aosi_purge_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/aosi_purge_test.cc.o.d"
+  "/root/repo/tests/aosi_txn_manager_test.cc" "tests/CMakeFiles/cubrick_tests.dir/aosi_txn_manager_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/aosi_txn_manager_test.cc.o.d"
+  "/root/repo/tests/aosi_visibility_test.cc" "tests/CMakeFiles/cubrick_tests.dir/aosi_visibility_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/aosi_visibility_test.cc.o.d"
+  "/root/repo/tests/bitmap_test.cc" "tests/CMakeFiles/cubrick_tests.dir/bitmap_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/bitmap_test.cc.o.d"
+  "/root/repo/tests/cluster_categories_test.cc" "tests/CMakeFiles/cubrick_tests.dir/cluster_categories_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/cluster_categories_test.cc.o.d"
+  "/root/repo/tests/cluster_recovery_test.cc" "tests/CMakeFiles/cubrick_tests.dir/cluster_recovery_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/cluster_recovery_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/cubrick_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/common_utils_test.cc" "tests/CMakeFiles/cubrick_tests.dir/common_utils_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/common_utils_test.cc.o.d"
+  "/root/repo/tests/database_test.cc" "tests/CMakeFiles/cubrick_tests.dir/database_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/database_test.cc.o.d"
+  "/root/repo/tests/ddl_test.cc" "tests/CMakeFiles/cubrick_tests.dir/ddl_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/ddl_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/cubrick_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/engine_shard_test.cc" "tests/CMakeFiles/cubrick_tests.dir/engine_shard_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/engine_shard_test.cc.o.d"
+  "/root/repo/tests/engine_table_test.cc" "tests/CMakeFiles/cubrick_tests.dir/engine_table_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/engine_table_test.cc.o.d"
+  "/root/repo/tests/epoch_set_test.cc" "tests/CMakeFiles/cubrick_tests.dir/epoch_set_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/epoch_set_test.cc.o.d"
+  "/root/repo/tests/explain_topk_test.cc" "tests/CMakeFiles/cubrick_tests.dir/explain_topk_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/explain_topk_test.cc.o.d"
+  "/root/repo/tests/facade_concurrency_test.cc" "tests/CMakeFiles/cubrick_tests.dir/facade_concurrency_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/facade_concurrency_test.cc.o.d"
+  "/root/repo/tests/ingest_parser_test.cc" "tests/CMakeFiles/cubrick_tests.dir/ingest_parser_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/ingest_parser_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/cubrick_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/materialize_test.cc" "tests/CMakeFiles/cubrick_tests.dir/materialize_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/materialize_test.cc.o.d"
+  "/root/repo/tests/mvcc_store_test.cc" "tests/CMakeFiles/cubrick_tests.dir/mvcc_store_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/mvcc_store_test.cc.o.d"
+  "/root/repo/tests/persist_property_test.cc" "tests/CMakeFiles/cubrick_tests.dir/persist_property_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/persist_property_test.cc.o.d"
+  "/root/repo/tests/persist_test.cc" "tests/CMakeFiles/cubrick_tests.dir/persist_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/persist_test.cc.o.d"
+  "/root/repo/tests/property_cluster_test.cc" "tests/CMakeFiles/cubrick_tests.dir/property_cluster_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/property_cluster_test.cc.o.d"
+  "/root/repo/tests/property_epoch_vector_test.cc" "tests/CMakeFiles/cubrick_tests.dir/property_epoch_vector_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/property_epoch_vector_test.cc.o.d"
+  "/root/repo/tests/property_txn_manager_test.cc" "tests/CMakeFiles/cubrick_tests.dir/property_txn_manager_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/property_txn_manager_test.cc.o.d"
+  "/root/repo/tests/query_advanced_test.cc" "tests/CMakeFiles/cubrick_tests.dir/query_advanced_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/query_advanced_test.cc.o.d"
+  "/root/repo/tests/query_executor_test.cc" "tests/CMakeFiles/cubrick_tests.dir/query_executor_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/query_executor_test.cc.o.d"
+  "/root/repo/tests/read_your_writes_test.cc" "tests/CMakeFiles/cubrick_tests.dir/read_your_writes_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/read_your_writes_test.cc.o.d"
+  "/root/repo/tests/rollback_index_test.cc" "tests/CMakeFiles/cubrick_tests.dir/rollback_index_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/rollback_index_test.cc.o.d"
+  "/root/repo/tests/run_extract_test.cc" "tests/CMakeFiles/cubrick_tests.dir/run_extract_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/run_extract_test.cc.o.d"
+  "/root/repo/tests/soak_test.cc" "tests/CMakeFiles/cubrick_tests.dir/soak_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/soak_test.cc.o.d"
+  "/root/repo/tests/storage_brick_test.cc" "tests/CMakeFiles/cubrick_tests.dir/storage_brick_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/storage_brick_test.cc.o.d"
+  "/root/repo/tests/storage_schema_test.cc" "tests/CMakeFiles/cubrick_tests.dir/storage_schema_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/storage_schema_test.cc.o.d"
+  "/root/repo/tests/table_model_test.cc" "tests/CMakeFiles/cubrick_tests.dir/table_model_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/table_model_test.cc.o.d"
+  "/root/repo/tests/two_pl_test.cc" "tests/CMakeFiles/cubrick_tests.dir/two_pl_test.cc.o" "gcc" "tests/CMakeFiles/cubrick_tests.dir/two_pl_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cubrick.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
