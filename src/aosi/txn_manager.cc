@@ -8,8 +8,11 @@ TxnManager::TxnManager(uint32_t node_idx, uint32_t num_nodes)
     : clock_(node_idx, num_nodes) {}
 
 Txn TxnManager::BeginReadWrite() {
-  const Epoch epoch = clock_.Acquire();
   std::lock_guard<std::mutex> lock(mutex_);
+  // The epoch must be acquired with mutex_ held: acquiring it first would
+  // let a transaction that draws a later epoch snapshot pendingTxs before
+  // this one registers, missing it in deps — a dirty read.
+  const Epoch epoch = clock_.Acquire();
   Txn txn;
   txn.epoch = epoch;
   txn.type = TxnType::kReadWrite;
@@ -94,6 +97,9 @@ void TxnManager::NoteRemoteBegin(Epoch epoch) {
 
 void TxnManager::NoteRemoteFinish(Epoch epoch, bool committed) {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Stale message: LCE already walked past this epoch, so it is finished.
+  // Re-inserting it would let the walk move LCE backward.
+  if (epoch <= lce_) return;
   auto [it, inserted] = tracked_.emplace(epoch, TrackedTxn{});
   if (!inserted && it->second.state != TxnState::kPending) return;
   it->second.state = committed ? TxnState::kCommitted : TxnState::kAborted;
@@ -125,6 +131,12 @@ EpochSet TxnManager::PendingTxs() const {
     if (info.state == TxnState::kPending) pending.Insert(e);
   }
   return pending;
+}
+
+Epoch TxnManager::MinActiveHorizon() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_horizons_.empty() ? ~static_cast<Epoch>(0)
+                                  : *active_horizons_.begin();
 }
 
 size_t TxnManager::NumTracked() const {

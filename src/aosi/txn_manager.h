@@ -90,6 +90,12 @@ class TxnManager {
   /// Snapshot of the pending RW transaction set.
   EpochSet PendingTxs() const;
 
+  /// Minimum horizon over this node's active snapshots, or ~0 when none are
+  /// active. A cluster-wide LSE advance must clamp to this bound on *every*
+  /// node: a transaction's horizon is only registered on its coordinator,
+  /// but purge at LSE destructively applies delete markers on all of them.
+  Epoch MinActiveHorizon() const;
+
   /// Number of transactions tracked (pending + committed-but-blocked).
   size_t NumTracked() const;
 

@@ -1,0 +1,117 @@
+// check_si: seeded snapshot-isolation stress runner (see stress.h).
+//
+//   check_si --mode=single|cluster|both --seeds=N --seed0=S --ops=K [-v]
+//
+// Runs N seeds starting at S; each seed derives a configuration via
+// MakeSeedConfig and runs the full workload. Exit code 0 when every seed
+// passes; on divergence, prints the replayable diagnostic (config line,
+// seed, per-thread operation trace) and exits 1.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "check/stress.h"
+
+namespace {
+
+struct Args {
+  std::string mode = "both";
+  uint64_t seeds = 20;
+  uint64_t seed0 = 1;
+  int ops = 0;  // 0: keep MakeSeedConfig default
+  bool verbose = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (ParseFlag(argv[i], "--mode", &value)) {
+      args.mode = value;
+    } else if (ParseFlag(argv[i], "--seeds", &value)) {
+      args.seeds = std::strtoull(value, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--seed0", &value)) {
+      args.seed0 = std::strtoull(value, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--ops", &value)) {
+      args.ops = std::atoi(value);
+    } else if (std::strcmp(argv[i], "-v") == 0 ||
+               std::strcmp(argv[i], "--verbose") == 0) {
+      args.verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument: %s\n"
+                   "usage: check_si [--mode=single|cluster|both] [--seeds=N] "
+                   "[--seed0=S] [--ops=K] [-v]\n",
+                   argv[i]);
+      std::exit(2);
+    }
+  }
+  if (args.mode != "single" && args.mode != "cluster" &&
+      args.mode != "both") {
+    std::fprintf(stderr, "bad --mode=%s\n", args.mode.c_str());
+    std::exit(2);
+  }
+  return args;
+}
+
+/// Runs one seed in one mode; returns false (after printing the full
+/// diagnostic) on divergence.
+bool RunOne(const Args& args, uint64_t seed, bool cluster) {
+  cubrick::check::StressOptions opt =
+      cubrick::check::MakeSeedConfig(seed, cluster);
+  if (args.ops > 0) opt.ops_per_thread = args.ops;
+  const cubrick::check::StressReport report =
+      cluster ? cubrick::check::RunClusterStress(opt)
+              : cubrick::check::RunSingleNodeStress(opt);
+  if (!report.ok()) {
+    std::fprintf(stderr, "\n=== FAIL: %s seed %llu ===\n",
+                 cluster ? "cluster" : "single",
+                 static_cast<unsigned long long>(seed));
+    for (const std::string& failure : report.failures) {
+      std::fprintf(stderr, "%s\n", failure.c_str());
+    }
+    return false;
+  }
+  if (args.verbose) {
+    std::printf("%s seed %llu ok: %s\n", cluster ? "cluster" : "single",
+                static_cast<unsigned long long>(seed),
+                report.Summary().c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  const bool run_single = args.mode == "single" || args.mode == "both";
+  const bool run_cluster = args.mode == "cluster" || args.mode == "both";
+  uint64_t passed = 0;
+  for (uint64_t i = 0; i < args.seeds; ++i) {
+    const uint64_t seed = args.seed0 + i;
+    if (run_single && !RunOne(args, seed, /*cluster=*/false)) return 1;
+    if (run_cluster && !RunOne(args, seed, /*cluster=*/true)) return 1;
+    ++passed;
+    if (!args.verbose && passed % 25 == 0) {
+      std::printf("[check_si] %llu/%llu seeds ok\n",
+                  static_cast<unsigned long long>(passed),
+                  static_cast<unsigned long long>(args.seeds));
+      std::fflush(stdout);
+    }
+  }
+  std::printf("[check_si] PASS: %llu seeds, mode=%s\n",
+              static_cast<unsigned long long>(passed), args.mode.c_str());
+  return 0;
+}

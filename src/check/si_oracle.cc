@@ -1,0 +1,192 @@
+#include "check/si_oracle.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace cubrick::check {
+
+SiOracle::SiOracle(std::shared_ptr<const CubeSchema> schema)
+    : schema_(std::move(schema)) {
+  for (const auto& dim : schema_->dimensions()) {
+    CUBRICK_CHECK(!dim.is_string);  // see class comment
+  }
+  for (const auto& metric : schema_->metrics()) {
+    CUBRICK_CHECK(metric.type != DataType::kString);
+  }
+}
+
+void SiOracle::Append(aosi::Epoch epoch, const std::vector<Record>& records) {
+  const size_t num_dims = schema_->num_dimensions();
+  const size_t num_metrics = schema_->num_metrics();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Record& record : records) {
+    CUBRICK_CHECK(record.values.size() == num_dims + num_metrics);
+    Op op;
+    op.epoch = epoch;
+    op.seq = next_seq_++;
+    op.coords.reserve(num_dims);
+    for (size_t d = 0; d < num_dims; ++d) {
+      CUBRICK_CHECK(record.values[d].is_int64());
+      op.coords.push_back(static_cast<uint64_t>(record.values[d].as_int64()));
+    }
+    op.metrics.reserve(num_metrics);
+    for (size_t m = 0; m < num_metrics; ++m) {
+      const Value& v = record.values[num_dims + m];
+      op.metrics.push_back(v.is_int64() ? static_cast<double>(v.as_int64())
+                                        : v.as_double());
+    }
+    auto bid = schema_->BidFor(op.coords);
+    CUBRICK_CHECK(bid.ok());
+    bricks_[*bid].push_back(std::move(op));
+  }
+}
+
+void SiOracle::Delete(aosi::Epoch epoch, const std::vector<Bid>& bricks) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Bid bid : bricks) {
+    Op op;
+    op.epoch = epoch;
+    op.seq = next_seq_++;
+    op.is_delete = true;
+    // A marker in a brick the oracle has not seen yet is kept: the engine
+    // marked a physically-present brick whose records were since rolled
+    // back, and the marker still clears future late arrivals.
+    bricks_[bid].push_back(std::move(op));
+  }
+}
+
+void SiOracle::Rollback(aosi::Epoch victim) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [bid, ops] : bricks_) {
+    ops.erase(std::remove_if(ops.begin(), ops.end(),
+                             [victim](const Op& op) {
+                               return op.epoch == victim;
+                             }),
+              ops.end());
+  }
+}
+
+void SiOracle::TruncateAfter(aosi::Epoch lse) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [bid, ops] : bricks_) {
+    ops.erase(std::remove_if(
+                  ops.begin(), ops.end(),
+                  [lse](const Op& op) { return op.epoch > lse; }),
+              ops.end());
+  }
+}
+
+template <typename Fn>
+void SiOracle::ForEachVisibleLocked(const aosi::Snapshot& snapshot,
+                                    Fn&& fn) const {
+  for (const auto& [bid, ops] : bricks_) {
+    // Delete frontier: a record (j, seq) is deleted iff some visible marker
+    // (k, dseq) has (j, seq) < (k, dseq) lexicographically — j < k covers
+    // logically-older transactions wherever they sit, j == k && seq < dseq
+    // covers the deleter's own records before the delete point. Only the
+    // lexicographic maximum over visible markers matters.
+    aosi::Epoch frontier_epoch = aosi::kNoEpoch;
+    uint64_t frontier_seq = 0;
+    bool has_frontier = false;
+    for (const Op& op : ops) {
+      if (!op.is_delete || !snapshot.Sees(op.epoch)) continue;
+      if (!has_frontier || op.epoch > frontier_epoch ||
+          (op.epoch == frontier_epoch && op.seq > frontier_seq)) {
+        frontier_epoch = op.epoch;
+        frontier_seq = op.seq;
+        has_frontier = true;
+      }
+    }
+    for (const Op& op : ops) {
+      if (op.is_delete || !snapshot.Sees(op.epoch)) continue;
+      if (has_frontier &&
+          (op.epoch < frontier_epoch ||
+           (op.epoch == frontier_epoch && op.seq < frontier_seq))) {
+        continue;
+      }
+      fn(op);
+    }
+  }
+}
+
+QueryResult SiOracle::Eval(const aosi::Snapshot& snapshot,
+                           const Query& query) const {
+  QueryResult result(query.aggs.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  ForEachVisibleLocked(snapshot, [&](const Op& op) {
+    for (const FilterClause& filter : query.filters) {
+      if (!filter.Matches(op.coords[filter.dim])) return;
+    }
+    QueryResult::GroupKey key;
+    key.reserve(query.group_by.size());
+    for (size_t dim : query.group_by) key.push_back(op.coords[dim]);
+    for (size_t a = 0; a < query.aggs.size(); ++a) {
+      result.Accumulate(key, a, op.metrics[query.aggs[a].metric]);
+    }
+  });
+  return result;
+}
+
+uint64_t SiOracle::VisibleRows(const aosi::Snapshot& snapshot) const {
+  uint64_t n = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ForEachVisibleLocked(snapshot, [&](const Op&) { ++n; });
+  return n;
+}
+
+uint64_t SiOracle::LoggedRows() const {
+  uint64_t n = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [bid, ops] : bricks_) {
+    for (const Op& op : ops) {
+      if (!op.is_delete) ++n;
+    }
+  }
+  return n;
+}
+
+namespace {
+
+std::string KeyToString(const QueryResult::GroupKey& key) {
+  std::ostringstream out;
+  out << "(";
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << key[i];
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace
+
+std::string DiffResults(const QueryResult& expected, const QueryResult& actual,
+                        const Query& query) {
+  for (const auto& [key, states] : expected.groups()) {
+    auto it = actual.groups().find(key);
+    if (it == actual.groups().end()) {
+      return "group " + KeyToString(key) + " missing from engine result";
+    }
+    for (size_t a = 0; a < query.aggs.size(); ++a) {
+      const AggSpec::Fn fn = query.aggs[a].fn;
+      const double want = states[a].Finalize(fn);
+      const double got = it->second[a].Finalize(fn);
+      if (want != got) {
+        std::ostringstream out;
+        out << "group " << KeyToString(key) << " agg " << a << ": expected "
+            << want << ", engine returned " << got;
+        return out.str();
+      }
+    }
+  }
+  for (const auto& [key, states] : actual.groups()) {
+    if (expected.groups().find(key) == expected.groups().end()) {
+      return "engine returned unexpected group " + KeyToString(key);
+    }
+  }
+  return "";
+}
+
+}  // namespace cubrick::check

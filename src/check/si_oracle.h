@@ -1,0 +1,106 @@
+// Snapshot-isolation oracle (checker-driven validation of AOSI).
+//
+// A deliberately naive, mutex-guarded reference store that records every
+// logical operation — append, partition delete, rollback — with its epoch,
+// and can answer "what must a snapshot see" from first principles:
+//
+//   record r appended by transaction j (at physical position seq within its
+//   brick) is visible to snapshot S iff
+//     S.Sees(j)  and  no delete marker d in the same brick has
+//     S.Sees(d.epoch) && (j < d.epoch || (j == d.epoch && r.seq < d.seq))
+//
+// which is exactly the §III-C3 bitmap rule (deletes clear logically-older
+// transactions regardless of physical position, plus the deleter's own
+// records before the delete point), evaluated without any of the engine's
+// machinery: no epochs vectors, no bitmaps, no purge, no shards. Divergence
+// between the engine and this store is by construction a concurrency-control
+// bug in one of them.
+//
+// The oracle never purges: purge must not change the answer of any valid
+// snapshot, so keeping everything is what makes the oracle able to detect a
+// purge that removed too much.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "aosi/epoch.h"
+#include "ingest/parser.h"
+#include "query/query.h"
+#include "storage/schema.h"
+
+namespace cubrick::check {
+
+/// The reference store. Thread-safe; every method takes one global mutex
+/// (correctness over speed — this is the checker, not the system).
+///
+/// Restriction: cubes with integer dimensions and numeric metrics only
+/// (the stress schema). String columns would need the engine's dictionaries,
+/// which would defeat the point of an independent oracle.
+class SiOracle {
+ public:
+  explicit SiOracle(std::shared_ptr<const CubeSchema> schema);
+
+  /// Logs the appends of `epoch`, in call order. Records must be valid for
+  /// the schema (the driver only generates valid ones); each is routed to
+  /// its brick with the schema's bid computation.
+  void Append(aosi::Epoch epoch, const std::vector<Record>& records);
+
+  /// Logs a partition delete stamped `epoch` over exactly `bricks` — the
+  /// engine's covered-and-materialized brick set at delete time. The caller
+  /// must capture that set atomically with the engine-side mark (the stress
+  /// driver holds its structure lock exclusively around both).
+  void Delete(aosi::Epoch epoch, const std::vector<Bid>& bricks);
+
+  /// Erases every operation of `victim`, mirroring the physical removal a
+  /// rollback performs. Must be called before the engine-side transaction
+  /// manager finalizes the abort (i.e. before LCE may pass the victim).
+  void Rollback(aosi::Epoch victim);
+
+  /// Drops every operation with epoch > lse — the single-node crash
+  /// recovery truncation (data after the last durable epoch is lost).
+  void TruncateAfter(aosi::Epoch lse);
+
+  /// The expected result of `query` under `snapshot` (Snapshot Isolation).
+  QueryResult Eval(const aosi::Snapshot& snapshot, const Query& query) const;
+
+  /// Number of records visible to `snapshot` (diagnostics / unit tests).
+  uint64_t VisibleRows(const aosi::Snapshot& snapshot) const;
+
+  /// Total logged append rows (diagnostics).
+  uint64_t LoggedRows() const;
+
+  const CubeSchema& schema() const { return *schema_; }
+
+ private:
+  struct Op {
+    aosi::Epoch epoch = aosi::kNoEpoch;
+    /// Global log order; orders a delete against the deleter's own appends.
+    uint64_t seq = 0;
+    bool is_delete = false;
+    /// Appends only: encoded dimension coordinates and metric values.
+    std::vector<uint64_t> coords;
+    std::vector<double> metrics;
+  };
+
+  /// Visits every visible append op. Requires mutex_ held.
+  template <typename Fn>
+  void ForEachVisibleLocked(const aosi::Snapshot& snapshot, Fn&& fn) const;
+
+  std::shared_ptr<const CubeSchema> schema_;
+  mutable std::mutex mutex_;
+  uint64_t next_seq_ = 0;
+  std::map<Bid, std::vector<Op>> bricks_;
+};
+
+/// Compares an engine result against the oracle's expectation. Returns an
+/// empty string when they agree, else a human-readable description of the
+/// first difference (missing/extra group, mismatching aggregate).
+std::string DiffResults(const QueryResult& expected, const QueryResult& actual,
+                        const Query& query);
+
+}  // namespace cubrick::check

@@ -1,0 +1,839 @@
+#include "check/stress.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <sstream>
+#include <thread>
+
+#include "check/si_oracle.h"
+#include "cluster/cluster.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "cubrick/database.h"
+#include "query/executor.h"
+
+namespace cubrick::check {
+namespace {
+
+namespace fs = std::filesystem;
+
+// The stress cube: two integer dimensions (8 x 2 = 16 bricks) and one
+// integer metric. Small enough that every brick sees appends, deletes and
+// purges within a short run; large enough that filters and group-bys
+// discriminate.
+constexpr char kCube[] = "stress";
+constexpr uint64_t kCardB = 32, kRangeB = 4;
+constexpr uint64_t kCardC = 8, kRangeC = 4;
+
+std::vector<DimensionDef> StressDimensions() {
+  return {{"b", kCardB, kRangeB, false}, {"c", kCardC, kRangeC, false}};
+}
+
+std::vector<MetricDef> StressMetrics() {
+  return {{"v", DataType::kInt64}};
+}
+
+std::vector<Record> RandomRecords(Random& rng) {
+  std::vector<Record> rows;
+  const uint64_t n = 1 + rng.Uniform(5);
+  rows.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    rows.push_back({static_cast<int64_t>(rng.Uniform(kCardB)),
+                    static_cast<int64_t>(rng.Uniform(kCardC)),
+                    static_cast<int64_t>(rng.Uniform(100))});
+  }
+  return rows;
+}
+
+Query RandomQuery(Random& rng) {
+  Query q;
+  q.aggs = {{AggSpec::Fn::kSum, 0},
+            {AggSpec::Fn::kCount, 0},
+            {AggSpec::Fn::kMin, 0},
+            {AggSpec::Fn::kMax, 0}};
+  const uint64_t num_filters = rng.Uniform(3);
+  for (uint64_t i = 0; i < num_filters; ++i) {
+    FilterClause f;
+    f.dim = rng.Uniform(2);
+    const uint64_t card = f.dim == 0 ? kCardB : kCardC;
+    switch (rng.Uniform(3)) {
+      case 0:
+        f.op = FilterClause::Op::kEq;
+        f.values = {rng.Uniform(card)};
+        break;
+      case 1:
+        f.op = FilterClause::Op::kRange;
+        f.range_lo = rng.Uniform(card);
+        f.range_hi = f.range_lo + rng.Uniform(card - f.range_lo);
+        break;
+      default:
+        f.op = FilterClause::Op::kIn;
+        for (uint64_t v = 0, nv = 1 + rng.Uniform(3); v < nv; ++v) {
+          f.values.push_back(rng.Uniform(card));
+        }
+        break;
+    }
+    q.filters.push_back(std::move(f));
+  }
+  switch (rng.Uniform(4)) {
+    case 1:
+      q.group_by = {0};
+      break;
+    case 2:
+      q.group_by = {1};
+      break;
+    case 3:
+      q.group_by = {0, 1};
+      break;
+    default:
+      break;
+  }
+  return q;
+}
+
+std::vector<FilterClause> RandomDeleteFilters(Random& rng) {
+  const double dice = rng.NextDouble();
+  std::vector<FilterClause> filters;
+  if (dice < 0.15) return filters;  // empty predicate: delete the whole cube
+  FilterClause f;
+  f.op = FilterClause::Op::kRange;
+  if (dice < 0.80) {
+    // Range-aligned on one dimension: always partition-granular.
+    f.dim = rng.Uniform(2);
+    const uint64_t range = f.dim == 0 ? kRangeB : kRangeC;
+    const uint64_t ranges = (f.dim == 0 ? kCardB : kCardC) / range;
+    f.range_lo = range * rng.Uniform(ranges);
+    f.range_hi = f.range_lo + range - 1;
+  } else {
+    // Deliberately misaligned: rejected whenever it partially covers a
+    // materialized brick (exercises the granularity check under load).
+    f.dim = 0;
+    f.range_lo = rng.Uniform(kCardB - 1);
+    f.range_hi = f.range_lo + 1;
+  }
+  filters.push_back(std::move(f));
+  return filters;
+}
+
+std::string QueryToString(const Query& q) {
+  std::ostringstream out;
+  out << "filters=[";
+  for (size_t i = 0; i < q.filters.size(); ++i) {
+    const FilterClause& f = q.filters[i];
+    if (i > 0) out << ", ";
+    out << "dim" << f.dim;
+    switch (f.op) {
+      case FilterClause::Op::kEq:
+        out << "==" << f.values[0];
+        break;
+      case FilterClause::Op::kRange:
+        out << " in [" << f.range_lo << "," << f.range_hi << "]";
+        break;
+      case FilterClause::Op::kIn:
+        out << " in {";
+        for (size_t v = 0; v < f.values.size(); ++v) {
+          out << (v > 0 ? "," : "") << f.values[v];
+        }
+        out << "}";
+        break;
+    }
+  }
+  out << "] group_by={";
+  for (size_t i = 0; i < q.group_by.size(); ++i) {
+    out << (i > 0 ? "," : "") << q.group_by[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string FiltersToString(const std::vector<FilterClause>& filters) {
+  Query q;
+  q.filters = filters;
+  return QueryToString(q);
+}
+
+/// Engine-side covered-brick collection: exactly the predicate
+/// Table::MarkDeleted applies. Must run with the stress driver's structure
+/// lock held exclusively so the set cannot change before the mark.
+void CollectCoveredBricks(Table* table,
+                          const std::vector<FilterClause>& filters,
+                          std::set<Bid>* out) {
+  Query probe;
+  probe.filters = filters;
+  table->VisitBricks([&](const Brick& brick) {
+    if (brick.num_records() > 0 && BrickCoveredByFilters(brick, probe)) {
+      out->insert(brick.bid());
+    }
+  });
+}
+
+// --- System-under-test adapters -------------------------------------------
+
+/// A transaction handle valid for either mode.
+struct SutTxn {
+  aosi::Txn local;
+  cluster::DistTxn dist;
+  bool is_cluster = false;
+
+  const aosi::Txn& txn() const { return is_cluster ? dist.txn : local; }
+  aosi::Epoch epoch() const { return txn().epoch; }
+  aosi::Snapshot snapshot() const { return txn().snapshot(); }
+};
+
+class SutAdapter {
+ public:
+  virtual ~SutAdapter() = default;
+  virtual Status BeginRw(Random& rng, SutTxn* out) = 0;
+  virtual void BeginRo(Random& rng, SutTxn* out) = 0;
+  virtual Status Append(SutTxn* t, const std::vector<Record>& rows) = 0;
+  virtual Status Delete(SutTxn* t,
+                        const std::vector<FilterClause>& filters) = 0;
+  virtual Status Commit(SutTxn* t) = 0;
+  /// Physical rollback plus timestamp finalization.
+  virtual Status Abort(SutTxn* t) = 0;
+  virtual void EndRo(SutTxn* t) = 0;
+  virtual Result<QueryResult> RunQuery(SutTxn* t, const Query& q) = 0;
+  virtual std::vector<Bid> CoveredBricks(
+      const std::vector<FilterClause>& filters) = 0;
+  /// Purge / LSE advance / checkpoint step. Caller holds the structure lock
+  /// shared.
+  virtual Status Maintenance(Random& rng, StressReport* counters) = 0;
+};
+
+class SingleNodeSut : public SutAdapter {
+ public:
+  SingleNodeSut(Database* db, bool with_persistence)
+      : db_(db), with_persistence_(with_persistence) {}
+
+  Status BeginRw(Random&, SutTxn* out) override {
+    out->local = db_->Begin();
+    return Status::OK();
+  }
+
+  void BeginRo(Random&, SutTxn* out) override {
+    out->local = db_->BeginReadOnly();
+  }
+
+  Status Append(SutTxn* t, const std::vector<Record>& rows) override {
+    return db_->LoadIn(t->local, kCube, rows);
+  }
+
+  Status Delete(SutTxn* t,
+                const std::vector<FilterClause>& filters) override {
+    return db_->DeletePartitionsIn(t->local, kCube, filters);
+  }
+
+  Status Commit(SutTxn* t) override { return db_->Commit(t->local); }
+  Status Abort(SutTxn* t) override { return db_->Rollback(t->local); }
+  void EndRo(SutTxn* t) override { db_->txns().EndReadOnly(t->local); }
+
+  Result<QueryResult> RunQuery(SutTxn* t, const Query& q) override {
+    return db_->QueryIn(t->local, kCube, q);
+  }
+
+  std::vector<Bid> CoveredBricks(
+      const std::vector<FilterClause>& filters) override {
+    std::set<Bid> bids;
+    CollectCoveredBricks(db_->FindTable(kCube), filters, &bids);
+    return {bids.begin(), bids.end()};
+  }
+
+  Status Maintenance(Random& rng, StressReport* counters) override {
+    if (with_persistence_) {
+      if (rng.OneIn(2)) {
+        auto lse = db_->Checkpoint();
+        if (!lse.ok()) return lse.status();
+        ++counters->checkpoints;
+      } else {
+        db_->PurgeAll();
+      }
+    } else {
+      // Diskless deployment: durability is replication's problem (§III-D);
+      // LSE may chase LCE directly, which is what makes purge effective.
+      db_->txns().TryAdvanceLSE(db_->txns().LCE());
+      db_->PurgeAll();
+    }
+    return Status::OK();
+  }
+
+ private:
+  Database* db_;
+  const bool with_persistence_;
+};
+
+class ClusterSut : public SutAdapter {
+ public:
+  ClusterSut(cluster::Cluster* cluster, bool with_persistence)
+      : cluster_(cluster), with_persistence_(with_persistence) {}
+
+  Status BeginRw(Random& rng, SutTxn* out) override {
+    out->is_cluster = true;
+    auto txn = cluster_->BeginReadWrite(RandomCoordinator(rng));
+    if (!txn.ok()) return txn.status();
+    out->dist = *txn;
+    return Status::OK();
+  }
+
+  void BeginRo(Random& rng, SutTxn* out) override {
+    out->is_cluster = true;
+    out->dist = cluster_->BeginReadOnly(RandomCoordinator(rng));
+  }
+
+  Status Append(SutTxn* t, const std::vector<Record>& rows) override {
+    return cluster_->Append(&t->dist, kCube, rows);
+  }
+
+  Status Delete(SutTxn* t,
+                const std::vector<FilterClause>& filters) override {
+    return cluster_->DeleteWhere(&t->dist, kCube, filters);
+  }
+
+  Status Commit(SutTxn* t) override { return cluster_->Commit(&t->dist); }
+  Status Abort(SutTxn* t) override { return cluster_->Rollback(&t->dist); }
+  void EndRo(SutTxn* t) override { cluster_->EndReadOnly(&t->dist); }
+
+  Result<QueryResult> RunQuery(SutTxn* t, const Query& q) override {
+    return cluster_->Query(&t->dist, kCube, q);
+  }
+
+  std::vector<Bid> CoveredBricks(
+      const std::vector<FilterClause>& filters) override {
+    // Replicas are identical while the structure lock is held exclusively,
+    // so the union over nodes is the engine's cluster-wide delete scope.
+    std::set<Bid> bids;
+    for (uint32_t n = 1; n <= cluster_->num_nodes(); ++n) {
+      CollectCoveredBricks(cluster_->node(n).FindTable(kCube), filters,
+                           &bids);
+    }
+    return {bids.begin(), bids.end()};
+  }
+
+  Status Maintenance(Random& rng, StressReport* counters) override {
+    cluster_->AdvanceClusterLSE();
+    cluster_->PurgeAll();
+    if (with_persistence_ && rng.OneIn(2)) {
+      auto lse = cluster_->CheckpointAll();
+      if (!lse.ok()) return lse.status();
+      ++counters->checkpoints;
+    }
+    return Status::OK();
+  }
+
+ private:
+  uint32_t RandomCoordinator(Random& rng) {
+    return 1 + static_cast<uint32_t>(rng.Uniform(cluster_->num_nodes()));
+  }
+
+  cluster::Cluster* cluster_;
+  const bool with_persistence_;
+};
+
+// --- Worker ---------------------------------------------------------------
+
+struct SharedState {
+  SutAdapter* sut = nullptr;
+  SiOracle* oracle = nullptr;
+  std::shared_mutex structure;
+  std::atomic<bool> stop{false};
+  std::mutex failure_mutex;
+  std::vector<std::string>* failures = nullptr;
+  std::string config;
+};
+
+class Worker {
+ public:
+  Worker(SharedState* shared, const StressOptions& opt, int tid)
+      : shared_(shared), opt_(opt), tid_(tid), rng_(WorkerSeed(opt.seed, tid)) {}
+
+  StressReport& counters() { return counters_; }
+
+  void Run() {
+    for (int i = 0; i < opt_.ops_per_thread && !shared_->stop.load(); ++i) {
+      op_index_ = i;
+      const double dice = rng_.NextDouble();
+      if (dice < 0.30) {
+        CommitAppendTxn();
+      } else if (dice < 0.42) {
+        AbortTxn();
+      } else if (dice < 0.56) {
+        DeleteTxn();
+      } else if (dice < 0.88) {
+        RoQueryOp();
+      } else {
+        MaintenanceOp();
+      }
+    }
+  }
+
+ private:
+  static uint64_t WorkerSeed(uint64_t seed, int tid) {
+    uint64_t state = seed * 1000003ULL + static_cast<uint64_t>(tid);
+    return SplitMix64(state);
+  }
+
+  void Trace(const std::string& line) {
+    std::ostringstream out;
+    out << "t" << tid_ << "#" << op_index_ << " " << line;
+    trace_.push_back(out.str());
+  }
+
+  void Fail(const std::string& what) {
+    std::ostringstream out;
+    out << shared_->config << "\n" << what << "\nthread " << tid_
+        << " trace (oldest first):";
+    for (const auto& line : trace_) out << "\n  " << line;
+    {
+      std::lock_guard<std::mutex> lock(shared_->failure_mutex);
+      shared_->failures->push_back(out.str());
+    }
+    shared_->stop.store(true);
+  }
+
+  /// Engine-vs-oracle comparison for one query under `t`'s snapshot.
+  bool Validate(SutTxn* t, const Query& q, const char* label) {
+    auto actual = shared_->sut->RunQuery(t, q);
+    if (!actual.ok()) {
+      Fail(std::string(label) + " query failed: " +
+           actual.status().ToString());
+      return false;
+    }
+    const aosi::Snapshot snap = t->snapshot();
+    const QueryResult expected = shared_->oracle->Eval(snap, q);
+    const std::string diff = DiffResults(expected, *actual, q);
+    if (!diff.empty()) {
+      std::ostringstream out;
+      out << "SI DIVERGENCE (" << label << ") at snapshot{epoch="
+          << snap.epoch << ", deps=" << snap.deps.ToString()
+          << "}: " << diff << "\nquery: " << QueryToString(q)
+          << "\noracle visible rows: "
+          << shared_->oracle->VisibleRows(snap);
+      Fail(out.str());
+      return false;
+    }
+    return true;
+  }
+
+  /// Appends under the shared structure lock, logging to the oracle inside
+  /// the same critical section (ordering contract, see stress.h).
+  bool AppendBatch(SutTxn* t) {
+    const std::vector<Record> rows = RandomRecords(rng_);
+    std::shared_lock<std::shared_mutex> lock(shared_->structure);
+    const Status status = shared_->sut->Append(t, rows);
+    if (!status.ok()) {
+      Fail("append failed: " + status.ToString());
+      return false;
+    }
+    shared_->oracle->Append(t->epoch(), rows);
+    counters_.records_appended += rows.size();
+    return true;
+  }
+
+  void CommitAppendTxn() {
+    SutTxn t;
+    Status status = shared_->sut->BeginRw(rng_, &t);
+    if (!status.ok()) {
+      Fail("begin failed: " + status.ToString());
+      return;
+    }
+    Trace("begin rw epoch=" + std::to_string(t.epoch()) + " deps=" +
+          t.txn().deps.ToString());
+    const uint64_t batches = 1 + rng_.Uniform(2);
+    for (uint64_t b = 0; b < batches; ++b) {
+      if (!AppendBatch(&t)) return;
+    }
+    if (rng_.OneIn(2)) {
+      ++counters_.ryw_queries;
+      if (!Validate(&t, RandomQuery(rng_), "read-your-writes")) return;
+    }
+    status = shared_->sut->Commit(&t);
+    if (!status.ok()) {
+      Fail("commit failed: " + status.ToString());
+      return;
+    }
+    Trace("commit epoch=" + std::to_string(t.epoch()));
+    ++counters_.commits;
+  }
+
+  void AbortTxn() {
+    SutTxn t;
+    Status status = shared_->sut->BeginRw(rng_, &t);
+    if (!status.ok()) {
+      Fail("begin failed: " + status.ToString());
+      return;
+    }
+    if (!AppendBatch(&t)) return;
+    if (rng_.OneIn(3)) {
+      ++counters_.ryw_queries;
+      if (!Validate(&t, RandomQuery(rng_), "pre-abort read")) return;
+    }
+    if (!FinishAbort(&t)) return;
+    Trace("abort epoch=" + std::to_string(t.epoch()));
+    ++counters_.aborts;
+  }
+
+  bool FinishAbort(SutTxn* t) {
+    // Oracle removal first: nothing may see the victim until the engine
+    // finalizes the abort (LCE may pass it from then on), and the physical
+    // removal is a table mutation, so the structure lock is held shared.
+    std::shared_lock<std::shared_mutex> lock(shared_->structure);
+    shared_->oracle->Rollback(t->epoch());
+    const Status status = shared_->sut->Abort(t);
+    if (!status.ok()) {
+      Fail("rollback failed: " + status.ToString());
+      return false;
+    }
+    return true;
+  }
+
+  void DeleteTxn() {
+    SutTxn t;
+    Status status = shared_->sut->BeginRw(rng_, &t);
+    if (!status.ok()) {
+      Fail("begin failed: " + status.ToString());
+      return;
+    }
+    // Sometimes append in the same transaction before the delete point:
+    // those records must be cleared by the transaction's own delete.
+    if (rng_.OneIn(2) && !AppendBatch(&t)) return;
+    const std::vector<FilterClause> filters = RandomDeleteFilters(rng_);
+    bool deleted = false;
+    {
+      std::unique_lock<std::shared_mutex> lock(shared_->structure);
+      const std::vector<Bid> bricks =
+          shared_->sut->CoveredBricks(filters);
+      status = shared_->sut->Delete(&t, filters);
+      if (status.ok()) {
+        shared_->oracle->Delete(t.epoch(), bricks);
+        deleted = true;
+        std::ostringstream line;
+        line << "delete epoch=" << t.epoch() << " "
+             << FiltersToString(filters) << " bricks=" << bricks.size();
+        Trace(line.str());
+      } else {
+        ++counters_.delete_rejects;
+        Trace("delete rejected: " + FiltersToString(filters));
+      }
+    }
+    // Records appended after the delete point survive the delete.
+    if (deleted && rng_.OneIn(3) && !AppendBatch(&t)) return;
+    if (rng_.OneIn(2)) {
+      ++counters_.ryw_queries;
+      if (!Validate(&t, RandomQuery(rng_), "post-delete read")) return;
+    }
+    if (deleted && !rng_.OneIn(4)) {
+      status = shared_->sut->Commit(&t);
+      if (!status.ok()) {
+        Fail("commit failed: " + status.ToString());
+        return;
+      }
+      ++counters_.deletes;
+    } else {
+      if (!FinishAbort(&t)) return;
+      ++counters_.aborts;
+    }
+  }
+
+  void RoQueryOp() {
+    SutTxn t;
+    shared_->sut->BeginRo(rng_, &t);
+    ++counters_.queries;
+    const Query q = RandomQuery(rng_);
+    const bool ok = Validate(&t, q, "read-only snapshot");
+    shared_->sut->EndRo(&t);
+    if (ok) {
+      Trace("ro query epoch=" + std::to_string(t.epoch()) + " ok");
+    }
+  }
+
+  void MaintenanceOp() {
+    std::shared_lock<std::shared_mutex> lock(shared_->structure);
+    const Status status = shared_->sut->Maintenance(rng_, &counters_);
+    if (!status.ok()) {
+      Fail("maintenance failed: " + status.ToString());
+      return;
+    }
+    ++counters_.maintenance;
+    Trace("maintenance");
+  }
+
+  SharedState* shared_;
+  const StressOptions& opt_;
+  const int tid_;
+  Random rng_;
+  int op_index_ = 0;
+  StressReport counters_;
+  std::vector<std::string> trace_;
+};
+
+std::string ConfigLine(const StressOptions& opt, bool cluster) {
+  std::ostringstream out;
+  out << "config: mode=" << (cluster ? "cluster" : "single")
+      << " seed=" << opt.seed << " threads=" << opt.threads
+      << " ops=" << opt.ops_per_thread << " shards=" << opt.shards_per_cube
+      << " threaded=" << opt.threaded_shards
+      << " rollback_index=" << opt.rollback_index
+      << " persist=" << opt.with_persistence;
+  if (cluster) {
+    out << " nodes=" << opt.num_nodes << " rf=" << opt.replication_factor
+        << " latency_us=" << opt.message_latency_us;
+  }
+  out << "\nreplay: check_si --mode=" << (cluster ? "cluster" : "single")
+      << " --seed0=" << opt.seed << " --seeds=1 --ops="
+      << opt.ops_per_thread;
+  return out.str();
+}
+
+Query FullScanQuery() {
+  Query q;
+  q.group_by = {0, 1};
+  q.aggs = {{AggSpec::Fn::kSum, 0},
+            {AggSpec::Fn::kCount, 0},
+            {AggSpec::Fn::kMin, 0},
+            {AggSpec::Fn::kMax, 0}};
+  return q;
+}
+
+/// Runs the worker pool and merges counters/failures into `report`.
+void RunWorkers(SharedState* shared, const StressOptions& opt,
+                StressReport* report) {
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (int t = 0; t < opt.threads; ++t) {
+    workers.push_back(std::make_unique<Worker>(shared, opt, t));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers.size());
+  for (auto& worker : workers) {
+    threads.emplace_back([&worker] { worker->Run(); });
+  }
+  for (auto& thread : threads) thread.join();
+  for (auto& worker : workers) {
+    report->MergeCounters(worker->counters());
+  }
+}
+
+/// Validates one (snapshot, query) pair sequentially (epilogue checks).
+bool ValidateSequential(const SiOracle& oracle, const aosi::Snapshot& snap,
+                        const Query& q, const Result<QueryResult>& actual,
+                        const std::string& config, const char* label,
+                        StressReport* report) {
+  if (!actual.ok()) {
+    report->failures.push_back(config + "\n" + label + " query failed: " +
+                               actual.status().ToString());
+    return false;
+  }
+  const QueryResult expected = oracle.Eval(snap, q);
+  const std::string diff = DiffResults(expected, *actual, q);
+  if (!diff.empty()) {
+    std::ostringstream out;
+    out << config << "\nSI DIVERGENCE (" << label << ") at snapshot{epoch="
+        << snap.epoch << ", deps=" << snap.deps.ToString() << "}: " << diff;
+    report->failures.push_back(out.str());
+    return false;
+  }
+  return true;
+}
+
+fs::path ScratchDir(const StressOptions& opt, const char* mode) {
+  const fs::path base = opt.scratch_dir.empty()
+                            ? fs::temp_directory_path()
+                            : fs::path(opt.scratch_dir);
+  return base / ("cubrick_check_si_" + std::string(mode) + "_" +
+                 std::to_string(opt.seed) + "_" + std::to_string(getpid()));
+}
+
+}  // namespace
+
+void StressReport::MergeCounters(const StressReport& other) {
+  commits += other.commits;
+  aborts += other.aborts;
+  deletes += other.deletes;
+  delete_rejects += other.delete_rejects;
+  queries += other.queries;
+  ryw_queries += other.ryw_queries;
+  maintenance += other.maintenance;
+  checkpoints += other.checkpoints;
+  records_appended += other.records_appended;
+}
+
+std::string StressReport::Summary() const {
+  std::ostringstream out;
+  out << "commits=" << commits << " aborts=" << aborts
+      << " deletes=" << deletes << " delete_rejects=" << delete_rejects
+      << " queries=" << queries << " ryw=" << ryw_queries
+      << " maintenance=" << maintenance << " checkpoints=" << checkpoints
+      << " rows=" << records_appended;
+  return out.str();
+}
+
+StressOptions MakeSeedConfig(uint64_t seed, bool cluster) {
+  StressOptions opt;
+  opt.seed = seed;
+  opt.threads = 3 + static_cast<int>(seed % 3);
+  opt.shards_per_cube = 1 + seed % 3;
+  opt.threaded_shards = seed % 2 == 0;
+  opt.rollback_index = seed % 4 < 2;
+  opt.with_persistence = seed % 5 == 0;
+  if (cluster) {
+    opt.num_nodes = 3;
+    opt.replication_factor = 1 + seed % 2;
+    opt.message_latency_us = seed % 7 == 0 ? 20 : 0;
+  }
+  return opt;
+}
+
+StressReport RunSingleNodeStress(const StressOptions& opt) {
+  StressReport report;
+  const std::string config = ConfigLine(opt, /*cluster=*/false);
+  const fs::path dir = ScratchDir(opt, "single");
+  DatabaseOptions db_options;
+  db_options.shards_per_cube = opt.shards_per_cube;
+  db_options.threaded_shards = opt.threaded_shards;
+  db_options.rollback_index = opt.rollback_index;
+  if (opt.with_persistence) {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    db_options.data_dir = dir.string();
+  }
+
+  auto db = std::make_unique<Database>(db_options);
+  Status created =
+      db->CreateCube(kCube, StressDimensions(), StressMetrics());
+  CUBRICK_CHECK(created.ok());
+  SiOracle oracle(db->FindSchema(kCube));
+
+  SingleNodeSut sut(db.get(), opt.with_persistence);
+  SharedState shared;
+  shared.sut = &sut;
+  shared.oracle = &oracle;
+  shared.failures = &report.failures;
+  shared.config = config;
+  RunWorkers(&shared, opt, &report);
+
+  // Epilogue 1: quiescent full-cube validation at the final LCE.
+  const Query q = FullScanQuery();
+  if (report.ok()) {
+    aosi::Txn ro = db->BeginReadOnly();
+    auto actual = db->QueryIn(ro, kCube, q);
+    ValidateSequential(oracle, ro.snapshot(), q, actual, config,
+                       "final read", &report);
+    db->txns().EndReadOnly(ro);
+  }
+
+  // Epilogue 2: crash (destroy the Database; segments survive on disk),
+  // recover, and verify the recovered state equals the oracle at the
+  // recovered LSE.
+  if (report.ok() && opt.with_persistence) {
+    auto lse = db->Checkpoint();
+    if (!lse.ok()) {
+      report.failures.push_back(config + "\ncheckpoint failed: " +
+                                lse.status().ToString());
+    } else {
+      db.reset();
+      db = std::make_unique<Database>(db_options);
+      created = db->CreateCube(kCube, StressDimensions(), StressMetrics());
+      CUBRICK_CHECK(created.ok());
+      const Status recovered = db->Recover();
+      if (!recovered.ok()) {
+        report.failures.push_back(config + "\nrecovery failed: " +
+                                  recovered.ToString());
+      } else {
+        oracle.TruncateAfter(db->txns().LSE());
+        aosi::Txn ro = db->BeginReadOnly();
+        auto actual = db->QueryIn(ro, kCube, q);
+        ValidateSequential(oracle, ro.snapshot(), q, actual, config,
+                           "post-recovery read", &report);
+        db->txns().EndReadOnly(ro);
+      }
+    }
+  }
+
+  if (opt.with_persistence) fs::remove_all(dir);
+  return report;
+}
+
+StressReport RunClusterStress(const StressOptions& opt) {
+  StressReport report;
+  const std::string config = ConfigLine(opt, /*cluster=*/true);
+  const fs::path dir = ScratchDir(opt, "cluster");
+  cluster::ClusterOptions cluster_options;
+  cluster_options.num_nodes = opt.num_nodes;
+  cluster_options.shards_per_cube = opt.shards_per_cube;
+  cluster_options.threaded_shards = opt.threaded_shards;
+  cluster_options.replication_factor = opt.replication_factor;
+  cluster_options.message_latency_us = opt.message_latency_us;
+  if (opt.with_persistence) {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    cluster_options.data_dir = dir.string();
+  }
+
+  cluster::Cluster cluster(cluster_options);
+  Status created =
+      cluster.CreateCube(kCube, StressDimensions(), StressMetrics());
+  CUBRICK_CHECK(created.ok());
+  SiOracle oracle(cluster.FindSchema(kCube));
+
+  ClusterSut sut(&cluster, opt.with_persistence);
+  SharedState shared;
+  shared.sut = &sut;
+  shared.oracle = &oracle;
+  shared.failures = &report.failures;
+  shared.config = config;
+  RunWorkers(&shared, opt, &report);
+
+  // Epilogue 1: quiescent validation from every coordinator.
+  const Query q = FullScanQuery();
+  for (uint32_t n = 1; n <= opt.num_nodes && report.ok(); ++n) {
+    cluster::DistTxn ro = cluster.BeginReadOnly(n);
+    auto actual = cluster.Query(&ro, kCube, q);
+    ValidateSequential(oracle, ro.txn.snapshot(), q, actual, config,
+                       "final coordinator read", &report);
+    cluster.EndReadOnly(&ro);
+  }
+
+  // Epilogue 2: crash one node and recover it from local segments plus
+  // replica peers; every coordinator must still agree with the oracle.
+  if (report.ok() && opt.with_persistence && opt.replication_factor >= 2) {
+    auto lse = cluster.CheckpointAll();
+    if (!lse.ok()) {
+      report.failures.push_back(config + "\ncheckpoint-all failed: " +
+                                lse.status().ToString());
+    } else {
+      const uint32_t victim =
+          1 + static_cast<uint32_t>(opt.seed % opt.num_nodes);
+      Status status = cluster.CrashNode(victim);
+      CUBRICK_CHECK(status.ok());
+      for (uint32_t n = 1; n <= opt.num_nodes && report.ok(); ++n) {
+        if (n == victim) continue;
+        cluster::DistTxn ro = cluster.BeginReadOnly(n);
+        auto actual = cluster.Query(&ro, kCube, q);
+        ValidateSequential(oracle, ro.txn.snapshot(), q, actual, config,
+                           "during-outage read", &report);
+        cluster.EndReadOnly(&ro);
+      }
+      status = cluster.RecoverNode(victim);
+      if (!status.ok()) {
+        report.failures.push_back(config + "\nnode recovery failed: " +
+                                  status.ToString());
+      }
+      for (uint32_t n = 1; n <= opt.num_nodes && report.ok(); ++n) {
+        cluster::DistTxn ro = cluster.BeginReadOnly(n);
+        auto actual = cluster.Query(&ro, kCube, q);
+        ValidateSequential(oracle, ro.txn.snapshot(), q, actual, config,
+                           "post-recovery read", &report);
+        cluster.EndReadOnly(&ro);
+      }
+    }
+  }
+
+  if (opt.with_persistence) fs::remove_all(dir);
+  return report;
+}
+
+}  // namespace cubrick::check

@@ -1,0 +1,86 @@
+// Deterministic snapshot-isolation stress harness.
+//
+// Runs a seeded mix of concurrent append / delete / read transactions,
+// rollbacks, purge cycles and checkpoint/recovery against a system under
+// test — single-node cubrick::Database or cluster::Cluster — while logging
+// every logical operation into an SiOracle (si_oracle.h). Every query the
+// workload issues (read-only snapshots, reads inside open RW transactions,
+// post-recovery reads) is diffed against the oracle's answer for the exact
+// same snapshot; any divergence is an SI violation and produces a replayable
+// report: the seed, the derived configuration, and the interleaved per-thread
+// operation trace.
+//
+// Determinism: each worker's operation stream is a pure function of
+// (seed, thread id), so a failing seed re-runs the identical workload. The
+// thread interleaving itself is scheduler-dependent — that is the point: the
+// oracle comparison is interleaving-independent because visibility under
+// AOSI is a pure function of (epoch, deps) and the per-epoch operation sets.
+//
+// Oracle/engine ordering contract (what makes the comparison race-free):
+//   * a transaction's operations are logged to the oracle before it commits
+//     (nothing can see an epoch before its commit), and removed from the
+//     oracle before the engine finalizes its abort;
+//   * writers hold a shared structure lock; partition deletes hold it
+//     exclusively while capturing the engine's covered-brick set, so the
+//     oracle's delete scope is byte-identical to the engine's.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cubrick::check {
+
+struct StressOptions {
+  uint64_t seed = 1;
+  int threads = 4;
+  int ops_per_thread = 100;
+  size_t shards_per_cube = 2;
+  bool threaded_shards = true;
+  /// §III-C5 rollback index (single-node only).
+  bool rollback_index = false;
+  /// Enables checkpoint operations in the mix plus a crash/recovery epilogue
+  /// validated against the oracle.
+  bool with_persistence = false;
+  /// Cluster mode only.
+  uint32_t num_nodes = 3;
+  size_t replication_factor = 2;
+  uint32_t message_latency_us = 0;
+  /// Root for per-seed persistence scratch directories; empty uses the
+  /// system temp directory. Always cleaned up.
+  std::string scratch_dir;
+};
+
+struct StressReport {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t deletes = 0;
+  uint64_t delete_rejects = 0;
+  uint64_t queries = 0;
+  uint64_t ryw_queries = 0;
+  uint64_t maintenance = 0;
+  uint64_t checkpoints = 0;
+  uint64_t records_appended = 0;
+  /// Empty on success; each entry is a full replayable diagnostic.
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+  void MergeCounters(const StressReport& other);
+  std::string Summary() const;
+};
+
+/// Derives a varied configuration from `seed` — shard count, threaded vs
+/// inline shards, rollback index, persistence, replication factor, simulated
+/// latency — so a seed sweep covers the configuration matrix.
+StressOptions MakeSeedConfig(uint64_t seed, bool cluster);
+
+/// Runs the workload against cubrick::Database (with a crash+Recover()
+/// epilogue when options.with_persistence).
+StressReport RunSingleNodeStress(const StressOptions& options);
+
+/// Runs the workload against cluster::Cluster (with a CrashNode/RecoverNode
+/// epilogue when options.with_persistence && replication_factor >= 2).
+StressReport RunClusterStress(const StressOptions& options);
+
+}  // namespace cubrick::check

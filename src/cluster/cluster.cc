@@ -159,16 +159,24 @@ Status Cluster::Rollback(DistTxn* dist) {
   }
   const aosi::Epoch epoch = dist->txn.epoch;
   const aosi::EpochSet deps = dist->txn.deps;
+  // Two-phase: physically remove the victim's records everywhere (§III-C5)
+  // *before* finalizing the abort anywhere. Finalizing first would let a
+  // node's LCE pass the victim while its data is still present on another
+  // node, and a reader beginning there would see aborted records.
   for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
     if (o == dist->coordinator) continue;
-    DeliverOrQueue(dist->coordinator, o, [epoch, deps](ClusterNode& n) {
-      n.HandleFinish(epoch, deps, /*committed=*/false);
-      // Physically remove the victim's records from every cube (§III-C5).
+    DeliverOrQueue(dist->coordinator, o, [epoch](ClusterNode& n) {
       n.RollbackData(epoch);
       return Status::OK();
     });
   }
   node(dist->coordinator).RollbackData(epoch);
+  for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
+    if (o == dist->coordinator) continue;
+    DeliverOrQueue(dist->coordinator, o, [epoch, deps](ClusterNode& n) {
+      return n.HandleFinish(epoch, deps, /*committed=*/false);
+    });
+  }
   return node(dist->coordinator).txns().Rollback(dist->txn);
 }
 
@@ -306,6 +314,10 @@ aosi::Epoch Cluster::AdvanceClusterLSE() {
     // §III-B condition (c): LSE may not pass data that is not yet durable
     // on every replica. Diskless clusters return "unbounded" here.
     candidate = std::min(candidate, n->MinFlushedLse());
+    // A snapshot's horizon is registered only on its coordinator, but purge
+    // at LSE applies delete markers destructively on every node — so every
+    // node's LSE must respect the cluster-wide minimum horizon.
+    candidate = std::min(candidate, n->txns().MinActiveHorizon());
   }
   aosi::Epoch cluster_lse = ~0ULL;
   for (auto& n : nodes_) {
@@ -364,6 +376,10 @@ Result<aosi::Epoch> Cluster::CheckpointAll() {
   aosi::Epoch candidate = ~0ULL;
   for (auto& n : nodes_) {
     candidate = std::min(candidate, n->txns().LCE());
+    // Same cluster-wide horizon clamp as AdvanceClusterLSE: the LSE the
+    // checkpoint advances to must not pass any coordinator's active
+    // snapshots, or purge would apply deletes those snapshots exclude.
+    candidate = std::min(candidate, n->txns().MinActiveHorizon());
   }
   for (auto& n : nodes_) {
     CUBRICK_RETURN_IF_ERROR(n->Checkpoint(candidate));

@@ -1,0 +1,173 @@
+// Unit tests for the SI oracle itself (src/check/si_oracle.h) — the checker
+// must not silently rot, since every stress assertion routes through it.
+
+#include "check/si_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+
+namespace cubrick::check {
+namespace {
+
+using aosi::Epoch;
+using aosi::EpochSet;
+using aosi::Snapshot;
+
+std::shared_ptr<const CubeSchema> TestSchema() {
+  auto schema = CubeSchema::Make(
+      "t", {{"a", 8, 4, false}, {"b", 4, 4, false}},
+      {{"m", DataType::kInt64}});
+  EXPECT_TRUE(schema.ok());
+  return *schema;
+}
+
+/// One record at coordinates (a, b) with metric value m.
+Record Row(int64_t a, int64_t b, int64_t m) { return Record{a, b, m}; }
+
+Snapshot At(Epoch epoch, std::vector<Epoch> deps = {}) {
+  return Snapshot{epoch, EpochSet(std::move(deps))};
+}
+
+Query CountAll() {
+  Query q;
+  q.aggs = {{AggSpec::Fn::kCount, 0}, {AggSpec::Fn::kSum, 0}};
+  return q;
+}
+
+TEST(SiOracleTest, VisibilityAtEpoch) {
+  SiOracle oracle(TestSchema());
+  oracle.Append(1, {Row(0, 0, 10)});
+  oracle.Append(2, {Row(1, 0, 20), Row(5, 0, 21)});
+  oracle.Append(4, {Row(2, 0, 30)});
+
+  EXPECT_EQ(oracle.VisibleRows(At(0)), 0u);
+  EXPECT_EQ(oracle.VisibleRows(At(1)), 1u);
+  EXPECT_EQ(oracle.VisibleRows(At(2)), 3u);
+  EXPECT_EQ(oracle.VisibleRows(At(3)), 3u);  // epoch 3 never wrote
+  EXPECT_EQ(oracle.VisibleRows(At(4)), 4u);
+
+  // A pending dependency is excluded even when its epoch is in range.
+  EXPECT_EQ(oracle.VisibleRows(At(4, {2})), 2u);
+  EXPECT_EQ(oracle.VisibleRows(At(4, {1, 2, 4})), 0u);
+  EXPECT_EQ(oracle.LoggedRows(), 4u);
+}
+
+TEST(SiOracleTest, DeleteClearsLogicallyOlderRegardlessOfLogOrder) {
+  SiOracle oracle(TestSchema());
+  oracle.Append(3, {Row(0, 0, 1)});
+  oracle.Delete(7, {0});  // brick 0 holds a in [0, 4)
+  // Logged after the delete, but epoch 5 < 7 makes it logically older:
+  // the §III-C3 rule clears it wherever it physically sits.
+  oracle.Append(5, {Row(1, 0, 2)});
+
+  EXPECT_EQ(oracle.VisibleRows(At(7)), 0u);
+  // Snapshots that do not see the delete keep the rows.
+  EXPECT_EQ(oracle.VisibleRows(At(4)), 1u);       // sees only epoch 3
+  EXPECT_EQ(oracle.VisibleRows(At(6)), 2u);       // sees 3 and 5, not 7
+  EXPECT_EQ(oracle.VisibleRows(At(7, {7})), 2u);  // delete pending in deps
+}
+
+TEST(SiOracleTest, DeleteOnlyCoversListedBricks) {
+  SiOracle oracle(TestSchema());
+  oracle.Append(2, {Row(0, 0, 1), Row(5, 0, 2)});  // bricks 0 and 1
+  oracle.Delete(4, {0});
+
+  EXPECT_EQ(oracle.VisibleRows(At(4)), 1u);  // brick 1 untouched
+  Query q = CountAll();
+  q.group_by = {0};
+  const QueryResult r = oracle.Eval(At(4), q);
+  ASSERT_EQ(r.num_groups(), 1u);
+  EXPECT_EQ(r.Value({5}, 0, AggSpec::Fn::kCount), 1.0);
+}
+
+TEST(SiOracleTest, DeletersOwnRecordsSplitAtDeletePoint) {
+  SiOracle oracle(TestSchema());
+  // Same transaction: append, delete, append again in the same brick.
+  oracle.Append(5, {Row(0, 0, 1), Row(1, 0, 2)});
+  oracle.Delete(5, {0});
+  oracle.Append(5, {Row(2, 0, 3)});
+
+  // Only the post-delete-point append survives for any snapshot seeing 5.
+  EXPECT_EQ(oracle.VisibleRows(At(5)), 1u);
+  const QueryResult r = oracle.Eval(At(9), CountAll());
+  EXPECT_EQ(r.Single(1, AggSpec::Fn::kSum), 3.0);
+}
+
+TEST(SiOracleTest, RollbackErasesAppendsAndMarkers) {
+  SiOracle oracle(TestSchema());
+  oracle.Append(2, {Row(0, 0, 1)});
+  oracle.Append(3, {Row(1, 0, 2)});
+  oracle.Delete(4, {0});
+  EXPECT_EQ(oracle.VisibleRows(At(9)), 0u);
+
+  // Rolling back the delete transaction resurrects older rows...
+  oracle.Rollback(4);
+  EXPECT_EQ(oracle.VisibleRows(At(9)), 2u);
+  // ...and rolling back an append removes its rows for every snapshot.
+  oracle.Rollback(3);
+  EXPECT_EQ(oracle.VisibleRows(At(9)), 1u);
+  EXPECT_EQ(oracle.LoggedRows(), 1u);
+}
+
+TEST(SiOracleTest, TruncateAfterDropsUndurableTail) {
+  SiOracle oracle(TestSchema());
+  oracle.Append(2, {Row(0, 0, 1)});
+  oracle.Append(4, {Row(1, 0, 2)});
+  oracle.Delete(6, {0});
+  oracle.Append(8, {Row(2, 0, 3)});
+
+  oracle.TruncateAfter(5);  // crash recovery to LSE=5: 6 and 8 are lost
+  EXPECT_EQ(oracle.VisibleRows(At(9)), 2u);
+  oracle.TruncateAfter(3);
+  EXPECT_EQ(oracle.VisibleRows(At(9)), 1u);
+}
+
+TEST(SiOracleTest, EvalAppliesFiltersAndGroupBy) {
+  SiOracle oracle(TestSchema());
+  oracle.Append(1, {Row(0, 0, 10), Row(0, 1, 20), Row(1, 0, 30),
+                    Row(5, 2, 40)});
+
+  Query q;
+  q.aggs = {{AggSpec::Fn::kSum, 0}, {AggSpec::Fn::kCount, 0}};
+  FilterClause f;
+  f.dim = 0;
+  f.op = FilterClause::Op::kRange;
+  f.range_lo = 0;
+  f.range_hi = 1;
+  q.filters = {f};
+  q.group_by = {0};
+
+  const QueryResult r = oracle.Eval(At(1), q);
+  ASSERT_EQ(r.num_groups(), 2u);
+  EXPECT_EQ(r.Value({0}, 0, AggSpec::Fn::kSum), 30.0);
+  EXPECT_EQ(r.Value({0}, 1, AggSpec::Fn::kCount), 2.0);
+  EXPECT_EQ(r.Value({1}, 0, AggSpec::Fn::kSum), 30.0);
+}
+
+TEST(SiOracleTest, DiffResultsDetectsEveryMismatchKind) {
+  SiOracle oracle(TestSchema());
+  oracle.Append(1, {Row(0, 0, 10)});
+  oracle.Append(2, {Row(1, 0, 20)});
+
+  Query q = CountAll();
+  q.group_by = {0};
+  const QueryResult at1 = oracle.Eval(At(1), q);
+  const QueryResult at2 = oracle.Eval(At(2), q);
+
+  EXPECT_EQ(DiffResults(at2, at2, q), "");
+  // Engine missing a group the oracle expects.
+  EXPECT_NE(DiffResults(at2, at1, q), "");
+  // Engine returning a group the oracle does not expect.
+  EXPECT_NE(DiffResults(at1, at2, q), "");
+
+  // Mismatching aggregate inside a shared group.
+  QueryResult wrong(q.aggs.size());
+  wrong.Accumulate({0}, 0, 10.0);
+  wrong.Accumulate({0}, 1, 10.0);
+  wrong.Accumulate({0}, 1, 10.0);  // count 2 where oracle has 1
+  EXPECT_NE(DiffResults(at1, wrong, q), "");
+}
+
+}  // namespace
+}  // namespace cubrick::check
