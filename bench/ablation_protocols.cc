@@ -201,7 +201,7 @@ void BM_ReadWhileWriting_AOSI(benchmark::State& state) {
   std::atomic<bool> stop{false};
   std::thread writer([&] {
     Random wrng(4);
-    while (!stop.load()) {
+    while (!stop.load(std::memory_order_seq_cst)) {
       CUBRICK_CHECK(db.Load("t", SingleColumnBatch(&wrng, 500)).ok());
     }
   });
@@ -210,7 +210,7 @@ void BM_ReadWhileWriting_AOSI(benchmark::State& state) {
     auto result = db.Query("t", q, ScanMode::kSnapshotIsolation);
     benchmark::DoNotOptimize(result);
   }
-  stop.store(true);
+  stop.store(true, std::memory_order_seq_cst);
   writer.join();
   state.counters["retries"] = 0;  // lock-free: reads never retry
 }
@@ -233,7 +233,7 @@ void BM_ReadWhileWriting_2PL(benchmark::State& state) {
   std::atomic<bool> stop{false};
   std::thread writer([&] {
     Random wrng(4);
-    while (!stop.load()) {
+    while (!stop.load(std::memory_order_seq_cst)) {
       auto txn = store.Begin();
       bool ok = true;
       for (int i = 0; i < 500 && ok; ++i) {
@@ -261,7 +261,7 @@ void BM_ReadWhileWriting_2PL(benchmark::State& state) {
       CUBRICK_CHECK(store.Abort(&txn).ok());
     }
   }
-  stop.store(true);
+  stop.store(true, std::memory_order_seq_cst);
   writer.join();
   state.counters["retries"] = static_cast<double>(retries);
 }

@@ -52,7 +52,7 @@ int main() {
     Random rng(77 + static_cast<uint64_t>(id));
     // Staggered start, mimicking upstream Hive tasks ramping up.
     std::this_thread::sleep_for(std::chrono::milliseconds(150 * id));
-    while (batches_left.fetch_sub(1) > 0) {
+    while (batches_left.fetch_sub(1, std::memory_order_relaxed) > 0) {
       std::vector<Record> records;
       records.reserve(kBatchRows);
       for (uint64_t i = 0; i < kBatchRows; ++i) {
@@ -67,10 +67,10 @@ int main() {
       CUBRICK_CHECK(
           cluster.Append(&*txn, "warehouse", records, {}, &stats).ok());
       CUBRICK_CHECK(cluster.Commit(&*txn).ok());
-      rows_ingested.fetch_add(kBatchRows);
+      rows_ingested.fetch_add(kBatchRows, std::memory_order_relaxed);
       // ~9 bytes of raw input per row (key + value text), as a proxy for
       // the paper's "raw incoming data" series.
-      bytes_ingested.fetch_add(kBatchRows * 9);
+      bytes_ingested.fetch_add(kBatchRows * 9, std::memory_order_relaxed);
     }
   };
 
@@ -82,10 +82,10 @@ int main() {
               "total_records");
   std::thread sampler([&] {
     uint64_t last_rows = 0, last_bytes = 0;
-    while (!done.load()) {
+    while (!done.load(std::memory_order_seq_cst)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(500));
-      const uint64_t rows = rows_ingested.load();
-      const uint64_t bytes = bytes_ingested.load();
+      const uint64_t rows = rows_ingested.load(std::memory_order_relaxed);
+      const uint64_t bytes = bytes_ingested.load(std::memory_order_relaxed);
       std::printf("%10.0f %14s %14s %14" PRIu64 "\n", clock.ElapsedMillis(),
                   HumanCount(static_cast<double>(rows - last_rows) * 2)
                       .c_str(),
@@ -99,7 +99,7 @@ int main() {
   });
 
   for (auto& c : clients) c.join();
-  done.store(true);
+  done.store(true, std::memory_order_seq_cst);
   sampler.join();
 
   const double secs = clock.ElapsedSeconds();
@@ -107,8 +107,8 @@ int main() {
       "\nJob finished: %" PRIu64 " records in %.1f s (avg %s records/s, "
       "peak visible in the ramp above). Cluster holds %" PRIu64
       " records across %u nodes.\n",
-      rows_ingested.load(), secs,
-      HumanCount(static_cast<double>(rows_ingested.load()) / secs).c_str(),
+      rows_ingested.load(std::memory_order_relaxed), secs,
+      HumanCount(static_cast<double>(rows_ingested.load(std::memory_order_relaxed)) / secs).c_str(),
       cluster.TotalRecords(), options.num_nodes);
   return 0;
 }

@@ -49,7 +49,7 @@ int main() {
 
   auto client = [&](uint64_t seed) {
     Random rng(seed);
-    while (batches_left.fetch_sub(1) > 0) {
+    while (batches_left.fetch_sub(1, std::memory_order_relaxed) > 0) {
       auto batch = SingleColumnBatch(&rng, kBatchRows);
       CUBRICK_CHECK(db.Load("hive_import", batch).ok());
     }
@@ -82,7 +82,7 @@ int main() {
   };
 
   std::thread sampler([&] {
-    while (!done.load()) {
+    while (!done.load(std::memory_order_seq_cst)) {
       sample("");
       const uint64_t records = db.TotalRecords();
       if (!purged_midway && records > kTotalRows * 6 / 10) {
@@ -96,7 +96,7 @@ int main() {
   });
 
   for (auto& c : clients) c.join();
-  done.store(true);
+  done.store(true, std::memory_order_seq_cst);
   sampler.join();
 
   sample("<- load finished");

@@ -44,7 +44,7 @@ int main() {
   for (int w = 0; w < kWriters; ++w) {
     writers.emplace_back([&, w] {
       Random rng(100 + static_cast<uint64_t>(w));
-      while (!stop.load()) {
+      while (!stop.load(std::memory_order_seq_cst)) {
         std::vector<Record> batch;
         batch.reserve(kBatchRows);
         for (uint64_t i = 0; i < kBatchRows; ++i) {
@@ -54,7 +54,7 @@ int main() {
                            static_cast<int64_t>(rng.Uniform(8))});
         }
         CUBRICK_CHECK(db.Load("events", batch).ok());
-        batches_loaded.fetch_add(1);
+        batches_loaded.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
@@ -89,13 +89,13 @@ int main() {
     CUBRICK_CHECK(consistent);
   }
 
-  stop.store(true);
+  stop.store(true, std::memory_order_seq_cst);
   for (auto& w : writers) w.join();
 
   // Final per-app breakdown.
   auto result = db.Query("events", dashboard);
   std::printf("\nfinal per-app counts (%llu batches ingested):\n",
-              static_cast<unsigned long long>(batches_loaded.load()));
+              static_cast<unsigned long long>(batches_loaded.load(std::memory_order_relaxed)));
   for (const auto& [key, states] : result->groups()) {
     std::printf("  %-12s %10.0f events\n",
                 schema->dictionary(0)->Decode(key[0]).value().c_str(),

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Static-analysis driver: aosi_lint (always) + clang-tidy (when available).
+# See docs/STATIC_ANALYSIS.md. Usage:
+#
+#   scripts/lint.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to `build`; it provides compile_commands.json and, if
+# already configured, the aosi_lint binary. The script builds aosi_lint
+# standalone when the build dir does not have it — the linter has no
+# dependencies beyond a C++20 compiler.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+FAILED=0
+
+# --- aosi_lint -------------------------------------------------------------
+
+AOSI_LINT=""
+if [[ -x "$BUILD_DIR/tools/aosi_lint/aosi_lint" ]]; then
+  AOSI_LINT="$BUILD_DIR/tools/aosi_lint/aosi_lint"
+else
+  CXX_BIN="${CXX:-c++}"
+  AOSI_LINT="$(mktemp -d)/aosi_lint"
+  echo "== building aosi_lint standalone ($CXX_BIN)"
+  "$CXX_BIN" -std=c++20 -O2 -Wall -Wextra \
+    -o "$AOSI_LINT" "$ROOT/tools/aosi_lint/aosi_lint.cc"
+fi
+
+echo "== aosi_lint --selftest"
+"$AOSI_LINT" --selftest "$ROOT/tests/lint_fixtures" || FAILED=1
+
+echo "== aosi_lint --root"
+"$AOSI_LINT" --root "$ROOT" || FAILED=1
+
+# --- clang-tidy ------------------------------------------------------------
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ -f "$BUILD_DIR/compile_commands.json" ]]; then
+    echo "== clang-tidy (profile: .clang-tidy)"
+    # Lint the first-party sources only; headers are covered through
+    # HeaderFilterRegex. xargs -P parallelizes across cores.
+    git -C "$ROOT" ls-files 'src/**/*.cc' 'tools/**/*.cc' \
+      | xargs -P "$(nproc)" -n 8 clang-tidy -p "$BUILD_DIR" --quiet \
+      || FAILED=1
+  else
+    echo "== clang-tidy skipped: no $BUILD_DIR/compile_commands.json" \
+         "(configure with cmake first; CMAKE_EXPORT_COMPILE_COMMANDS is on" \
+         "by default)"
+  fi
+else
+  echo "== clang-tidy skipped: not installed"
+fi
+
+if [[ "$FAILED" -ne 0 ]]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: OK"

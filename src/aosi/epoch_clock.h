@@ -28,7 +28,7 @@ class EpochClock {
 
   /// Atomically hands out the next epoch and advances the clock by the
   /// cluster stride. Used when a RW transaction begins.
-  Epoch Acquire() { return next_.fetch_add(num_nodes_); }
+  Epoch Acquire() { return next_.fetch_add(num_nodes_, std::memory_order_acq_rel); }
 
   /// Current EC value — the epoch the *next* transaction would get. This is
   /// the value piggybacked on outgoing messages.
@@ -41,7 +41,9 @@ class EpochClock {
     Epoch current = next_.load(std::memory_order_acquire);
     while (current < remote) {
       const Epoch target = AlignUp(remote);
-      if (next_.compare_exchange_weak(current, target)) {
+      if (next_.compare_exchange_weak(current, target,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
         return;
       }
       // current was reloaded by compare_exchange; loop re-checks.

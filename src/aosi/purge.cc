@@ -18,7 +18,7 @@ CompactionPlan BuildPlan(const EpochVector& history,
   uint64_t next_idx = 0;
   for (const auto& run : runs) {
     if (run.is_delete) {
-      if (run.epoch == kNoEpoch) continue;  // marked dropped by caller
+      if (IsNoEpoch(run.epoch)) continue;  // marked dropped by caller
       EpochRun marker;
       marker.epoch = run.epoch;
       marker.is_delete = true;
@@ -29,9 +29,9 @@ CompactionPlan BuildPlan(const EpochVector& history,
     const uint64_t kept = keep.CountSetInRange(run.begin, run.end);
     if (kept == 0) continue;
     const bool mergeable =
-        merge_below != kNoEpoch && run.epoch < merge_below &&
+        !IsNoEpoch(merge_below) && HappensBefore(run.epoch, merge_below) &&
         !new_runs.empty() && !new_runs.back().is_delete &&
-        new_runs.back().epoch < merge_below;
+        HappensBefore(new_runs.back().epoch, merge_below);
     if (mergeable) {
       auto& prev = new_runs.back();
       prev.epoch = std::max(prev.epoch, run.epoch);
@@ -60,7 +60,7 @@ CompactionPlan PlanPurge(const EpochVector& history, Epoch lse) {
   // recyclable history (two adjacent mergeable append runs < lse).
   bool has_applicable_delete = false;
   for (const auto& run : runs) {
-    if (run.is_delete && run.epoch < lse) {
+    if (run.is_delete && HappensBefore(run.epoch, lse)) {
       has_applicable_delete = true;
       break;
     }
@@ -68,7 +68,8 @@ CompactionPlan PlanPurge(const EpochVector& history, Epoch lse) {
   bool has_mergeable = false;
   for (size_t i = 0; i + 1 < runs.size(); ++i) {
     if (!runs[i].is_delete && !runs[i + 1].is_delete &&
-        runs[i].epoch < lse && runs[i + 1].epoch < lse) {
+        HappensBefore(runs[i].epoch, lse) &&
+        HappensBefore(runs[i + 1].epoch, lse)) {
       has_mergeable = true;
       break;
     }
@@ -84,14 +85,14 @@ CompactionPlan PlanPurge(const EpochVector& history, Epoch lse) {
   Bitmap keep(history.num_records(), true);
   std::vector<EpochRun> working = runs;
   for (auto& del : working) {
-    if (!del.is_delete || del.epoch >= lse) continue;
+    if (!del.is_delete || AtOrAfter(del.epoch, lse)) continue;
     const Epoch k = del.epoch;
     const uint64_t delete_point = del.begin;
     for (const auto& run : runs) {
       if (run.is_delete) continue;
-      if (run.epoch < k) {
+      if (HappensBefore(run.epoch, k)) {
         keep.ClearRange(run.begin, run.end);
-      } else if (run.epoch == k && run.begin < delete_point) {
+      } else if (SameEpoch(run.epoch, k) && run.begin < delete_point) {
         keep.ClearRange(run.begin,
                         run.end < delete_point ? run.end : delete_point);
       }
@@ -108,7 +109,7 @@ CompactionPlan PlanRollback(const EpochVector& history, Epoch victim) {
   Bitmap keep(history.num_records(), true);
   std::vector<EpochRun> working = runs;
   for (auto& run : working) {
-    if (run.epoch != victim) continue;
+    if (!SameEpoch(run.epoch, victim)) continue;
     touched = true;
     if (run.is_delete) {
       run.epoch = kNoEpoch;  // drop the victim's delete marker
@@ -130,7 +131,7 @@ CompactionPlan PlanRetainUpTo(const EpochVector& history, Epoch lse) {
   Bitmap keep(history.num_records(), true);
   std::vector<EpochRun> working = runs;
   for (auto& run : working) {
-    if (run.epoch <= lse) continue;
+    if (AtOrBefore(run.epoch, lse)) continue;
     touched = true;
     if (run.is_delete) {
       run.epoch = kNoEpoch;  // drop the too-new marker

@@ -38,7 +38,7 @@ struct Txn {
   Epoch Horizon() const {
     if (deps.empty()) return epoch;
     const Epoch min_dep = deps.Min();
-    return min_dep - 1 < epoch ? min_dep - 1 : epoch;
+    return MinEpoch(min_dep - 1, epoch);
   }
 };
 

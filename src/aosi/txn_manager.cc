@@ -8,7 +8,7 @@ TxnManager::TxnManager(uint32_t node_idx, uint32_t num_nodes)
     : clock_(node_idx, num_nodes) {}
 
 Txn TxnManager::BeginReadWrite() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // The epoch must be acquired with mutex_ held: acquiring it first would
   // let a transaction that draws a later epoch snapshot pendingTxs before
   // this one registers, missing it in deps — a dirty read.
@@ -17,7 +17,7 @@ Txn TxnManager::BeginReadWrite() {
   txn.epoch = epoch;
   txn.type = TxnType::kReadWrite;
   for (const auto& [e, info] : tracked_) {
-    if (e < epoch && info.state == TxnState::kPending) {
+    if (HappensBefore(e, epoch) && info.state == TxnState::kPending) {
       txn.deps.Insert(e);
     }
   }
@@ -27,7 +27,7 @@ Txn TxnManager::BeginReadWrite() {
 }
 
 Txn TxnManager::BeginReadOnly() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Txn txn;
   txn.epoch = lce_;
   txn.type = TxnType::kReadOnly;
@@ -40,7 +40,7 @@ Status TxnManager::Commit(const Txn& txn) {
     EndReadOnly(txn);
     return Status::OK();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = tracked_.find(txn.epoch);
   if (it == tracked_.end() || it->second.state != TxnState::kPending) {
     return Status::FailedPrecondition(
@@ -59,7 +59,7 @@ Status TxnManager::Rollback(const Txn& txn) {
     EndReadOnly(txn);
     return Status::OK();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = tracked_.find(txn.epoch);
   if (it == tracked_.end() || it->second.state != TxnState::kPending) {
     return Status::FailedPrecondition(
@@ -74,32 +74,32 @@ Status TxnManager::Rollback(const Txn& txn) {
 }
 
 void TxnManager::EndReadOnly(const Txn& txn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto h = active_horizons_.find(txn.Horizon());
   if (h != active_horizons_.end()) active_horizons_.erase(h);
 }
 
 void TxnManager::AugmentDeps(Txn* txn, const EpochSet& remote_pending) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto h = active_horizons_.find(txn->Horizon());
   if (h != active_horizons_.end()) active_horizons_.erase(h);
   for (Epoch e : remote_pending) {
-    if (e < txn->epoch) txn->deps.Insert(e);
+    if (HappensBefore(e, txn->epoch)) txn->deps.Insert(e);
   }
   active_horizons_.insert(txn->Horizon());
 }
 
 void TxnManager::NoteRemoteBegin(Epoch epoch) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (epoch <= lce_) return;  // already passed; stale message
+  MutexLock lock(mutex_);
+  if (AtOrBefore(epoch, lce_)) return;  // already passed; stale message
   tracked_.emplace(epoch, TrackedTxn{});  // no-op if present
 }
 
 void TxnManager::NoteRemoteFinish(Epoch epoch, bool committed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Stale message: LCE already walked past this epoch, so it is finished.
   // Re-inserting it would let the walk move LCE backward.
-  if (epoch <= lce_) return;
+  if (AtOrBefore(epoch, lce_)) return;
   auto [it, inserted] = tracked_.emplace(epoch, TrackedTxn{});
   if (!inserted && it->second.state != TxnState::kPending) return;
   it->second.state = committed ? TxnState::kCommitted : TxnState::kAborted;
@@ -107,7 +107,7 @@ void TxnManager::NoteRemoteFinish(Epoch epoch, bool committed) {
 }
 
 void TxnManager::NoteRemoteDeps(Epoch epoch, const EpochSet& deps) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = tracked_.find(epoch);
   if (it == tracked_.end()) return;
   it->second.blocking_deps.UnionWith(deps);
@@ -115,17 +115,17 @@ void TxnManager::NoteRemoteDeps(Epoch epoch, const EpochSet& deps) {
 }
 
 Epoch TxnManager::LCE() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return lce_;
 }
 
 Epoch TxnManager::LSE() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return lse_;
 }
 
 EpochSet TxnManager::PendingTxs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   EpochSet pending;
   for (const auto& [e, info] : tracked_) {
     if (info.state == TxnState::kPending) pending.Insert(e);
@@ -134,31 +134,30 @@ EpochSet TxnManager::PendingTxs() const {
 }
 
 Epoch TxnManager::MinActiveHorizon() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return active_horizons_.empty() ? ~static_cast<Epoch>(0)
                                   : *active_horizons_.begin();
 }
 
 size_t TxnManager::NumTracked() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return tracked_.size();
 }
 
 Epoch TxnManager::TryAdvanceLSE(Epoch candidate) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Epoch effective = candidate < lce_ ? candidate : lce_;
+  MutexLock lock(mutex_);
+  Epoch effective = MinEpoch(candidate, lce_);
   if (!active_horizons_.empty()) {
-    const Epoch min_horizon = *active_horizons_.begin();
-    if (min_horizon < effective) effective = min_horizon;
+    effective = MinEpoch(effective, *active_horizons_.begin());
   }
-  if (effective > lse_) lse_ = effective;
+  lse_ = MaxEpoch(lse_, effective);
   return lse_;
 }
 
 void TxnManager::RestoreAfterRecovery(Epoch lce, Epoch lse) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   CUBRICK_CHECK(tracked_.empty() && active_horizons_.empty());
-  CUBRICK_CHECK(lse <= lce);
+  CUBRICK_CHECK(AtOrBefore(lse, lce));
   lce_ = lce;
   lse_ = lse;
   clock_.Observe(lce + 1);
@@ -166,14 +165,16 @@ void TxnManager::RestoreAfterRecovery(Epoch lce, Epoch lse) {
 
 bool TxnManager::DepsFinishedLocked(const EpochSet& deps) const {
   for (Epoch d : deps) {
-    if (d <= lce_) continue;
+    if (AtOrBefore(d, lce_)) continue;
     auto it = tracked_.find(d);
     if (it == tracked_.end()) {
       // Finished and already walked past (e.g. aborted below the walk
       // front), or a transaction this node never learned about. The begin
       // broadcast makes the latter impossible in a healthy cluster; treat
       // absence as finished only when it is below the walk front.
-      if (tracked_.empty() || d < tracked_.begin()->first) continue;
+      if (tracked_.empty() || HappensBefore(d, tracked_.begin()->first)) {
+        continue;
+      }
       return false;
     }
     if (it->second.state == TxnState::kPending) return false;

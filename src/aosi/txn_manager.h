@@ -17,13 +17,13 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "aosi/epoch.h"
 #include "aosi/epoch_clock.h"
 #include "aosi/txn.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace cubrick::aosi {
@@ -40,29 +40,30 @@ class TxnManager {
 
   /// Starts a RW transaction: draws a fresh epoch, snapshots pendingTxs into
   /// deps, and registers the transaction as pending.
-  Txn BeginReadWrite();
+  Txn BeginReadWrite() EXCLUDES(mutex_);
 
   /// Starts a RO transaction pinned to the current LCE. The returned handle
   /// must be released with EndReadOnly so LSE gating can track it.
-  Txn BeginReadOnly();
+  Txn BeginReadOnly() EXCLUDES(mutex_);
 
   /// Commits a RW transaction. Idempotence is not supported: committing an
   /// unknown or finished epoch is a FailedPrecondition.
-  Status Commit(const Txn& txn);
+  Status Commit(const Txn& txn) EXCLUDES(mutex_);
 
   /// Aborts a RW transaction. The caller is responsible for physically
   /// removing its appends (see PlanRollback); the manager only finalizes the
   /// timestamp bookkeeping.
-  Status Rollback(const Txn& txn);
+  Status Rollback(const Txn& txn) EXCLUDES(mutex_);
 
   /// Releases a RO transaction.
-  void EndReadOnly(const Txn& txn);
+  void EndReadOnly(const Txn& txn) EXCLUDES(mutex_);
 
   /// Extends an active RW transaction's dependency set with pending
   /// transactions learned from remote nodes during the begin broadcast
   /// (§IV-C), re-registering its LSE horizon accordingly. Epochs >= the
   /// transaction's own are ignored (invisible by timestamp order anyway).
-  void AugmentDeps(Txn* txn, const EpochSet& remote_pending);
+  void AugmentDeps(Txn* txn, const EpochSet& remote_pending)
+      EXCLUDES(mutex_);
 
   // --- Distributed hooks (driven by the cluster layer) ------------------
 
@@ -70,40 +71,40 @@ class TxnManager {
   void ObserveClock(Epoch remote_ec) { clock_.Observe(remote_ec); }
 
   /// Registers a RW transaction started on a remote node.
-  void NoteRemoteBegin(Epoch epoch);
+  void NoteRemoteBegin(Epoch epoch) EXCLUDES(mutex_);
 
   /// Registers a remote transaction's completion.
-  void NoteRemoteFinish(Epoch epoch, bool committed);
+  void NoteRemoteFinish(Epoch epoch, bool committed) EXCLUDES(mutex_);
 
   /// Extends a remote transaction's dependency information: LCE may not
   /// advance past `epoch` until all of `deps` are finished. (The commit
   /// broadcast carries T.deps; §IV-C.)
-  void NoteRemoteDeps(Epoch epoch, const EpochSet& deps);
+  void NoteRemoteDeps(Epoch epoch, const EpochSet& deps) EXCLUDES(mutex_);
 
   // --- Counters and introspection ---------------------------------------
 
   /// EC: the epoch the next transaction would receive.
   Epoch EC() const { return clock_.Peek(); }
-  Epoch LCE() const;
-  Epoch LSE() const;
+  Epoch LCE() const EXCLUDES(mutex_);
+  Epoch LSE() const EXCLUDES(mutex_);
 
   /// Snapshot of the pending RW transaction set.
-  EpochSet PendingTxs() const;
+  EpochSet PendingTxs() const EXCLUDES(mutex_);
 
   /// Minimum horizon over this node's active snapshots, or ~0 when none are
   /// active. A cluster-wide LSE advance must clamp to this bound on *every*
   /// node: a transaction's horizon is only registered on its coordinator,
   /// but purge at LSE destructively applies delete markers on all of them.
-  Epoch MinActiveHorizon() const;
+  Epoch MinActiveHorizon() const EXCLUDES(mutex_);
 
   /// Number of transactions tracked (pending + committed-but-blocked).
-  size_t NumTracked() const;
+  size_t NumTracked() const EXCLUDES(mutex_);
 
   /// Attempts to advance LSE to `candidate` (e.g. after a flush round has
   /// made everything <= candidate durable). The effective new LSE is clamped
   /// to LCE and to the horizons of all active snapshots; returns the LSE in
   /// effect afterwards.
-  Epoch TryAdvanceLSE(Epoch candidate);
+  Epoch TryAdvanceLSE(Epoch candidate) EXCLUDES(mutex_);
 
   EpochClock& clock() { return clock_; }
 
@@ -114,7 +115,7 @@ class TxnManager {
 
   /// Two-level restore: a node that caught up from replicas holds data up
   /// to `lce` in memory but has only flushed up to `lse` locally.
-  void RestoreAfterRecovery(Epoch lce, Epoch lse);
+  void RestoreAfterRecovery(Epoch lce, Epoch lse) EXCLUDES(mutex_);
 
  private:
   struct TrackedTxn {
@@ -124,24 +125,23 @@ class TxnManager {
   };
 
   /// Walks finished transactions in epoch order and advances lce_.
-  /// Requires mutex_ held.
-  void AdvanceLceLocked();
+  void AdvanceLceLocked() REQUIRES(mutex_);
 
-  /// True when every epoch in `deps` is finished. Requires mutex_ held.
-  bool DepsFinishedLocked(const EpochSet& deps) const;
+  /// True when every epoch in `deps` is finished.
+  bool DepsFinishedLocked(const EpochSet& deps) const REQUIRES(mutex_);
 
   EpochClock clock_;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// All known unfinished-or-LCE-blocked transactions, ordered by epoch.
-  std::map<Epoch, TrackedTxn> tracked_;
+  std::map<Epoch, TrackedTxn> tracked_ GUARDED_BY(mutex_);
   /// Epochs of transactions that finished but may still block others' deps.
   /// Cleared as lce_ passes them.
-  std::set<Epoch> finished_;
-  Epoch lce_ = kNoEpoch;
-  Epoch lse_ = kNoEpoch;
+  std::set<Epoch> finished_ GUARDED_BY(mutex_);
+  Epoch lce_ GUARDED_BY(mutex_) = kNoEpoch;
+  Epoch lse_ GUARDED_BY(mutex_) = kNoEpoch;
   /// Horizons of active snapshots (RO and RW), for LSE gating.
-  std::multiset<Epoch> active_horizons_;
+  std::multiset<Epoch> active_horizons_ GUARDED_BY(mutex_);
 };
 
 }  // namespace cubrick::aosi

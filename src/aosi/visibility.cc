@@ -23,9 +23,9 @@ Bitmap BuildVisibilityBitmap(const EpochVector& history,
     const uint64_t delete_point = del.begin;
     for (const auto& run : runs) {
       if (run.is_delete) continue;
-      if (run.epoch < k) {
+      if (HappensBefore(run.epoch, k)) {
         bitmap.ClearRange(run.begin, run.end);
-      } else if (run.epoch == k && run.begin < delete_point) {
+      } else if (SameEpoch(run.epoch, k) && run.begin < delete_point) {
         bitmap.ClearRange(run.begin,
                           run.end < delete_point ? run.end : delete_point);
       }

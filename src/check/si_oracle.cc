@@ -20,7 +20,7 @@ SiOracle::SiOracle(std::shared_ptr<const CubeSchema> schema)
 void SiOracle::Append(aosi::Epoch epoch, const std::vector<Record>& records) {
   const size_t num_dims = schema_->num_dimensions();
   const size_t num_metrics = schema_->num_metrics();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const Record& record : records) {
     CUBRICK_CHECK(record.values.size() == num_dims + num_metrics);
     Op op;
@@ -44,7 +44,7 @@ void SiOracle::Append(aosi::Epoch epoch, const std::vector<Record>& records) {
 }
 
 void SiOracle::Delete(aosi::Epoch epoch, const std::vector<Bid>& bricks) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (Bid bid : bricks) {
     Op op;
     op.epoch = epoch;
@@ -58,22 +58,22 @@ void SiOracle::Delete(aosi::Epoch epoch, const std::vector<Bid>& bricks) {
 }
 
 void SiOracle::Rollback(aosi::Epoch victim) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [bid, ops] : bricks_) {
     ops.erase(std::remove_if(ops.begin(), ops.end(),
                              [victim](const Op& op) {
-                               return op.epoch == victim;
+                               return aosi::SameEpoch(op.epoch, victim);
                              }),
               ops.end());
   }
 }
 
 void SiOracle::TruncateAfter(aosi::Epoch lse) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [bid, ops] : bricks_) {
     ops.erase(std::remove_if(
                   ops.begin(), ops.end(),
-                  [lse](const Op& op) { return op.epoch > lse; }),
+                  [lse](const Op& op) { return aosi::After(op.epoch, lse); }),
               ops.end());
   }
 }
@@ -92,8 +92,9 @@ void SiOracle::ForEachVisibleLocked(const aosi::Snapshot& snapshot,
     bool has_frontier = false;
     for (const Op& op : ops) {
       if (!op.is_delete || !snapshot.Sees(op.epoch)) continue;
-      if (!has_frontier || op.epoch > frontier_epoch ||
-          (op.epoch == frontier_epoch && op.seq > frontier_seq)) {
+      if (!has_frontier || aosi::After(op.epoch, frontier_epoch) ||
+          (aosi::SameEpoch(op.epoch, frontier_epoch) &&
+           op.seq > frontier_seq)) {
         frontier_epoch = op.epoch;
         frontier_seq = op.seq;
         has_frontier = true;
@@ -102,8 +103,9 @@ void SiOracle::ForEachVisibleLocked(const aosi::Snapshot& snapshot,
     for (const Op& op : ops) {
       if (op.is_delete || !snapshot.Sees(op.epoch)) continue;
       if (has_frontier &&
-          (op.epoch < frontier_epoch ||
-           (op.epoch == frontier_epoch && op.seq < frontier_seq))) {
+          (aosi::HappensBefore(op.epoch, frontier_epoch) ||
+           (aosi::SameEpoch(op.epoch, frontier_epoch) &&
+            op.seq < frontier_seq))) {
         continue;
       }
       fn(op);
@@ -114,7 +116,7 @@ void SiOracle::ForEachVisibleLocked(const aosi::Snapshot& snapshot,
 QueryResult SiOracle::Eval(const aosi::Snapshot& snapshot,
                            const Query& query) const {
   QueryResult result(query.aggs.size());
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ForEachVisibleLocked(snapshot, [&](const Op& op) {
     for (const FilterClause& filter : query.filters) {
       if (!filter.Matches(op.coords[filter.dim])) return;
@@ -131,14 +133,14 @@ QueryResult SiOracle::Eval(const aosi::Snapshot& snapshot,
 
 uint64_t SiOracle::VisibleRows(const aosi::Snapshot& snapshot) const {
   uint64_t n = 0;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ForEachVisibleLocked(snapshot, [&](const Op&) { ++n; });
   return n;
 }
 
 uint64_t SiOracle::LoggedRows() const {
   uint64_t n = 0;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [bid, ops] : bricks_) {
     for (const Op& op : ops) {
       if (!op.is_delete) ++n;

@@ -24,11 +24,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "aosi/epoch.h"
+#include "common/mutex.h"
 #include "ingest/parser.h"
 #include "query/query.h"
 #include "storage/schema.h"
@@ -87,14 +87,15 @@ class SiOracle {
     std::vector<double> metrics;
   };
 
-  /// Visits every visible append op. Requires mutex_ held.
+  /// Visits every visible append op.
   template <typename Fn>
-  void ForEachVisibleLocked(const aosi::Snapshot& snapshot, Fn&& fn) const;
+  void ForEachVisibleLocked(const aosi::Snapshot& snapshot, Fn&& fn) const
+      REQUIRES(mutex_);
 
   std::shared_ptr<const CubeSchema> schema_;
-  mutable std::mutex mutex_;
-  uint64_t next_seq_ = 0;
-  std::map<Bid, std::vector<Op>> bricks_;
+  mutable Mutex mutex_;
+  uint64_t next_seq_ GUARDED_BY(mutex_) = 0;
+  std::map<Bid, std::vector<Op>> bricks_ GUARDED_BY(mutex_);
 };
 
 /// Compares an engine result against the oracle's expectation. Returns an

@@ -5,15 +5,14 @@
 #include <atomic>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <set>
-#include <shared_mutex>
 #include <sstream>
 #include <thread>
 
 #include "check/si_oracle.h"
 #include "cluster/cluster.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/random.h"
 #include "cubrick/database.h"
 #include "query/executor.h"
@@ -339,10 +338,10 @@ class ClusterSut : public SutAdapter {
 struct SharedState {
   SutAdapter* sut = nullptr;
   SiOracle* oracle = nullptr;
-  std::shared_mutex structure;
+  SharedMutex structure;
   std::atomic<bool> stop{false};
-  std::mutex failure_mutex;
-  std::vector<std::string>* failures = nullptr;
+  Mutex failure_mutex;
+  std::vector<std::string>* failures PT_GUARDED_BY(failure_mutex) = nullptr;
   std::string config;
 };
 
@@ -354,7 +353,7 @@ class Worker {
   StressReport& counters() { return counters_; }
 
   void Run() {
-    for (int i = 0; i < opt_.ops_per_thread && !shared_->stop.load(); ++i) {
+    for (int i = 0; i < opt_.ops_per_thread && !shared_->stop.load(std::memory_order_seq_cst); ++i) {
       op_index_ = i;
       const double dice = rng_.NextDouble();
       if (dice < 0.30) {
@@ -389,10 +388,10 @@ class Worker {
         << " trace (oldest first):";
     for (const auto& line : trace_) out << "\n  " << line;
     {
-      std::lock_guard<std::mutex> lock(shared_->failure_mutex);
+      MutexLock lock(shared_->failure_mutex);
       shared_->failures->push_back(out.str());
     }
-    shared_->stop.store(true);
+    shared_->stop.store(true, std::memory_order_seq_cst);
   }
 
   /// Engine-vs-oracle comparison for one query under `t`'s snapshot.
@@ -423,7 +422,7 @@ class Worker {
   /// the same critical section (ordering contract, see stress.h).
   bool AppendBatch(SutTxn* t) {
     const std::vector<Record> rows = RandomRecords(rng_);
-    std::shared_lock<std::shared_mutex> lock(shared_->structure);
+    ReaderMutexLock lock(shared_->structure);
     const Status status = shared_->sut->Append(t, rows);
     if (!status.ok()) {
       Fail("append failed: " + status.ToString());
@@ -481,7 +480,7 @@ class Worker {
     // Oracle removal first: nothing may see the victim until the engine
     // finalizes the abort (LCE may pass it from then on), and the physical
     // removal is a table mutation, so the structure lock is held shared.
-    std::shared_lock<std::shared_mutex> lock(shared_->structure);
+    ReaderMutexLock lock(shared_->structure);
     shared_->oracle->Rollback(t->epoch());
     const Status status = shared_->sut->Abort(t);
     if (!status.ok()) {
@@ -504,7 +503,7 @@ class Worker {
     const std::vector<FilterClause> filters = RandomDeleteFilters(rng_);
     bool deleted = false;
     {
-      std::unique_lock<std::shared_mutex> lock(shared_->structure);
+      WriterMutexLock lock(shared_->structure);
       const std::vector<Bid> bricks =
           shared_->sut->CoveredBricks(filters);
       status = shared_->sut->Delete(&t, filters);
@@ -552,7 +551,7 @@ class Worker {
   }
 
   void MaintenanceOp() {
-    std::shared_lock<std::shared_mutex> lock(shared_->structure);
+    ReaderMutexLock lock(shared_->structure);
     const Status status = shared_->sut->Maintenance(rng_, &counters_);
     if (!status.ok()) {
       Fail("maintenance failed: " + status.ToString());

@@ -123,7 +123,7 @@ DistTxn Cluster::BeginReadOnly(uint32_t coordinator) {
 void Cluster::DeliverOrQueue(uint32_t from, uint32_t to,
                              std::function<Status(ClusterNode&)> op) {
   if (to != from && !node(to).online()) {
-    std::lock_guard<std::mutex> lock(redelivery_mutex_);
+    MutexLock lock(redelivery_mutex_);
     missed_ops_[to - 1].push_back(std::move(op));
     return;
   }
@@ -296,32 +296,32 @@ Result<QueryResult> Cluster::QueryOnce(uint32_t coordinator,
 
 aosi::Epoch Cluster::AdvanceClusterLSE() {
   {
-    std::lock_guard<std::mutex> lock(redelivery_mutex_);
+    MutexLock lock(redelivery_mutex_);
     for (uint32_t o = 0; o < options_.num_nodes; ++o) {
       if (!nodes_[o]->online() || !missed_ops_[o].empty()) {
         // Replication unhealthy: LSE must not advance (§III-D).
-        aosi::Epoch min_lse = ~0ULL;
+        aosi::Epoch min_lse = aosi::kEpochMax;
         for (auto& n : nodes_) {
-          min_lse = std::min(min_lse, n->txns().LSE());
+          min_lse = aosi::MinEpoch(min_lse, n->txns().LSE());
         }
         return min_lse;
       }
     }
   }
-  aosi::Epoch candidate = ~0ULL;
+  aosi::Epoch candidate = aosi::kEpochMax;
   for (auto& n : nodes_) {
-    candidate = std::min(candidate, n->txns().LCE());
+    candidate = aosi::MinEpoch(candidate, n->txns().LCE());
     // §III-B condition (c): LSE may not pass data that is not yet durable
     // on every replica. Diskless clusters return "unbounded" here.
-    candidate = std::min(candidate, n->MinFlushedLse());
+    candidate = aosi::MinEpoch(candidate, n->MinFlushedLse());
     // A snapshot's horizon is registered only on its coordinator, but purge
     // at LSE applies delete markers destructively on every node — so every
     // node's LSE must respect the cluster-wide minimum horizon.
-    candidate = std::min(candidate, n->txns().MinActiveHorizon());
+    candidate = aosi::MinEpoch(candidate, n->txns().MinActiveHorizon());
   }
-  aosi::Epoch cluster_lse = ~0ULL;
+  aosi::Epoch cluster_lse = aosi::kEpochMax;
   for (auto& n : nodes_) {
-    cluster_lse = std::min(cluster_lse, n->txns().TryAdvanceLSE(candidate));
+    cluster_lse = aosi::MinEpoch(cluster_lse, n->txns().TryAdvanceLSE(candidate));
   }
   return cluster_lse;
 }
@@ -350,7 +350,7 @@ Status Cluster::SetNodeOnline(uint32_t idx, bool online) {
   // Redeliver traffic missed while offline, in order.
   std::vector<std::function<Status(ClusterNode&)>> queued;
   {
-    std::lock_guard<std::mutex> lock(redelivery_mutex_);
+    MutexLock lock(redelivery_mutex_);
     queued.swap(missed_ops_[idx - 1]);
   }
   for (auto& op : queued) {
@@ -365,7 +365,7 @@ Result<aosi::Epoch> Cluster::CheckpointAll() {
     return Status::FailedPrecondition("cluster has no data_dir");
   }
   {
-    std::lock_guard<std::mutex> lock(redelivery_mutex_);
+    MutexLock lock(redelivery_mutex_);
     for (uint32_t o = 0; o < options_.num_nodes; ++o) {
       if (!nodes_[o]->online() || !missed_ops_[o].empty()) {
         return Status::Unavailable(
@@ -373,20 +373,20 @@ Result<aosi::Epoch> Cluster::CheckpointAll() {
       }
     }
   }
-  aosi::Epoch candidate = ~0ULL;
+  aosi::Epoch candidate = aosi::kEpochMax;
   for (auto& n : nodes_) {
-    candidate = std::min(candidate, n->txns().LCE());
+    candidate = aosi::MinEpoch(candidate, n->txns().LCE());
     // Same cluster-wide horizon clamp as AdvanceClusterLSE: the LSE the
     // checkpoint advances to must not pass any coordinator's active
     // snapshots, or purge would apply deletes those snapshots exclude.
-    candidate = std::min(candidate, n->txns().MinActiveHorizon());
+    candidate = aosi::MinEpoch(candidate, n->txns().MinActiveHorizon());
   }
   for (auto& n : nodes_) {
     CUBRICK_RETURN_IF_ERROR(n->Checkpoint(candidate));
   }
-  aosi::Epoch cluster_lse = ~0ULL;
+  aosi::Epoch cluster_lse = aosi::kEpochMax;
   for (auto& n : nodes_) {
-    cluster_lse = std::min(cluster_lse, n->txns().TryAdvanceLSE(candidate));
+    cluster_lse = aosi::MinEpoch(cluster_lse, n->txns().TryAdvanceLSE(candidate));
   }
   return cluster_lse;
 }
@@ -396,7 +396,7 @@ Status Cluster::CrashNode(uint32_t idx) {
     return Status::OutOfRange("no such node");
   }
   {
-    std::lock_guard<std::mutex> lock(redelivery_mutex_);
+    MutexLock lock(redelivery_mutex_);
     missed_ops_[idx - 1].clear();  // the crashed process loses everything
   }
   // Replace the node wholesale: fresh TxnManager, empty tables.

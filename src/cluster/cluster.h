@@ -25,10 +25,10 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "cluster/hash_ring.h"
+#include "common/mutex.h"
 #include "cluster/node.h"
 #include "engine/run_extract.h"
 #include "common/stopwatch.h"
@@ -192,9 +192,10 @@ class Cluster {
   /// Cube catalog, used to rebuild crashed nodes.
   std::map<std::string, std::shared_ptr<const CubeSchema>> catalog_;
 
-  mutable std::mutex redelivery_mutex_;
+  mutable Mutex redelivery_mutex_;
   /// Per-node FIFO of operations missed while offline.
-  std::vector<std::vector<std::function<Status(ClusterNode&)>>> missed_ops_;
+  std::vector<std::vector<std::function<Status(ClusterNode&)>>> missed_ops_
+      GUARDED_BY(redelivery_mutex_);
 };
 
 }  // namespace cubrick::cluster

@@ -7,7 +7,7 @@ ClusterNode::ClusterNode(uint32_t node_idx, uint32_t num_nodes,
     : node_idx_(node_idx), options_(options), txns_(node_idx, num_nodes) {}
 
 Status ClusterNode::CreateCube(std::shared_ptr<const CubeSchema> schema) {
-  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  MutexLock lock(cubes_mutex_);
   const std::string& name = schema->cube_name();
   if (cubes_.count(name) > 0) {
     return Status::AlreadyExists("cube '" + name + "' already exists");
@@ -25,7 +25,7 @@ Status ClusterNode::CreateCube(std::shared_ptr<const CubeSchema> schema) {
 }
 
 Status ClusterNode::DropCube(const std::string& name) {
-  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  MutexLock lock(cubes_mutex_);
   if (cubes_.erase(name) == 0) {
     return Status::NotFound("cube '" + name + "' does not exist");
   }
@@ -33,7 +33,7 @@ Status ClusterNode::DropCube(const std::string& name) {
 }
 
 Table* ClusterNode::FindTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  MutexLock lock(cubes_mutex_);
   auto it = cubes_.find(name);
   return it == cubes_.end() ? nullptr : it->second.table.get();
 }
@@ -83,7 +83,7 @@ Status ClusterNode::HandleDeleteMark(aosi::Epoch epoch,
 }
 
 void ClusterNode::RollbackData(aosi::Epoch victim) {
-  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  MutexLock lock(cubes_mutex_);
   for (auto& [name, state] : cubes_) {
     state.table->Rollback(victim);
   }
@@ -109,7 +109,7 @@ Result<QueryResult> ClusterNode::HandleScan(
 PurgeStats ClusterNode::HandlePurge() {
   const aosi::Epoch lse = txns_.LSE();
   PurgeStats total;
-  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  MutexLock lock(cubes_mutex_);
   for (auto& [name, state] : cubes_) {
     const PurgeStats stats = state.table->Purge(lse);
     total.bricks_examined += stats.bricks_examined;
@@ -124,10 +124,10 @@ Status ClusterNode::Checkpoint(aosi::Epoch to) {
   if (options_.data_dir.empty()) {
     return Status::FailedPrecondition("node has no data_dir");
   }
-  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  MutexLock lock(cubes_mutex_);
   for (auto& [name, state] : cubes_) {
     const aosi::Epoch from = state.flusher->ManifestLse();
-    if (to <= from) continue;
+    if (aosi::AtOrBefore(to, from)) continue;
     auto stats = state.flusher->FlushRound(state.table.get(), from, to);
     if (!stats.ok()) return stats.status();
   }
@@ -138,16 +138,16 @@ Result<aosi::Epoch> ClusterNode::RecoverLocal() {
   if (options_.data_dir.empty()) {
     return Status::FailedPrecondition("node has no data_dir");
   }
-  std::lock_guard<std::mutex> lock(cubes_mutex_);
-  aosi::Epoch min_lse = ~0ULL;
+  MutexLock lock(cubes_mutex_);
+  aosi::Epoch min_lse = aosi::kEpochMax;
   bool any = false;
   for (auto& [name, state] : cubes_) {
     auto result = state.flusher->Recover(state.table.get());
     if (!result.ok()) return result.status();
     any = true;
-    min_lse = std::min(min_lse, result->lse);
+    min_lse = aosi::MinEpoch(min_lse, result->lse);
   }
-  if (!any || min_lse == ~0ULL) return aosi::kNoEpoch;
+  if (!any || aosi::SameEpoch(min_lse, aosi::kEpochMax)) return aosi::kNoEpoch;
   for (auto& [name, state] : cubes_) {
     state.table->TruncateAfter(min_lse);
   }
@@ -155,24 +155,24 @@ Result<aosi::Epoch> ClusterNode::RecoverLocal() {
 }
 
 aosi::Epoch ClusterNode::MinFlushedLse() {
-  if (options_.data_dir.empty()) return ~0ULL;
-  std::lock_guard<std::mutex> lock(cubes_mutex_);
-  aosi::Epoch min_lse = ~0ULL;
+  if (options_.data_dir.empty()) return aosi::kEpochMax;
+  MutexLock lock(cubes_mutex_);
+  aosi::Epoch min_lse = aosi::kEpochMax;
   for (auto& [name, state] : cubes_) {
-    min_lse = std::min(min_lse, state.flusher->ManifestLse());
+    min_lse = aosi::MinEpoch(min_lse, state.flusher->ManifestLse());
   }
   return min_lse;
 }
 
 uint64_t ClusterNode::TotalRecords() {
-  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  MutexLock lock(cubes_mutex_);
   uint64_t n = 0;
   for (auto& [name, state] : cubes_) n += state.table->TotalRecords();
   return n;
 }
 
 size_t ClusterNode::HistoryMemoryUsage() {
-  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  MutexLock lock(cubes_mutex_);
   size_t bytes = 0;
   for (auto& [name, state] : cubes_) {
     bytes += state.table->HistoryMemoryUsage();
@@ -181,7 +181,7 @@ size_t ClusterNode::HistoryMemoryUsage() {
 }
 
 size_t ClusterNode::DataMemoryUsage() {
-  std::lock_guard<std::mutex> lock(cubes_mutex_);
+  MutexLock lock(cubes_mutex_);
   size_t bytes = 0;
   for (auto& [name, state] : cubes_) bytes += state.table->DataMemoryUsage();
   return bytes;

@@ -11,11 +11,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "aosi/txn_manager.h"
+#include "common/mutex.h"
 #include "engine/table.h"
 #include "persist/flush_manager.h"
 #include "query/query.h"
@@ -38,8 +38,8 @@ class ClusterNode {
 
   /// Simulated availability. RPCs to an offline node fail with Unavailable;
   /// the cluster layer uses this to exercise replication / LSE gating.
-  bool online() const { return online_.load(); }
-  void set_online(bool v) { online_.store(v); }
+  bool online() const { return online_.load(std::memory_order_seq_cst); }
+  void set_online(bool v) { online_.store(v, std::memory_order_seq_cst); }
 
   // --- Cube lifecycle ----------------------------------------------------
 
@@ -122,8 +122,8 @@ class ClusterNode {
     std::unique_ptr<persist::FlushManager> flusher;
   };
 
-  std::mutex cubes_mutex_;
-  std::unordered_map<std::string, CubeState> cubes_;
+  Mutex cubes_mutex_;
+  std::unordered_map<std::string, CubeState> cubes_ GUARDED_BY(cubes_mutex_);
 };
 
 }  // namespace cubrick::cluster

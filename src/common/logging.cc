@@ -2,11 +2,13 @@
 
 #include <atomic>
 
+#include "common/mutex.h"
+
 namespace cubrick {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
-std::mutex g_log_mutex;
+Mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -43,7 +45,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::cerr << stream_.str() << "\n";
 }
 

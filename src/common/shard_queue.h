@@ -8,11 +8,10 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace cubrick {
@@ -26,63 +25,65 @@ class ShardQueue {
   /// Enqueues an item, blocking while the queue is at capacity.
   /// Returns false if the queue has been closed.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] {
-      return closed_ || max_size_ == 0 || items_.size() < max_size_;
-    });
+    MutexLock lock(mutex_);
+    while (!closed_ && max_size_ != 0 && items_.size() >= max_size_) {
+      not_full_.Wait(lock);
+    }
     if (closed_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Dequeues one item, blocking while empty. Returns nullopt once the queue
   /// is closed and drained.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) {
+      not_empty_.Wait(lock);
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Non-blocking dequeue.
   std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Marks the queue closed; pending items can still be drained.
   void Close() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
  private:
   const size_t max_size_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace cubrick

@@ -1,0 +1,68 @@
+#pragma once
+
+// Clang Thread Safety Analysis attribute macros.
+//
+// These expand to Clang's `capability` attributes when the compiler supports
+// them (clang with -Wthread-safety) and to nothing everywhere else, so GCC
+// builds are unaffected. See docs/STATIC_ANALYSIS.md for the conventions used
+// in this tree and https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for
+// the analysis itself.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CUBRICK_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CUBRICK_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+// Marks a class as a capability (e.g. a mutex). `x` is the name the analysis
+// uses in diagnostics ("mutex", "shared mutex", ...).
+#define CAPABILITY(x) CUBRICK_THREAD_ANNOTATION(capability(x))
+
+// Marks a RAII class whose constructor acquires and destructor releases a
+// capability.
+#define SCOPED_CAPABILITY CUBRICK_THREAD_ANNOTATION(scoped_lockable)
+
+// Declares that a data member is protected by the given capability. Reads
+// require the capability shared or exclusive; writes require it exclusive.
+#define GUARDED_BY(x) CUBRICK_THREAD_ANNOTATION(guarded_by(x))
+
+// Declares that the memory a pointer member points at is protected by the
+// given capability (the pointer itself is not).
+#define PT_GUARDED_BY(x) CUBRICK_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Declares that the caller must hold the given capabilities exclusively /
+// shared before calling the function.
+#define REQUIRES(...) \
+  CUBRICK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  CUBRICK_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Declares that the function acquires / releases capabilities.
+#define ACQUIRE(...) CUBRICK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  CUBRICK_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) CUBRICK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  CUBRICK_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  CUBRICK_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+// Declares that the function tries to acquire the capability and returns
+// `b` on success.
+#define TRY_ACQUIRE(b, ...) \
+  CUBRICK_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(b, ...) \
+  CUBRICK_THREAD_ANNOTATION(try_acquire_shared_capability(b, __VA_ARGS__))
+
+// Declares that the caller must NOT hold the given capabilities. Used on
+// public methods that lock internally, to catch self-deadlock.
+#define EXCLUDES(...) CUBRICK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Declares that the function returns a reference to the capability guarding
+// the annotated data.
+#define RETURN_CAPABILITY(x) CUBRICK_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: turns the analysis off for one function body. Every use must
+// carry a comment explaining why the discipline cannot be expressed.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  CUBRICK_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,6 +1,7 @@
 #include "cubrick/database.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -17,28 +18,32 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {
 Database::~Database() {
   if (flusher_thread_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(flusher_mutex_);
+      MutexLock lock(flusher_mutex_);
       stop_flusher_ = true;
     }
-    flusher_cv_.notify_all();
+    flusher_cv_.NotifyAll();
     flusher_thread_.join();
   }
 }
 
 void Database::CheckpointLoop() {
-  std::unique_lock<std::mutex> lock(flusher_mutex_);
-  while (!stop_flusher_) {
-    flusher_cv_.wait_for(
-        lock, std::chrono::milliseconds(options_.auto_checkpoint_interval_ms),
-        [this] { return stop_flusher_; });
-    if (stop_flusher_) break;
-    lock.unlock();
+  const auto interval =
+      std::chrono::milliseconds(options_.auto_checkpoint_interval_ms);
+  while (true) {
+    {
+      MutexLock lock(flusher_mutex_);
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      while (!stop_flusher_ &&
+             flusher_cv_.WaitUntil(lock, deadline) != std::cv_status::timeout) {
+      }
+      if (stop_flusher_) return;
+    }
+    // Checkpoint outside flusher_mutex_ so shutdown never waits on a flush.
     auto result = Checkpoint();
     if (!result.ok()) {
       CUBRICK_LOG(Warning) << "background checkpoint failed: "
                            << result.status().ToString();
     }
-    lock.lock();
   }
 }
 
@@ -55,7 +60,7 @@ Status Database::CreateCube(const std::string& name,
   auto schema =
       CubeSchema::Make(name, std::move(dimensions), std::move(metrics));
   if (!schema.ok()) return schema.status();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (cubes_.count(name) > 0) {
     return Status::AlreadyExists("cube '" + name + "' already exists");
   }
@@ -72,7 +77,7 @@ Status Database::CreateCube(const std::string& name,
 }
 
 Status Database::DropCube(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (cubes_.erase(name) == 0) {
     return Status::NotFound("cube '" + name + "' does not exist");
   }
@@ -86,7 +91,7 @@ std::shared_ptr<const CubeSchema> Database::FindSchema(
 }
 
 Table* Database::FindTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = cubes_.find(name);
   return it == cubes_.end() ? nullptr : it->second.table.get();
 }
@@ -150,7 +155,7 @@ Status Database::Commit(const aosi::Txn& txn) { return txns_.Commit(txn); }
 
 Status Database::Rollback(const aosi::Txn& txn) {
   if (!txn.read_only()) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto& [name, state] : cubes_) {
       state.table->Rollback(txn.epoch);
     }
@@ -309,13 +314,13 @@ Result<aosi::Epoch> Database::Checkpoint() {
   }
   const aosi::Epoch to = txns_.LCE();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto& [name, state] : cubes_) {
       // Resume from what this cube has durably flushed, NOT from LSE: LSE
       // can be clamped below the manifest by an active snapshot, and
       // re-flushing that range would duplicate rows on recovery.
       const aosi::Epoch from = state.flusher->ManifestLse();
-      if (to <= from) continue;
+      if (aosi::AtOrBefore(to, from)) continue;
       auto stats = state.flusher->FlushRound(state.table.get(), from, to);
       if (!stats.ok()) return stats.status();
     }
@@ -328,7 +333,7 @@ Result<aosi::Epoch> Database::Checkpoint() {
 PurgeStats Database::PurgeAll() {
   const aosi::Epoch lse = txns_.LSE();
   PurgeStats total;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, state] : cubes_) {
     const PurgeStats stats = state.table->Purge(lse);
     total.bricks_examined += stats.bricks_examined;
@@ -343,42 +348,43 @@ Status Database::Recover() {
   if (options_.data_dir.empty()) {
     return Status::FailedPrecondition("no data_dir configured");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Replay every cube, then truncate to the minimum recovered LSE so a
   // checkpoint that crashed between cubes cannot surface a half-flushed
   // transaction.
-  aosi::Epoch min_lse = ~0ULL;
+  aosi::Epoch min_lse = aosi::kEpochMax;
   bool any = false;
   for (auto& [name, state] : cubes_) {
     auto result = state.flusher->Recover(state.table.get());
     if (!result.ok()) return result.status();
     any = true;
-    min_lse = std::min(min_lse, result->lse);
+    min_lse = aosi::MinEpoch(min_lse, result->lse);
   }
   if (!any) return Status::OK();
   for (auto& [name, state] : cubes_) {
     state.table->TruncateAfter(min_lse);
   }
-  txns_.RestoreAfterRecovery(min_lse == ~0ULL ? aosi::kNoEpoch : min_lse);
+  txns_.RestoreAfterRecovery(
+      aosi::SameEpoch(min_lse, aosi::kEpochMax) ? aosi::kNoEpoch : min_lse);
   return Status::OK();
 }
 
 uint64_t Database::TotalRecords() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t n = 0;
   for (auto& [name, state] : cubes_) n += state.table->TotalRecords();
   return n;
 }
 
 size_t Database::DataMemoryUsage() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   size_t bytes = 0;
   for (auto& [name, state] : cubes_) bytes += state.table->DataMemoryUsage();
   return bytes;
 }
 
 size_t Database::HistoryMemoryUsage() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   size_t bytes = 0;
   for (auto& [name, state] : cubes_) {
     bytes += state.table->HistoryMemoryUsage();
@@ -387,7 +393,7 @@ size_t Database::HistoryMemoryUsage() {
 }
 
 std::vector<std::string> Database::CubeNames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   for (const auto& [name, state] : cubes_) names.push_back(name);
   std::sort(names.begin(), names.end());

@@ -12,15 +12,14 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "aosi/txn_manager.h"
+#include "common/mutex.h"
 #include "cubrick/ddl.h"
 #include "engine/table.h"
 #include "ingest/parser.h"
@@ -166,12 +165,12 @@ class Database {
 
   DatabaseOptions options_;
   aosi::TxnManager txns_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, CubeState> cubes_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, CubeState> cubes_ GUARDED_BY(mutex_);
 
-  std::mutex flusher_mutex_;
-  std::condition_variable flusher_cv_;
-  bool stop_flusher_ = false;
+  Mutex flusher_mutex_;
+  CondVar flusher_cv_;
+  bool stop_flusher_ GUARDED_BY(flusher_mutex_) = false;
   std::thread flusher_thread_;
 };
 

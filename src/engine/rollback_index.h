@@ -13,11 +13,11 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "aosi/epoch.h"
+#include "common/mutex.h"
 #include "storage/schema.h"
 
 namespace cubrick {
@@ -26,13 +26,13 @@ class RollbackIndex {
  public:
   /// Records that `epoch` appended to / deleted `bid`.
   void Note(aosi::Epoch epoch, Bid bid) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     index_[epoch].insert(bid);
   }
 
   /// Returns and forgets the partitions `epoch` touched.
   std::vector<Bid> Take(aosi::Epoch epoch) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = index_.find(epoch);
     if (it == index_.end()) return {};
     std::vector<Bid> bids(it->second.begin(), it->second.end());
@@ -43,19 +43,19 @@ class RollbackIndex {
   /// Drops entries for transactions at or before `lse` — they are finished
   /// and can never be rolled back.
   void DiscardUpTo(aosi::Epoch lse) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     index_.erase(index_.begin(), index_.upper_bound(lse));
   }
 
   size_t NumTrackedTxns() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return index_.size();
   }
 
   /// Approximate bytes held — the memory cost the paper cites against this
   /// design.
   size_t MemoryUsage() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     size_t bytes = 0;
     for (const auto& [epoch, bids] : index_) {
       bytes += sizeof(aosi::Epoch) + bids.size() * (sizeof(Bid) + 32);
@@ -64,8 +64,8 @@ class RollbackIndex {
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::map<aosi::Epoch, std::set<Bid>> index_;
+  mutable Mutex mutex_;
+  std::map<aosi::Epoch, std::set<Bid>> index_ GUARDED_BY(mutex_);
 };
 
 }  // namespace cubrick

@@ -9,7 +9,9 @@ ExtractedBrick ExtractBrickRuns(const Brick& brick,
   ExtractedBrick out;
   out.bid = brick.bid();
   for (const auto& run : brick.history().Decode()) {
-    if (run.epoch <= from_exclusive || run.epoch > to_inclusive) continue;
+    if (!aosi::InEpochRange(run.epoch, from_exclusive, to_inclusive)) {
+      continue;
+    }
     ExtractedRun extracted(schema);
     extracted.epoch = run.epoch;
     extracted.is_delete = run.is_delete;

@@ -46,7 +46,7 @@ std::future<void> Shard::Enqueue(std::function<void(BrickMap&)> op) {
   if (!threaded_) {
     std::promise<void> done;
     {
-      std::lock_guard<std::mutex> lock(inline_mutex_);
+      MutexLock lock(inline_mutex_);
       op(bricks_);
     }
     done.set_value();

@@ -14,9 +14,9 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/shard_queue.h"
 #include "storage/brick_map.h"
 
@@ -65,7 +65,7 @@ class Shard {
   const bool threaded_;
   /// Serializes inline-mode callers (unused in threaded mode, where the
   /// consumer thread is the only writer).
-  std::mutex inline_mutex_;
+  Mutex inline_mutex_;
   ShardQueue<Op> queue_;
   std::thread consumer_;
 };

@@ -33,7 +33,7 @@ bool LockManager::MayWait(const LockState& state, uint64_t txn_id,
 
 Status LockManager::Acquire(uint64_t txn_id, uint64_t resource,
                             LockMode mode) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   LockState& state = locks_[resource];
   while (!Compatible(state, txn_id, mode)) {
     if (!MayWait(state, txn_id, mode)) {
@@ -41,7 +41,7 @@ Status LockManager::Acquire(uint64_t txn_id, uint64_t resource,
                              std::to_string(txn_id) + " dies on resource " +
                              std::to_string(resource));
     }
-    state.cv.wait(lock);
+    state.cv.Wait(lock);
   }
   if (mode == LockMode::kShared) {
     state.shared_holders.insert(txn_id);
@@ -53,7 +53,7 @@ Status LockManager::Acquire(uint64_t txn_id, uint64_t resource,
 }
 
 void LockManager::ReleaseAll(uint64_t txn_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto it = locks_.begin(); it != locks_.end();) {
     LockState& state = it->second;
     bool changed = false;
@@ -65,7 +65,7 @@ void LockManager::ReleaseAll(uint64_t txn_id) {
       changed = true;
     }
     if (changed) {
-      state.cv.notify_all();
+      state.cv.NotifyAll();
     }
     if (state.exclusive_holder == 0 && state.shared_holders.empty()) {
       // Cannot erase: waiters may be blocked on state.cv. Only erase when
@@ -79,7 +79,7 @@ void LockManager::ReleaseAll(uint64_t txn_id) {
 }
 
 size_t LockManager::NumLockedResources() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   size_t count = 0;
   for (const auto& [resource, state] : locks_) {
     if (state.exclusive_holder != 0 || !state.shared_holders.empty()) {

@@ -8,13 +8,12 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace cubrick::mvcc {
@@ -26,31 +25,33 @@ class LockManager {
   /// Blocks until the lock is granted, or returns Aborted (wait-die) when
   /// waiting could deadlock. Re-entrant: acquiring a mode already held is a
   /// no-op; upgrading S->X succeeds when the requester is the sole holder.
-  Status Acquire(uint64_t txn_id, uint64_t resource, LockMode mode);
+  Status Acquire(uint64_t txn_id, uint64_t resource, LockMode mode)
+      EXCLUDES(mutex_);
 
   /// Releases every lock held by `txn_id` and wakes waiters.
-  void ReleaseAll(uint64_t txn_id);
+  void ReleaseAll(uint64_t txn_id) EXCLUDES(mutex_);
 
   /// Number of resources with at least one holder (for tests/stats).
-  size_t NumLockedResources() const;
+  size_t NumLockedResources() const EXCLUDES(mutex_);
 
  private:
   struct LockState {
     std::set<uint64_t> shared_holders;
     uint64_t exclusive_holder = 0;  // 0 = none
-    std::condition_variable cv;
+    CondVar cv;
   };
 
-  /// True when `txn_id` may take `mode` right now. Requires mutex_ held.
+  /// True when `txn_id` may take `mode` right now.
   bool Compatible(const LockState& state, uint64_t txn_id,
-                  LockMode mode) const;
+                  LockMode mode) const REQUIRES(mutex_);
 
   /// True when every conflicting holder is younger (larger id) than the
-  /// requester, i.e. wait-die allows waiting. Requires mutex_ held.
-  bool MayWait(const LockState& state, uint64_t txn_id, LockMode mode) const;
+  /// requester, i.e. wait-die allows waiting.
+  bool MayWait(const LockState& state, uint64_t txn_id, LockMode mode) const
+      REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<uint64_t, LockState> locks_;
+  mutable Mutex mutex_;
+  std::map<uint64_t, LockState> locks_ GUARDED_BY(mutex_);
 };
 
 }  // namespace cubrick::mvcc

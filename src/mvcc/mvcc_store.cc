@@ -1,27 +1,30 @@
 #include "mvcc/mvcc_store.h"
 
+#include "common/mutex.h"
+
 namespace cubrick::mvcc {
 
-MvccStore::MvccStore(size_t num_columns) : columns_(num_columns) {
+MvccStore::MvccStore(size_t num_columns)
+    : num_columns_(num_columns), columns_(num_columns) {
   CUBRICK_CHECK(num_columns >= 1);
 }
 
 MvccTxn MvccStore::Begin() {
   MvccTxn txn;
-  txn.id = next_txn_.fetch_add(1);
-  std::lock_guard<std::mutex> lock(mutex_);
-  txn.begin_ts = clock_.load();
+  txn.id = next_txn_.fetch_add(1, std::memory_order_relaxed);
+  MutexLock lock(mutex_);
+  txn.begin_ts = clock_.load(std::memory_order_relaxed);
   active_.emplace(txn.id, txn.begin_ts);
   return txn;
 }
 
 Status MvccStore::Insert(MvccTxn* txn, const std::vector<int64_t>& values) {
-  if (values.size() != columns_.size()) {
+  if (values.size() != num_columns_) {
     return Status::InvalidArgument("arity mismatch");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const uint64_t row = created_.size();
-  for (size_t c = 0; c < columns_.size(); ++c) {
+  for (size_t c = 0; c < num_columns_; ++c) {
     columns_[c].push_back(values[c]);
   }
   created_.push_back(kTxnFlag | txn->id);
@@ -31,7 +34,7 @@ Status MvccStore::Insert(MvccTxn* txn, const std::vector<int64_t>& values) {
 }
 
 Status MvccStore::Delete(MvccTxn* txn, uint64_t row) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (row >= created_.size()) {
     return Status::OutOfRange("row out of range");
   }
@@ -51,17 +54,17 @@ Status MvccStore::Delete(MvccTxn* txn, uint64_t row) {
 
 Status MvccStore::Update(MvccTxn* txn, uint64_t row, size_t column,
                          int64_t value, uint64_t* new_row) {
-  if (column >= columns_.size()) {
+  if (column >= num_columns_) {
     return Status::OutOfRange("column out of range");
   }
   std::vector<int64_t> next_version;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (row >= created_.size()) {
       return Status::OutOfRange("row out of range");
     }
-    next_version.reserve(columns_.size());
-    for (size_t c = 0; c < columns_.size(); ++c) {
+    next_version.reserve(num_columns_);
+    for (size_t c = 0; c < num_columns_; ++c) {
       next_version.push_back(columns_[c][row]);
     }
   }
@@ -75,12 +78,12 @@ Status MvccStore::Update(MvccTxn* txn, uint64_t row, size_t column,
 }
 
 Status MvccStore::Commit(MvccTxn* txn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = active_.find(txn->id);
   if (it == active_.end()) {
     return Status::FailedPrecondition("transaction not active");
   }
-  const Timestamp commit_ts = clock_.fetch_add(1) + 1;
+  const Timestamp commit_ts = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   for (uint64_t row : txn->insert_set) {
     created_[row] = commit_ts;
   }
@@ -93,7 +96,7 @@ Status MvccStore::Commit(MvccTxn* txn) {
 }
 
 Status MvccStore::Abort(MvccTxn* txn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = active_.find(txn->id);
   if (it == active_.end()) {
     return Status::FailedPrecondition("transaction not active");
@@ -128,12 +131,12 @@ bool MvccStore::ResolveVisible(Timestamp begin, Timestamp end, Timestamp ts,
 }
 
 bool MvccStore::IsVisible(uint64_t row, Timestamp ts) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return ResolveVisible(created_[row], deleted_[row], ts, /*reader=*/0);
 }
 
 int64_t MvccStore::ScanSum(Timestamp ts, size_t column) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   int64_t sum = 0;
   const auto& col = columns_[column];
   for (uint64_t row = 0; row < created_.size(); ++row) {
@@ -147,7 +150,7 @@ int64_t MvccStore::ScanSum(Timestamp ts, size_t column) const {
 }
 
 uint64_t MvccStore::ScanCount(Timestamp ts) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t count = 0;
   for (uint64_t row = 0; row < created_.size(); ++row) {
     if (ResolveVisible(created_[row], deleted_[row], ts, /*reader=*/0)) {
@@ -158,7 +161,7 @@ uint64_t MvccStore::ScanCount(Timestamp ts) const {
 }
 
 uint64_t MvccStore::Vacuum(Timestamp horizon) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   CUBRICK_CHECK(active_.empty());  // simplification: quiescent-only vacuum
   uint64_t write = 0;
   const uint64_t n = created_.size();
@@ -167,7 +170,7 @@ uint64_t MvccStore::Vacuum(Timestamp horizon) {
     const bool aborted_insert = created_[row] == 0;
     const bool dead_version = !IsTxnMarker(deleted_[row]) &&
                               deleted_[row] != kInfinity &&
-                              deleted_[row] < horizon;
+                              deleted_[row] < horizon;  // aosi-lint: allow(epoch-compare)
     if (aborted_insert || dead_version) {
       ++removed;
       continue;
@@ -185,8 +188,23 @@ uint64_t MvccStore::Vacuum(Timestamp horizon) {
   return removed;
 }
 
+uint64_t MvccStore::num_rows() const {
+  MutexLock lock(mutex_);
+  return created_.size();
+}
+
+size_t MvccStore::TimestampOverhead() const {
+  MutexLock lock(mutex_);
+  return created_.size() * 16;
+}
+
+int64_t MvccStore::GetValue(uint64_t row, size_t column) const {
+  MutexLock lock(mutex_);
+  return columns_[column][row];
+}
+
 size_t MvccStore::DataMemoryUsage() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   size_t bytes = 0;
   for (const auto& col : columns_) {
     bytes += col.capacity() * sizeof(int64_t);

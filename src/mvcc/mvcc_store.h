@@ -16,10 +16,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace cubrick::mvcc {
@@ -43,54 +43,53 @@ class MvccStore {
  public:
   explicit MvccStore(size_t num_columns);
 
-  MvccTxn Begin();
+  MvccTxn Begin() EXCLUDES(mutex_);
 
   /// Appends one record (arity must match); visible to snapshots after the
   /// transaction commits.
-  Status Insert(MvccTxn* txn, const std::vector<int64_t>& values);
+  Status Insert(MvccTxn* txn, const std::vector<int64_t>& values)
+      EXCLUDES(mutex_);
 
   /// Marks `row` deleted. Fails with Aborted if another in-flight or newer
   /// transaction already deleted it (write-write conflict).
-  Status Delete(MvccTxn* txn, uint64_t row);
+  Status Delete(MvccTxn* txn, uint64_t row) EXCLUDES(mutex_);
 
   /// Updates one column of `row` by creating a new version (delete +
   /// reinsert with the remaining columns copied). Returns the new row index
   /// via *new_row when non-null.
   Status Update(MvccTxn* txn, uint64_t row, size_t column, int64_t value,
-                uint64_t* new_row = nullptr);
+                uint64_t* new_row = nullptr) EXCLUDES(mutex_);
 
-  Status Commit(MvccTxn* txn);
-  Status Abort(MvccTxn* txn);
+  Status Commit(MvccTxn* txn) EXCLUDES(mutex_);
+  Status Abort(MvccTxn* txn) EXCLUDES(mutex_);
 
   /// True when `row` is visible to a snapshot taken at `ts` (i.e. by a
   /// transaction whose begin_ts == ts).
-  bool IsVisible(uint64_t row, Timestamp ts) const;
+  bool IsVisible(uint64_t row, Timestamp ts) const EXCLUDES(mutex_);
 
   /// Sum of `column` over all rows visible at `ts` — the canonical scan.
-  int64_t ScanSum(Timestamp ts, size_t column) const;
+  int64_t ScanSum(Timestamp ts, size_t column) const EXCLUDES(mutex_);
 
   /// Number of visible rows at `ts`.
-  uint64_t ScanCount(Timestamp ts) const;
+  uint64_t ScanCount(Timestamp ts) const EXCLUDES(mutex_);
 
   /// Garbage-collects versions invisible to every snapshot >= horizon:
   /// physically drops rows whose end_ts is a committed timestamp < horizon.
   /// Returns the number of rows removed.
-  uint64_t Vacuum(Timestamp horizon);
+  uint64_t Vacuum(Timestamp horizon) EXCLUDES(mutex_);
 
-  uint64_t num_rows() const { return created_.size(); }
-  size_t num_columns() const { return columns_.size(); }
+  uint64_t num_rows() const EXCLUDES(mutex_);
+  size_t num_columns() const { return num_columns_; }
 
   /// Bytes spent on per-record concurrency-control metadata. This is the
   /// "baseline overhead" series of the paper's Figures 6/7:
   /// 16 bytes (two 8-byte timestamps) per record version.
-  size_t TimestampOverhead() const { return created_.size() * 16; }
+  size_t TimestampOverhead() const EXCLUDES(mutex_);
 
   /// Bytes of actual column data.
-  size_t DataMemoryUsage() const;
+  size_t DataMemoryUsage() const EXCLUDES(mutex_);
 
-  int64_t GetValue(uint64_t row, size_t column) const {
-    return columns_[column][row];
-  }
+  int64_t GetValue(uint64_t row, size_t column) const EXCLUDES(mutex_);
 
  private:
   /// Timestamps with the high bit set encode "uncommitted, owned by txn id
@@ -103,23 +102,26 @@ class MvccStore {
 
   /// Resolves a begin/end stamp to a committed timestamp for visibility at
   /// `ts`; returns false when the stamp belongs to an uncommitted foreign
-  /// transaction. Requires mutex_ held (or quiescent state).
+  /// transaction.
   bool ResolveVisible(Timestamp begin, Timestamp end, Timestamp ts,
-                      TxnId reader) const;
+                      TxnId reader) const REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  const size_t num_columns_;
+  mutable Mutex mutex_;
+  /// Only touched while holding mutex_ (clock_) or as a pure id allocator
+  /// (next_txn_), so relaxed ordering is enough.
   std::atomic<Timestamp> clock_{1};
   std::atomic<TxnId> next_txn_{1};
 
-  std::vector<std::vector<int64_t>> columns_;
-  std::vector<Timestamp> created_;
-  std::vector<Timestamp> deleted_;
+  std::vector<std::vector<int64_t>> columns_ GUARDED_BY(mutex_);
+  std::vector<Timestamp> created_ GUARDED_BY(mutex_);
+  std::vector<Timestamp> deleted_ GUARDED_BY(mutex_);
 
   /// Commit timestamps of finished transactions (txn id -> commit ts;
   /// aborted transactions map to 0).
-  std::unordered_map<TxnId, Timestamp> finished_;
+  std::unordered_map<TxnId, Timestamp> finished_ GUARDED_BY(mutex_);
   /// Ids of active transactions (for visibility of txn markers).
-  std::unordered_map<TxnId, Timestamp> active_;
+  std::unordered_map<TxnId, Timestamp> active_ GUARDED_BY(mutex_);
 };
 
 }  // namespace cubrick::mvcc

@@ -47,6 +47,8 @@ class TwoPLStore {
   Status Commit(TplTxn* txn);
   Status Abort(TplTxn* txn);
 
+  /// Unsynchronized scan of partition sizes; callers must be quiescent or
+  /// hold S locks on every partition (benchmark/reporting use only).
   uint64_t num_rows() const;
   size_t num_partitions() const { return partitions_.size(); }
 

@@ -112,7 +112,7 @@ Status FlushManager::ReadDictionaries(const CubeSchema& schema) const {
 Result<FlushRoundStats> FlushManager::FlushRound(Table* table,
                                                  aosi::Epoch from_lse,
                                                  aosi::Epoch to_lse) {
-  CUBRICK_CHECK(from_lse <= to_lse);
+  CUBRICK_CHECK(aosi::AtOrBefore(from_lse, to_lse));
   const CubeSchema& schema = table->schema();
   const uint64_t round = ManifestRounds() + 1;
   FlushRoundStats stats;
@@ -129,7 +129,7 @@ Result<FlushRoundStats> FlushManager::FlushRound(Table* table,
     // Select runs in (from_lse, to_lse], preserving physical order.
     std::vector<aosi::EpochRun> selected;
     for (const auto& run : brick.history().Decode()) {
-      if (run.epoch > from_lse && run.epoch <= to_lse) {
+      if (aosi::InEpochRange(run.epoch, from_lse, to_lse)) {
         selected.push_back(run);
       }
     }

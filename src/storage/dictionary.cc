@@ -1,9 +1,11 @@
 #include "storage/dictionary.h"
 
+#include "common/mutex.h"
+
 namespace cubrick {
 
 uint64_t StringDictionary::EncodeOrAdd(const std::string& value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = to_id_.find(value);
   if (it != to_id_.end()) return it->second;
   const uint64_t id = to_string_.size();
@@ -13,7 +15,7 @@ uint64_t StringDictionary::EncodeOrAdd(const std::string& value) {
 }
 
 Result<uint64_t> StringDictionary::Encode(const std::string& value) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = to_id_.find(value);
   if (it == to_id_.end()) {
     return Status::NotFound("string not in dictionary: " + value);
@@ -22,7 +24,7 @@ Result<uint64_t> StringDictionary::Encode(const std::string& value) const {
 }
 
 Result<std::string> StringDictionary::Decode(uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (id >= to_string_.size()) {
     return Status::OutOfRange("dictionary id out of range: " +
                               std::to_string(id));
@@ -31,12 +33,12 @@ Result<std::string> StringDictionary::Decode(uint64_t id) const {
 }
 
 size_t StringDictionary::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return to_string_.size();
 }
 
 size_t StringDictionary::MemoryUsage() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   size_t bytes = 0;
   for (const auto& s : to_string_) {
     // Counted twice: once in the vector, once as a map key.

@@ -7,11 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace cubrick {
@@ -34,9 +34,9 @@ class StringDictionary {
   size_t MemoryUsage() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, uint64_t> to_id_;
-  std::vector<std::string> to_string_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, uint64_t> to_id_ GUARDED_BY(mutex_);
+  std::vector<std::string> to_string_ GUARDED_BY(mutex_);
 };
 
 }  // namespace cubrick

@@ -117,13 +117,13 @@ TEST(ShardQueueTest, BoundedQueueBlocksProducer) {
   std::atomic<bool> pushed{false};
   std::thread producer([&] {
     q.Push(3);
-    pushed.store(true);
+    pushed.store(true, std::memory_order_seq_cst);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  EXPECT_FALSE(pushed.load());
+  EXPECT_FALSE(pushed.load(std::memory_order_seq_cst));
   EXPECT_EQ(q.Pop().value(), 1);
   producer.join();
-  EXPECT_TRUE(pushed.load());
+  EXPECT_TRUE(pushed.load(std::memory_order_seq_cst));
 }
 
 TEST(ShardQueueTest, ManyProducersOneConsumer) {

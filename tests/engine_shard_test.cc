@@ -53,13 +53,13 @@ TEST(ShardTest, ManyProducersSingleConsumerNoLostOps) {
     producers.emplace_back([&] {
       for (int i = 0; i < 250; ++i) {
         shard.Enqueue([&applied](BrickMap&) { ++applied; });
-        submitted.fetch_add(1);
+        submitted.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
   for (auto& t : producers) t.join();
   shard.Drain();
-  EXPECT_EQ(applied, submitted.load());
+  EXPECT_EQ(applied, submitted.load(std::memory_order_relaxed));
   EXPECT_EQ(applied, 1000);
 }
 
@@ -90,11 +90,11 @@ TEST(ShardTest, DrainWaitsForBacklog) {
   for (int i = 0; i < 20; ++i) {
     shard.Enqueue([&done](BrickMap&) {
       std::this_thread::sleep_for(std::chrono::microseconds(200));
-      done.fetch_add(1);
+      done.fetch_add(1, std::memory_order_relaxed);
     });
   }
   shard.Drain();
-  EXPECT_EQ(done.load(), 20);
+  EXPECT_EQ(done.load(std::memory_order_relaxed), 20);
 }
 
 TEST(ShardTest, CpuPinnedShardStillServes) {
@@ -103,15 +103,15 @@ TEST(ShardTest, CpuPinnedShardStillServes) {
   Shard pinned(MakeSchema(), /*threaded=*/true, /*cpu_affinity=*/0);
   std::atomic<int> done{0};
   for (int i = 0; i < 10; ++i) {
-    pinned.Enqueue([&done](BrickMap&) { done.fetch_add(1); });
+    pinned.Enqueue([&done](BrickMap&) { done.fetch_add(1, std::memory_order_relaxed); });
   }
   pinned.Drain();
-  EXPECT_EQ(done.load(), 10);
+  EXPECT_EQ(done.load(std::memory_order_relaxed), 10);
   // An out-of-range CPU is ignored, not fatal.
   Shard unpinnable(MakeSchema(), /*threaded=*/true,
                    /*cpu_affinity=*/1 << 20);
-  unpinnable.Enqueue([&done](BrickMap&) { done.fetch_add(1); }).get();
-  EXPECT_EQ(done.load(), 11);
+  unpinnable.Enqueue([&done](BrickMap&) { done.fetch_add(1, std::memory_order_relaxed); }).get();
+  EXPECT_EQ(done.load(std::memory_order_relaxed), 11);
 }
 
 TEST(ShardTest, TablePinningOptionWorksEndToEnd) {
@@ -133,11 +133,11 @@ TEST(ShardTest, DestructorDrainsPendingWork) {
   {
     Shard shard(MakeSchema(), /*threaded=*/true);
     for (int i = 0; i < 10; ++i) {
-      shard.Enqueue([&done](BrickMap&) { done.fetch_add(1); });
+      shard.Enqueue([&done](BrickMap&) { done.fetch_add(1, std::memory_order_relaxed); });
     }
     // Destructor closes the queue and joins; queued ops still drain.
   }
-  EXPECT_EQ(done.load(), 10);
+  EXPECT_EQ(done.load(std::memory_order_relaxed), 10);
 }
 
 }  // namespace

@@ -218,7 +218,7 @@ TEST(TableConcurrencyTest, ParallelAppendsFromManyClients) {
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&] {
       for (int b = 0; b < kBatches; ++b) {
-        const aosi::Epoch e = next_epoch.fetch_add(1);
+        const aosi::Epoch e = next_epoch.fetch_add(1, std::memory_order_relaxed);
         auto batches = Batches(*schema, {{static_cast<int64_t>(e % 16), 0, 1},
                                          {static_cast<int64_t>(e % 16), 1, 1}});
         ASSERT_TRUE(table.Append(e, batches).ok());

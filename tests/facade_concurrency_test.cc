@@ -49,16 +49,16 @@ TEST(FacadeConcurrencyTest, MixedWorkloadManyThreads) {
         }
         if (rng.OneIn(4)) {
           aosi::Txn txn = db.Begin();
-          if (!db.LoadIn(txn, "t", rows).ok()) failed.store(true);
+          if (!db.LoadIn(txn, "t", rows).ok()) failed.store(true, std::memory_order_seq_cst);
           if (rng.OneIn(3)) {
-            if (!db.Rollback(txn).ok()) failed.store(true);
+            if (!db.Rollback(txn).ok()) failed.store(true, std::memory_order_seq_cst);
           } else {
-            if (!db.Commit(txn).ok()) failed.store(true);
-            committed_batches.fetch_add(1);
+            if (!db.Commit(txn).ok()) failed.store(true, std::memory_order_seq_cst);
+            committed_batches.fetch_add(1, std::memory_order_relaxed);
           }
         } else {
-          if (!db.Load("t", rows).ok()) failed.store(true);
-          committed_batches.fetch_add(1);
+          if (!db.Load("t", rows).ok()) failed.store(true, std::memory_order_seq_cst);
+          committed_batches.fetch_add(1, std::memory_order_relaxed);
         }
       }
     });
@@ -69,16 +69,16 @@ TEST(FacadeConcurrencyTest, MixedWorkloadManyThreads) {
     threads.emplace_back([&] {
       Query q;
       q.aggs = {{AggSpec::Fn::kCount, 0}};
-      while (!stop_readers.load()) {
+      while (!stop_readers.load(std::memory_order_seq_cst)) {
         auto result = db.Query("t", q);
         if (!result.ok()) {
-          failed.store(true);
+          failed.store(true, std::memory_order_seq_cst);
           return;
         }
         const auto count =
             static_cast<uint64_t>(result->Single(0, AggSpec::Fn::kCount));
         if (count % kBatch != 0) {
-          failed.store(true);
+          failed.store(true, std::memory_order_seq_cst);
           return;
         }
       }
@@ -88,19 +88,19 @@ TEST(FacadeConcurrencyTest, MixedWorkloadManyThreads) {
   threads.emplace_back([&] {
     for (int i = 0; i < 10; ++i) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      if (!db.Checkpoint().ok()) failed.store(true);
+      if (!db.Checkpoint().ok()) failed.store(true, std::memory_order_seq_cst);
     }
   });
 
   for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
-  stop_readers.store(true);
+  stop_readers.store(true, std::memory_order_seq_cst);
   for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
 
-  EXPECT_FALSE(failed.load());
+  EXPECT_FALSE(failed.load(std::memory_order_seq_cst));
   Query q;
   q.aggs = {{AggSpec::Fn::kCount, 0}};
   EXPECT_DOUBLE_EQ(db.Query("t", q)->Single(0, AggSpec::Fn::kCount),
-                   static_cast<double>(committed_batches.load() * kBatch));
+                   static_cast<double>(committed_batches.load(std::memory_order_relaxed) * kBatch));
   fs::remove_all(dir);
 }
 
@@ -123,28 +123,28 @@ TEST(LatencyClusterTest, ProtocolCorrectUnderSimulatedNetworkDelay) {
       for (int i = 0; i < 5; ++i) {
         auto txn = cluster.BeginReadWrite(c);
         if (!txn.ok()) {
-          failed.store(true);
+          failed.store(true, std::memory_order_seq_cst);
           return;
         }
         const int64_t v = static_cast<int64_t>(c * 100 + i);
         if (!cluster.Append(&*txn, "t", {{static_cast<int64_t>(c), v}})
                  .ok() ||
             !cluster.Commit(&*txn).ok()) {
-          failed.store(true);
+          failed.store(true, std::memory_order_seq_cst);
           return;
         }
-        committed_sum.fetch_add(v);
+        committed_sum.fetch_add(v, std::memory_order_relaxed);
       }
     });
   }
   for (auto& t : clients) t.join();
-  ASSERT_FALSE(failed.load());
+  ASSERT_FALSE(failed.load(std::memory_order_seq_cst));
   Query q;
   q.aggs = {{AggSpec::Fn::kSum, 0}};
   for (uint32_t n = 1; n <= 3; ++n) {
     auto result = cluster.QueryOnce(n, "t", q);
     EXPECT_DOUBLE_EQ(result->Single(0, AggSpec::Fn::kSum),
-                     static_cast<double>(committed_sum.load()));
+                     static_cast<double>(committed_sum.load(std::memory_order_relaxed)));
   }
   // Clocks stayed strided despite delayed gossip.
   for (uint32_t n = 1; n <= 3; ++n) {

@@ -58,16 +58,16 @@ TEST(IntegrationTest, FullLifecycle) {
                 {static_cast<int64_t>(rng.Uniform(32)),
                  "site" + std::to_string(rng.Uniform(16)), hits,
                  rng.NextDouble()});
-            total.fetch_add(hits);
-            rows.fetch_add(1);
+            total.fetch_add(hits, std::memory_order_relaxed);
+            rows.fetch_add(1, std::memory_order_relaxed);
           }
           ASSERT_TRUE(db.Load("facts", records).ok());
         }
       });
     }
     for (auto& c : clients) c.join();
-    expected_sum = total.load();
-    expected_rows = rows.load();
+    expected_sum = total.load(std::memory_order_relaxed);
+    expected_rows = rows.load(std::memory_order_relaxed);
 
     auto loaded = db.Query("facts", CountSum());
     ASSERT_TRUE(loaded.ok());
@@ -133,28 +133,28 @@ TEST(IntegrationTest, ConcurrentReadersSeeMonotonicBatches) {
 
   std::thread writer([&] {
     Random rng(3);
-    for (int b = 0; b < 50 && !stop.load(); ++b) {
+    for (int b = 0; b < 50 && !stop.load(std::memory_order_seq_cst); ++b) {
       std::vector<Record> records;
       for (uint64_t i = 0; i < kBatch; ++i) {
         records.push_back({static_cast<int64_t>(rng.Uniform(8)), 1});
       }
       ASSERT_TRUE(db.Load("s", records).ok());
     }
-    stop.store(true);
+    stop.store(true, std::memory_order_seq_cst);
   });
 
   std::thread reader([&] {
     double last = 0;
-    while (!stop.load()) {
+    while (!stop.load(std::memory_order_seq_cst)) {
       auto result = db.Query("s", CountSum());
       if (!result.ok()) {
-        failed.store(true);
+        failed.store(true, std::memory_order_seq_cst);
         return;
       }
       const double count = result->Single(0, AggSpec::Fn::kCount);
       // Counts are whole batches and never go backwards.
       if (static_cast<uint64_t>(count) % kBatch != 0 || count < last) {
-        failed.store(true);
+        failed.store(true, std::memory_order_seq_cst);
         return;
       }
       last = count;
@@ -162,9 +162,9 @@ TEST(IntegrationTest, ConcurrentReadersSeeMonotonicBatches) {
   });
 
   writer.join();
-  stop.store(true);
+  stop.store(true, std::memory_order_seq_cst);
   reader.join();
-  EXPECT_FALSE(failed.load());
+  EXPECT_FALSE(failed.load(std::memory_order_seq_cst));
   EXPECT_EQ(db.TotalRecords(), 50 * kBatch);
 }
 

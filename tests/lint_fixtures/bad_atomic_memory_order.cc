@@ -1,0 +1,16 @@
+// aosi-lint-fixture: atomic-memory-order
+// aosi-lint-as: src/example/bad_atomic.cc
+//
+// Implicit-seq_cst atomic operations and operator forms must be rejected.
+#include <atomic>
+
+namespace cubrick {
+
+std::atomic<int> counter{0};
+
+int BadLoad() { return counter.load(); }
+void BadStore(int v) { counter.store(v); }
+void BadRmw() { counter.fetch_add(1); }
+void BadOperator() { ++counter; }
+
+}  // namespace cubrick

@@ -1,0 +1,18 @@
+// aosi-lint-fixture: epoch-compare
+// aosi-lint-as: src/example/bad_epoch.cc
+//
+// Raw relational/equality operators on epoch-like identifiers outside
+// src/aosi/epoch* must be rejected in favor of the named helpers.
+#include <cstdint>
+
+namespace cubrick {
+
+using Epoch = uint64_t;
+
+bool BadVisibility(Epoch epoch, Epoch snapshot_epoch) {
+  return epoch <= snapshot_epoch;
+}
+
+bool BadHorizonCheck(Epoch lse, Epoch horizon) { return lse < horizon; }
+
+}  // namespace cubrick

@@ -1,0 +1,27 @@
+// aosi-lint-fixture: mutex-across-rpc
+// aosi-lint-as: src/cluster/bad_fanout.cc
+//
+// Holding a lock while fanning out to another node's RPC surface can
+// deadlock the simulated message bus; the call must happen unlocked.
+#include "common/mutex.h"
+
+namespace cubrick::cluster {
+
+class ClusterNode;
+int HandleFinish(ClusterNode& node);
+
+class BadFanout {
+ public:
+  void FinishAll() {
+    MutexLock lock(mutex_);
+    for (ClusterNode* node : nodes_) {
+      HandleFinish(*node);  // RPC while mutex_ is held
+    }
+  }
+
+ private:
+  Mutex mutex_;
+  ClusterNode* nodes_[4] GUARDED_BY(mutex_) = {};
+};
+
+}  // namespace cubrick::cluster

@@ -1,0 +1,22 @@
+// aosi-lint-fixture: naked-mutex
+// aosi-lint-as: src/example/bad_mutex.cc
+//
+// Raw std::mutex / std::lock_guard outside src/common/mutex.h must be
+// rejected: only the annotated wrappers carry thread-safety capabilities.
+#include <mutex>
+
+namespace cubrick {
+
+class BadCounter {
+ public:
+  void Increment() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++value_;
+  }
+
+ private:
+  std::mutex mutex_;
+  int value_ = 0;
+};
+
+}  // namespace cubrick

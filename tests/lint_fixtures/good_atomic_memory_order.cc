@@ -1,0 +1,15 @@
+// aosi-lint-fixture: atomic-memory-order
+// aosi-lint-as: src/example/good_atomic.cc
+//
+// Every atomic op names its ordering; nothing to report.
+#include <atomic>
+
+namespace cubrick {
+
+std::atomic<int> counter{0};
+
+int GoodLoad() { return counter.load(std::memory_order_acquire); }
+void GoodStore(int v) { counter.store(v, std::memory_order_release); }
+void GoodRmw() { counter.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace cubrick

@@ -1,0 +1,20 @@
+// aosi-lint-fixture: epoch-compare
+// aosi-lint-as: src/example/good_epoch.cc
+//
+// Epoch relationships expressed through the src/aosi/epoch.h helpers; the
+// only raw comparison is on a non-epoch identifier, which is fine.
+#include <cstdint>
+
+namespace cubrick {
+
+using Epoch = uint64_t;
+
+constexpr bool AtOrBefore(Epoch a, Epoch b) { return a <= b; }  // aosi-lint: allow(epoch-compare)
+
+bool GoodVisibility(Epoch epoch, Epoch snapshot_epoch) {
+  return AtOrBefore(epoch, snapshot_epoch);
+}
+
+bool UnrelatedCompare(uint64_t rows, uint64_t limit) { return rows < limit; }
+
+}  // namespace cubrick

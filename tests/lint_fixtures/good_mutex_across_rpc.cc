@@ -1,0 +1,33 @@
+// aosi-lint-fixture: mutex-across-rpc
+// aosi-lint-as: src/cluster/good_fanout.cc
+//
+// Snapshot the target list under the lock, drop it, then issue the RPCs.
+#include <cstddef>
+
+#include "common/mutex.h"
+
+namespace cubrick::cluster {
+
+class ClusterNode;
+int HandleFinish(ClusterNode& node);
+
+class GoodFanout {
+ public:
+  void FinishAll() {
+    ClusterNode* targets[4] = {};
+    size_t n = 0;
+    {
+      MutexLock lock(mutex_);
+      for (ClusterNode* node : nodes_) targets[n++] = node;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      HandleFinish(*targets[i]);
+    }
+  }
+
+ private:
+  Mutex mutex_;
+  ClusterNode* nodes_[4] GUARDED_BY(mutex_) = {};
+};
+
+}  // namespace cubrick::cluster

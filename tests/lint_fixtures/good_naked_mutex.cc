@@ -1,0 +1,21 @@
+// aosi-lint-fixture: naked-mutex
+// aosi-lint-as: src/example/good_mutex.cc
+//
+// The annotated wrappers from common/mutex.h are the sanctioned spelling.
+#include "common/mutex.h"
+
+namespace cubrick {
+
+class GoodCounter {
+ public:
+  void Increment() {
+    MutexLock lock(mutex_);
+    ++value_;
+  }
+
+ private:
+  Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace cubrick

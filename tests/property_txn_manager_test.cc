@@ -96,7 +96,7 @@ TEST_P(RandomScheduleTest, MultiThreadInvariants) {
         const Epoch lce = tm.LCE();
         const Epoch ec = tm.EC();
         if (ec <= lce || lce < lse) {
-          failed.store(true);
+          failed.store(true, std::memory_order_seq_cst);
           return;
         }
         if (rng.NextDouble() < 0.5 || mine.empty()) {
@@ -107,7 +107,7 @@ TEST_P(RandomScheduleTest, MultiThreadInvariants) {
           const Status status = commit ? tm.Commit(mine[pick])
                                        : tm.Rollback(mine[pick]);
           if (!status.ok()) {
-            failed.store(true);
+            failed.store(true, std::memory_order_seq_cst);
             return;
           }
           mine.erase(mine.begin() + static_cast<ptrdiff_t>(pick));
@@ -116,7 +116,7 @@ TEST_P(RandomScheduleTest, MultiThreadInvariants) {
           Txn ro = tm.BeginReadOnly();
           // The snapshot must stay stable: LCE at or after our epoch.
           if (tm.LCE() < ro.epoch) {
-            failed.store(true);
+            failed.store(true, std::memory_order_seq_cst);
             return;
           }
           tm.EndReadOnly(ro);
@@ -124,13 +124,13 @@ TEST_P(RandomScheduleTest, MultiThreadInvariants) {
       }
       for (const auto& t : mine) {
         if (!tm.Commit(t).ok()) {
-          failed.store(true);
+          failed.store(true, std::memory_order_seq_cst);
         }
       }
     });
   }
   for (auto& w : workers) w.join();
-  EXPECT_FALSE(failed.load());
+  EXPECT_FALSE(failed.load(std::memory_order_seq_cst));
   EXPECT_TRUE(tm.PendingTxs().empty());
   EXPECT_EQ(tm.NumTracked(), 0u);
   EXPECT_GT(tm.EC(), tm.LCE());

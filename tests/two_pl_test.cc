@@ -38,14 +38,14 @@ TEST(LockManagerTest, OlderTransactionWaitsForYounger) {
   // Older transaction (id 2) is allowed to wait for younger holder (id 5).
   std::thread waiter([&] {
     ASSERT_TRUE(lm.Acquire(2, 7, LockMode::kExclusive).ok());
-    acquired.store(true);
+    acquired.store(true, std::memory_order_seq_cst);
     lm.ReleaseAll(2);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  EXPECT_FALSE(acquired.load());
+  EXPECT_FALSE(acquired.load(std::memory_order_seq_cst));
   lm.ReleaseAll(5);
   waiter.join();
-  EXPECT_TRUE(acquired.load());
+  EXPECT_TRUE(acquired.load(std::memory_order_seq_cst));
 }
 
 TEST(LockManagerTest, ReentrantAcquire) {
@@ -157,7 +157,7 @@ TEST(TwoPLStoreTest, ConcurrentWritersSerializeViaLocks) {
         TplTxn txn = store.Begin();
         if (store.Insert(&txn, {1}).ok()) {
           ASSERT_TRUE(store.Commit(&txn).ok());
-          committed.fetch_add(1);
+          committed.fetch_add(1, std::memory_order_relaxed);
         } else {
           ASSERT_TRUE(store.Abort(&txn).ok());
         }
@@ -165,9 +165,9 @@ TEST(TwoPLStoreTest, ConcurrentWritersSerializeViaLocks) {
     });
   }
   for (auto& th : threads) th.join();
-  EXPECT_EQ(store.num_rows(), static_cast<uint64_t>(committed.load()));
+  EXPECT_EQ(store.num_rows(), static_cast<uint64_t>(committed.load(std::memory_order_relaxed)));
   TplTxn reader = store.Begin();
-  EXPECT_EQ(store.ScanSum(&reader, 0).value(), committed.load());
+  EXPECT_EQ(store.ScanSum(&reader, 0).value(), committed.load(std::memory_order_relaxed));
   ASSERT_TRUE(store.Commit(&reader).ok());
 }
 

@@ -1,0 +1,940 @@
+// aosi_lint — AOSI-specific concurrency lint for the cubrick tree.
+//
+// A standalone token-based checker (no libclang) that enforces the rules
+// Clang's -Wthread-safety cannot express:
+//
+//   atomic-memory-order  every std::atomic load/store/RMW names an explicit
+//                        std::memory_order argument
+//   epoch-compare        raw integer comparisons of epochs (identifiers
+//                        mentioning epoch/lce/lse/horizon) are only allowed
+//                        inside src/aosi/epoch*.{h,cc}; everything else uses
+//                        the named helpers in src/aosi/epoch.h
+//   naked-mutex          std:: synchronization primitives are only allowed
+//                        inside src/common/mutex.h (everyone else uses the
+//                        annotated wrappers)
+//   mutex-across-rpc     src/cluster code must not hold a lock across a
+//                        Node RPC/broadcast call (Handle*, DeliverOrQueue)
+//
+// Input is the set of sources named by a compile_commands.json plus a
+// recursive scan of the conventional directories, so headers (which carry
+// most epoch comparisons) are covered too. A finding can be waived with
+//   // aosi-lint: allow(<rule>)
+// on the offending line, or alone on the line above it.
+//
+// See docs/STATIC_ANALYSIS.md for how to add a rule.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+struct RuleInfo {
+  const char* name;
+  const char* description;
+};
+
+const RuleInfo kRules[] = {
+    {"atomic-memory-order",
+     "std::atomic loads/stores/RMWs must pass an explicit std::memory_order; "
+     "operator forms (++, +=, =) on atomics are forbidden"},
+    {"epoch-compare",
+     "raw comparisons of epoch-like values (identifiers containing epoch/lce/"
+     "lse/horizon) are only allowed in src/aosi/epoch*; use the named helpers "
+     "(IsVisibleAt, HappensBefore, ...) from src/aosi/epoch.h"},
+    {"naked-mutex",
+     "std::mutex/std::shared_mutex/std::condition_variable/std::*_lock are "
+     "forbidden outside src/common/mutex.h; use the annotated wrappers"},
+    {"mutex-across-rpc",
+     "cluster code must not hold a MutexLock across a Node RPC/broadcast "
+     "call (Handle*, DeliverOrQueue)"},
+};
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: comment/string stripping that preserves line numbers
+// ---------------------------------------------------------------------------
+
+// Replaces comments and string/character literals with spaces so the lexer
+// never sees their contents; newlines are kept so token line numbers match
+// the original file.
+std::string StripCommentsAndStrings(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw string literal? The '"' follows an R (possibly with an
+          // encoding prefix, e.g. u8R"(...)").
+          bool raw = false;
+          if (i > 0 && in[i - 1] == 'R') {
+            size_t b = i - 1;
+            while (b > 0 && std::isalnum(static_cast<unsigned char>(in[b - 1])))
+              --b;
+            // Reject identifiers that merely end in R (e.g. `fooR"x"` cannot
+            // appear in valid code anyway).
+            raw = (i - b) <= 3;
+          }
+          if (raw) {
+            // R"delim( ... )delim"
+            size_t p = i + 1;
+            std::string delim;
+            while (p < in.size() && in[p] != '(') delim += in[p++];
+            const std::string close = ")" + delim + "\"";
+            size_t end = in.find(close, p);
+            if (end == std::string::npos) end = in.size();
+            else end += close.size();
+            for (size_t k = i; k < end; ++k)
+              out += (in[k] == '\n') ? '\n' : ' ';
+            i = end - 1;
+          } else {
+            state = State::kString;
+            out += ' ';
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+          if (next == '\n') out.back() = '\n';
+        } else if (c == '"') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+std::vector<Token> Lex(const std::string& code) {
+  static const char* kPuncts3[] = {"<<=", ">>=", "->*", "...", "<=>"};
+  static const char* kPuncts2[] = {"::", "->", "++", "--", "<<", ">>", "<=",
+                                   ">=", "==", "!=", "&&", "||", "+=", "-=",
+                                   "*=", "/=", "%=", "&=", "|=", "^=", "##"};
+  std::vector<Token> toks;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = code.size();
+  while (i < n) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(code[j])) ||
+                       code[j] == '_'))
+        ++j;
+      toks.push_back({TokKind::kIdent, code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(code[j])) ||
+                       code[j] == '_' || code[j] == '\'' ||
+                       (code[j] == '.' ) ||
+                       ((code[j] == '+' || code[j] == '-') &&
+                        (code[j - 1] == 'e' || code[j - 1] == 'E' ||
+                         code[j - 1] == 'p' || code[j - 1] == 'P'))))
+        ++j;
+      toks.push_back({TokKind::kNumber, code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    bool matched = false;
+    if (i + 3 <= n) {
+      const std::string three = code.substr(i, 3);
+      for (const char* p : kPuncts3) {
+        if (three == p) {
+          toks.push_back({TokKind::kPunct, three, line});
+          i += 3;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (matched) continue;
+    if (i + 2 <= n) {
+      const std::string two = code.substr(i, 2);
+      for (const char* p : kPuncts2) {
+        if (two == p) {
+          toks.push_back({TokKind::kPunct, two, line});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (matched) continue;
+    toks.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return toks;
+}
+
+// ---------------------------------------------------------------------------
+// Template angle-bracket detection
+// ---------------------------------------------------------------------------
+
+// Marks '<' / '>' tokens that open/close a template argument list so the
+// epoch-compare rule does not mistake `std::map<Epoch, X>` for comparisons.
+// Heuristic: a '<' directly after an identifier opens a template list if a
+// matching close is reachable through tokens that can only appear in a type
+// list (identifiers, ::, commas, *, &, nested angles, balanced parens for
+// function types, numbers for non-type args).
+std::vector<bool> MarkTemplateAngles(const std::vector<Token>& toks) {
+  std::vector<bool> is_template(toks.size(), false);
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].text != "<" || i == 0) continue;
+    if (toks[i - 1].kind != TokKind::kIdent) continue;
+    int depth = 1;
+    int paren = 0;
+    bool ok = false;
+    size_t j = i + 1;
+    std::vector<size_t> opens = {i};
+    std::vector<size_t> closes;
+    for (int steps = 0; j < toks.size() && steps < 64; ++j, ++steps) {
+      const Token& t = toks[j];
+      if (paren > 0) {
+        if (t.text == "(") ++paren;
+        else if (t.text == ")") --paren;
+        else if (t.text == ";" || t.text == "{" || t.text == "}") break;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent || t.kind == TokKind::kNumber ||
+          t.text == "::" || t.text == "," || t.text == "*" || t.text == "&" ||
+          t.text == "...") {
+        continue;
+      }
+      if (t.text == "(") {
+        ++paren;
+        continue;
+      }
+      if (t.text == "<") {
+        ++depth;
+        opens.push_back(j);
+        continue;
+      }
+      if (t.text == ">") {
+        --depth;
+        closes.push_back(j);
+        if (depth == 0) {
+          ok = true;
+          break;
+        }
+        continue;
+      }
+      if (t.text == ">>") {
+        depth -= 2;
+        closes.push_back(j);
+        if (depth <= 0) {
+          ok = true;
+          break;
+        }
+        continue;
+      }
+      break;  // anything else (operators, ;, braces) => not a template list
+    }
+    if (ok) {
+      for (size_t k : opens) is_template[k] = true;
+      for (size_t k : closes) is_template[k] = true;
+    }
+  }
+  return is_template;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file lint context
+// ---------------------------------------------------------------------------
+
+struct FileClass {
+  std::string rel;       // path used for rule scoping and display
+  bool in_src = false;
+  bool epoch_zone = false;    // src/aosi/epoch*
+  bool mutex_header = false;  // src/common/mutex.h / thread_annotations.h
+  bool in_cluster = false;    // src/cluster/
+};
+
+FileClass Classify(std::string rel) {
+  std::replace(rel.begin(), rel.end(), '\\', '/');
+  FileClass fc;
+  fc.rel = rel;
+  fc.in_src = rel.rfind("src/", 0) == 0;
+  fc.epoch_zone = rel.rfind("src/aosi/epoch", 0) == 0;
+  fc.mutex_header = rel == "src/common/mutex.h" ||
+                    rel == "src/common/thread_annotations.h";
+  fc.in_cluster = rel.rfind("src/cluster/", 0) == 0;
+  return fc;
+}
+
+struct SourceFile {
+  std::string display_path;  // path printed in findings
+  FileClass cls;
+  std::vector<Token> toks;
+  // line -> waived rule names ("*" = all)
+  std::map<int, std::set<std::string>> waivers;
+};
+
+// Scans raw (pre-strip) content for waiver comments.
+std::map<int, std::set<std::string>> CollectWaivers(const std::string& raw) {
+  std::map<int, std::set<std::string>> waivers;
+  std::istringstream in(raw);
+  std::string line_text;
+  int line = 0;
+  while (std::getline(in, line_text)) {
+    ++line;
+    const size_t pos = line_text.find("aosi-lint: allow(");
+    if (pos == std::string::npos) continue;
+    const size_t open = line_text.find('(', pos);
+    const size_t close = line_text.find(')', open);
+    if (open == std::string::npos || close == std::string::npos) continue;
+    std::string rules = line_text.substr(open + 1, close - open - 1);
+    std::set<std::string> names;
+    std::string cur;
+    for (char c : rules + ",") {
+      if (c == ',') {
+        if (!cur.empty()) names.insert(cur);
+        cur.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        cur += c;
+      }
+    }
+    waivers[line].insert(names.begin(), names.end());
+    // A waiver alone on its line also covers the next line.
+    const size_t comment = line_text.find("//");
+    if (comment != std::string::npos &&
+        line_text.find_first_not_of(" \t") == comment) {
+      waivers[line + 1].insert(names.begin(), names.end());
+    }
+  }
+  return waivers;
+}
+
+std::string FindDirective(const std::string& raw, const std::string& key) {
+  const size_t pos = raw.find(key);
+  if (pos == std::string::npos) return "";
+  size_t start = pos + key.size();
+  while (start < raw.size() && (raw[start] == ' ' || raw[start] == '\t'))
+    ++start;
+  size_t end = start;
+  while (end < raw.size() && !std::isspace(static_cast<unsigned char>(raw[end])))
+    ++end;
+  return raw.substr(start, end - start);
+}
+
+// ---------------------------------------------------------------------------
+// Rule: atomic-memory-order
+// ---------------------------------------------------------------------------
+
+const std::set<std::string> kAtomicMemberOps = {
+    "load",          "store",          "exchange",
+    "fetch_add",     "fetch_sub",      "fetch_and",
+    "fetch_or",      "fetch_xor",      "compare_exchange_weak",
+    "compare_exchange_strong"};
+
+// First pass: record names declared as std::atomic<...> so the operator-form
+// check (`flag++`, `flag = x`) can recognize them. Names are scoped to the
+// declaring file and its paired source/header (same path stem), which covers
+// the member-declared-in-.h-used-in-.cc case without letting a local named
+// like an unrelated file's atomic trip the rule.
+void CollectAtomicNames(const SourceFile& f, std::set<std::string>* names,
+                        std::set<const Token*>* decl_sites) {
+  const auto& toks = f.toks;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].text != "atomic" || toks[i + 1].text != "<") continue;
+    int depth = 0;
+    size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "<") ++depth;
+      else if (toks[j].text == ">") { if (--depth == 0) break; }
+      else if (toks[j].text == ">>") { depth -= 2; if (depth <= 0) break; }
+      else if (toks[j].text == ";") break;
+    }
+    if (j + 1 >= toks.size() || depth > 0) continue;
+    const Token& name = toks[j + 1];
+    if (name.kind != TokKind::kIdent) continue;
+    if (j + 2 < toks.size()) {
+      const std::string& after = toks[j + 2].text;
+      if (after == ";" || after == "{" || after == "=" || after == "," ||
+          after == ")" || after == "(") {
+        names->insert(name.text);
+        decl_sites->insert(&name);
+      }
+    }
+  }
+}
+
+void CheckAtomicMemoryOrder(const SourceFile& f,
+                            const std::set<std::string>& atomic_names,
+                            const std::set<const Token*>& decl_sites,
+                            std::vector<Finding>* out) {
+  const auto& toks = f.toks;
+  for (size_t i = 1; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    // Member-call form: x.load(...), p->fetch_add(...)
+    if (t.kind == TokKind::kIdent && kAtomicMemberOps.count(t.text) &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+        toks[i + 1].text == "(") {
+      int depth = 0;
+      bool has_order = false;
+      for (size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].text == "(") ++depth;
+        else if (toks[j].text == ")") { if (--depth == 0) break; }
+        else if (toks[j].kind == TokKind::kIdent &&
+                 toks[j].text.rfind("memory_order", 0) == 0) {
+          has_order = true;
+        }
+      }
+      if (!has_order) {
+        out->push_back({f.display_path, t.line, "atomic-memory-order",
+                        "atomic ." + t.text +
+                            "() without an explicit std::memory_order"});
+      }
+      continue;
+    }
+    // Operator form on a known atomic variable: ++x, x++, x += 1, x = v.
+    if (t.kind == TokKind::kIdent && atomic_names.count(t.text) &&
+        !decl_sites.count(&t)) {
+      const std::string& next = toks[i + 1].text;
+      const std::string& prev = toks[i - 1].text;
+      static const std::set<std::string> kCompound = {"++", "--", "+=", "-=",
+                                                      "&=", "|=", "^="};
+      const bool op_after = kCompound.count(next) || next == "=";
+      const bool op_before = prev == "++" || prev == "--";
+      // `name =` only counts when it is an assignment, not `==`/`<=` (those
+      // are separate tokens) and not a named-argument-like context.
+      if (op_after || op_before) {
+        out->push_back(
+            {f.display_path, t.line, "atomic-memory-order",
+             "operator form on std::atomic '" + t.text +
+                 "' is an implicit seq_cst access; use .load/.store/.fetch_* "
+                 "with an explicit std::memory_order"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: epoch-compare
+// ---------------------------------------------------------------------------
+
+bool NameTouchesEpoch(const std::string& name) {
+  static const std::set<std::string> kExcluded = {
+      // Type names (template args, declarations) and lexical near-misses.
+      "Epoch",      "EpochSet",   "EpochVector", "EpochClock",
+      "EpochEntry", "EpochRun",   "EpochVectorStats",
+      "false",      "else",
+  };
+  if (kExcluded.count(name)) return false;
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name)
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return lower.find("epoch") != std::string::npos ||
+         lower.find("lce") != std::string::npos ||
+         lower.find("lse") != std::string::npos ||
+         lower.find("horizon") != std::string::npos;
+}
+
+// Walks back from toks[i] (exclusive) to the identifier naming the left
+// operand: the member/function name directly before the operator, skipping
+// one balanced ()/[] group.
+const Token* LeftOperand(const std::vector<Token>& toks, size_t i) {
+  if (i == 0) return nullptr;
+  size_t k = i - 1;
+  if (toks[k].text == ")" || toks[k].text == "]") {
+    const std::string open = toks[k].text == ")" ? "(" : "[";
+    const std::string close = toks[k].text;
+    int depth = 0;
+    while (k > 0) {
+      if (toks[k].text == close) ++depth;
+      else if (toks[k].text == open && --depth == 0) break;
+      --k;
+    }
+    if (k == 0) return nullptr;
+    --k;
+  }
+  return toks[k].kind == TokKind::kIdent ? &toks[k] : nullptr;
+}
+
+// Walks forward from toks[i] (exclusive), skipping unary operators, to the
+// last identifier of the right operand's member chain
+// (`a < txn->epoch` -> epoch).
+const Token* RightOperand(const std::vector<Token>& toks, size_t i) {
+  size_t j = i + 1;
+  int skipped = 0;
+  while (j < toks.size() && skipped < 4 &&
+         (toks[j].text == "*" || toks[j].text == "&" || toks[j].text == "-" ||
+          toks[j].text == "+" || toks[j].text == "!" || toks[j].text == "~" ||
+          toks[j].text == "(")) {
+    ++j;
+    ++skipped;
+  }
+  if (j >= toks.size() || toks[j].kind != TokKind::kIdent) return nullptr;
+  // Follow the member chain: std::foo, a.b->c
+  const Token* last = &toks[j];
+  while (j + 2 < toks.size() &&
+         (toks[j + 1].text == "." || toks[j + 1].text == "->" ||
+          toks[j + 1].text == "::") &&
+         toks[j + 2].kind == TokKind::kIdent) {
+    j += 2;
+    last = &toks[j];
+  }
+  return last;
+}
+
+void CheckEpochCompare(const SourceFile& f, std::vector<Finding>* out) {
+  static const std::set<std::string> kCompareOps = {"<",  ">",  "<=",
+                                                    ">=", "==", "!="};
+  const auto& toks = f.toks;
+  const std::vector<bool> is_template = MarkTemplateAngles(toks);
+  for (size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct || !kCompareOps.count(toks[i].text))
+      continue;
+    if (is_template[i]) continue;
+    const Token* lhs = LeftOperand(toks, i);
+    const Token* rhs = RightOperand(toks, i);
+    const Token* hit = nullptr;
+    if (lhs && NameTouchesEpoch(lhs->text)) hit = lhs;
+    else if (rhs && NameTouchesEpoch(rhs->text)) hit = rhs;
+    if (hit == nullptr) continue;
+    out->push_back(
+        {f.display_path, toks[i].line, "epoch-compare",
+         "raw epoch comparison '" + hit->text + " " + toks[i].text +
+             " ...' outside src/aosi/epoch*; use the named helpers from "
+             "src/aosi/epoch.h (IsVisibleAt, HappensBefore, AtOrBefore, ...)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: naked-mutex
+// ---------------------------------------------------------------------------
+
+void CheckNakedMutex(const SourceFile& f, std::vector<Finding>* out) {
+  static const std::set<std::string> kForbidden = {
+      "mutex",         "shared_mutex",       "recursive_mutex",
+      "timed_mutex",   "recursive_timed_mutex",
+      "condition_variable", "condition_variable_any",
+      "lock_guard",    "unique_lock",        "shared_lock",
+      "scoped_lock"};
+  const auto& toks = f.toks;
+  for (size_t i = 2; i < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kIdent && kForbidden.count(toks[i].text) &&
+        toks[i - 1].text == "::" && toks[i - 2].text == "std") {
+      out->push_back({f.display_path, toks[i].line, "naked-mutex",
+                      "std::" + toks[i].text +
+                          " outside src/common/mutex.h; use the annotated "
+                          "wrappers (Mutex, MutexLock, CondVar, ...)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: mutex-across-rpc
+// ---------------------------------------------------------------------------
+
+void CheckMutexAcrossRpc(const SourceFile& f, std::vector<Finding>* out) {
+  static const std::set<std::string> kLockTypes = {
+      "MutexLock", "WriterMutexLock", "ReaderMutexLock", "lock_guard",
+      "unique_lock", "scoped_lock"};
+  const auto& toks = f.toks;
+  int depth = 0;
+  std::vector<int> lock_depths;  // brace depth at which each live lock lives
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.text == "{") {
+      ++depth;
+      continue;
+    }
+    if (t.text == "}") {
+      --depth;
+      while (!lock_depths.empty() && lock_depths.back() > depth)
+        lock_depths.pop_back();
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+    // RAII lock declaration: `MutexLock lock(mu);` / `MutexLock lock{mu};`
+    if (kLockTypes.count(t.text) && i + 2 < toks.size() &&
+        toks[i + 1].kind == TokKind::kIdent &&
+        (toks[i + 2].text == "(" || toks[i + 2].text == "{")) {
+      lock_depths.push_back(depth);
+      continue;
+    }
+    if (lock_depths.empty()) continue;
+    // RPC/broadcast call while a lock is live in an enclosing scope.
+    const bool is_handle = t.text.size() > 6 && t.text.rfind("Handle", 0) == 0 &&
+                           std::isupper(static_cast<unsigned char>(t.text[6]));
+    const bool is_rpc = is_handle || t.text == "DeliverOrQueue";
+    if (is_rpc && i + 1 < toks.size() && toks[i + 1].text == "(") {
+      out->push_back({f.display_path, t.line, "mutex-across-rpc",
+                      "RPC/broadcast call '" + t.text +
+                          "' while holding a lock; release the lock before "
+                          "calling into cluster::Node"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+bool LoadFile(const std::string& path, const std::string& rel_for_rules,
+              SourceFile* out, std::string* raw_out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string raw = ss.str();
+  // A fixture can emulate a tree location with `aosi-lint-as: <path>`.
+  std::string as = FindDirective(raw, "aosi-lint-as:");
+  out->display_path = path;
+  out->cls = Classify(as.empty() ? rel_for_rules : as);
+  out->waivers = CollectWaivers(raw);
+  out->toks = Lex(StripCommentsAndStrings(raw));
+  if (raw_out) *raw_out = std::move(raw);
+  return true;
+}
+
+void LintFile(const SourceFile& f, const std::set<std::string>& atomic_names,
+              const std::set<const Token*>& decl_sites,
+              std::vector<Finding>* findings) {
+  std::vector<Finding> raw;
+  CheckAtomicMemoryOrder(f, atomic_names, decl_sites, &raw);
+  if (f.cls.in_src && !f.cls.epoch_zone) CheckEpochCompare(f, &raw);
+  if (f.cls.in_src && !f.cls.mutex_header) CheckNakedMutex(f, &raw);
+  if (f.cls.in_cluster) CheckMutexAcrossRpc(f, &raw);
+  for (auto& finding : raw) {
+    auto it = f.waivers.find(finding.line);
+    if (it != f.waivers.end() &&
+        (it->second.count(finding.rule) || it->second.count("*"))) {
+      continue;
+    }
+    findings->push_back(std::move(finding));
+  }
+}
+
+bool IsSourceExt(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".hpp" || ext == ".cpp";
+}
+
+// Minimal extraction of "file" entries from a compile_commands.json.
+std::vector<std::string> FilesFromCompileCommands(const std::string& path) {
+  std::vector<std::string> files;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return files;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  const std::string key = "\"file\"";
+  size_t pos = 0;
+  while ((pos = json.find(key, pos)) != std::string::npos) {
+    size_t colon = json.find(':', pos + key.size());
+    if (colon == std::string::npos) break;
+    size_t q1 = json.find('"', colon + 1);
+    if (q1 == std::string::npos) break;
+    size_t q2 = q1 + 1;
+    std::string value;
+    while (q2 < json.size() && json[q2] != '"') {
+      if (json[q2] == '\\' && q2 + 1 < json.size()) ++q2;
+      value += json[q2++];
+    }
+    files.push_back(value);
+    pos = q2;
+  }
+  return files;
+}
+
+std::string RelativeTo(const fs::path& root, const fs::path& p) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  if (ec || rel.empty() || rel.native()[0] == '.') return p.generic_string();
+  return rel.generic_string();
+}
+
+int RunSelftest(const std::string& dir);
+
+int Usage() {
+  std::cerr
+      << "usage: aosi_lint [--root DIR] [--compile-commands FILE]\n"
+      << "                 [--list-rules] [--selftest DIR] [files...]\n\n"
+      << "Without file arguments, lints src/, tests/, bench/, tools/ and\n"
+      << "examples/ under --root (default: cwd), plus any sources listed in\n"
+      << "compile_commands.json (auto-detected at <root>/build/).\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string compile_commands;
+  std::string selftest_dir;
+  std::vector<std::string> file_args;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) root = argv[++i];
+    else if (arg == "--compile-commands" && i + 1 < argc)
+      compile_commands = argv[++i];
+    else if (arg == "--selftest" && i + 1 < argc) selftest_dir = argv[++i];
+    else if (arg == "--list-rules") list_rules = true;
+    else if (arg == "--help" || arg == "-h") return Usage();
+    else if (!arg.empty() && arg[0] == '-') return Usage();
+    else file_args.push_back(arg);
+  }
+
+  if (list_rules) {
+    for (const RuleInfo& r : kRules)
+      std::cout << r.name << "\n    " << r.description << "\n";
+    return 0;
+  }
+  if (!selftest_dir.empty()) return RunSelftest(selftest_dir);
+
+  const fs::path root_path(root);
+  std::vector<std::pair<std::string, std::string>> inputs;  // path, rel
+  std::set<std::string> seen;
+  auto add = [&](const fs::path& p) {
+    std::error_code ec;
+    const std::string canon = fs::weakly_canonical(p, ec).generic_string();
+    const std::string key = ec ? p.generic_string() : canon;
+    // Fixtures intentionally violate the rules; they are exercised by
+    // --selftest, not the tree scan.
+    if (RelativeTo(root_path, p).rfind("tests/lint_fixtures/", 0) == 0)
+      return;
+    if (seen.insert(key).second)
+      inputs.emplace_back(p.generic_string(), RelativeTo(root_path, p));
+  };
+
+  if (!file_args.empty()) {
+    for (const auto& f : file_args) add(f);
+  } else {
+    for (const char* dir : {"src", "tests", "bench", "tools", "examples"}) {
+      const fs::path d = root_path / dir;
+      if (!fs::exists(d)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(d)) {
+        if (entry.is_regular_file() && IsSourceExt(entry.path()))
+          add(entry.path());
+      }
+    }
+    if (compile_commands.empty()) {
+      const fs::path guess = root_path / "build" / "compile_commands.json";
+      if (fs::exists(guess)) compile_commands = guess.generic_string();
+    }
+    if (!compile_commands.empty()) {
+      for (const auto& f : FilesFromCompileCommands(compile_commands)) {
+        const fs::path p(f);
+        if (fs::exists(p) && IsSourceExt(p) &&
+            RelativeTo(root_path, p).rfind("src/", 0) != std::string::npos)
+          add(p);
+      }
+    }
+  }
+
+  std::vector<SourceFile> files;
+  files.reserve(inputs.size());
+  for (const auto& [path, rel] : inputs) {
+    SourceFile f;
+    if (!LoadFile(path, rel, &f, nullptr)) {
+      std::cerr << "aosi_lint: cannot read " << path << "\n";
+      return 2;
+    }
+    files.push_back(std::move(f));
+  }
+
+  // Atomic variable names are declared in headers but used in the paired
+  // source file, so key the collected names by path stem: x.h and x.cc land
+  // in the same bucket.
+  auto stem_of = [](const std::string& p) {
+    const size_t dot = p.find_last_of('.');
+    return dot == std::string::npos ? p : p.substr(0, dot);
+  };
+  std::map<std::string, std::set<std::string>> atomic_names_by_stem;
+  std::set<const Token*> decl_sites;
+  for (const SourceFile& f : files)
+    CollectAtomicNames(f, &atomic_names_by_stem[stem_of(f.cls.rel)],
+                       &decl_sites);
+
+  std::vector<Finding> findings;
+  for (const SourceFile& f : files)
+    LintFile(f, atomic_names_by_stem[stem_of(f.cls.rel)], decl_sites,
+             &findings);
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+            });
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << "aosi_lint: " << findings.size() << " finding(s) in "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  std::cout << "aosi_lint: clean (" << files.size() << " files)\n";
+  return 0;
+}
+
+namespace {
+
+// Fixture mode: every tests/lint_fixtures file declares the rule it targets
+// (`aosi-lint-fixture: <rule>`) and the tree path it emulates
+// (`aosi-lint-as: <path>`). bad_* files must trigger >=1 finding of their
+// rule; good_* files must produce zero findings of any rule.
+int RunSelftest(const std::string& dir) {
+  int failures = 0;
+  int cases = 0;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file() && IsSourceExt(entry.path()))
+      paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    std::cerr << "aosi_lint --selftest: no fixtures in " << dir << "\n";
+    return 2;
+  }
+  for (const fs::path& p : paths) {
+    ++cases;
+    SourceFile f;
+    std::string raw;
+    if (!LoadFile(p.generic_string(), p.filename().generic_string(), &f,
+                  &raw)) {
+      std::cerr << "FAIL " << p << ": unreadable\n";
+      ++failures;
+      continue;
+    }
+    const std::string rule = FindDirective(raw, "aosi-lint-fixture:");
+    const bool expect_bad =
+        p.filename().generic_string().rfind("bad_", 0) == 0;
+    if (rule.empty()) {
+      std::cerr << "FAIL " << p << ": missing 'aosi-lint-fixture:' directive\n";
+      ++failures;
+      continue;
+    }
+    std::set<std::string> atomic_names;
+    std::set<const Token*> decl_sites;
+    CollectAtomicNames(f, &atomic_names, &decl_sites);
+    std::vector<Finding> findings;
+    LintFile(f, atomic_names, decl_sites, &findings);
+    size_t rule_hits = 0;
+    for (const Finding& fi : findings)
+      if (fi.rule == rule) ++rule_hits;
+    bool ok;
+    std::string why;
+    if (expect_bad) {
+      ok = rule_hits >= 1;
+      why = ok ? "" : "expected >=1 '" + rule + "' finding, got none";
+    } else {
+      ok = findings.empty();
+      if (!ok) {
+        why = "expected clean, got: " + findings[0].rule + " at line " +
+              std::to_string(findings[0].line);
+      }
+    }
+    if (ok) {
+      std::cout << "PASS " << p.filename().generic_string() << " ("
+                << findings.size() << " finding(s))\n";
+    } else {
+      std::cerr << "FAIL " << p.filename().generic_string() << ": " << why
+                << "\n";
+      ++failures;
+    }
+  }
+  std::cout << "aosi_lint --selftest: " << (cases - failures) << "/" << cases
+            << " fixtures behaved as expected\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
