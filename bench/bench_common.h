@@ -8,13 +8,25 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
 #include "cubrick/database.h"
 #include "ingest/parser.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/percentile.h"
 
 namespace cubrick::bench {
+
+/// CUBRICK_OBS_DISABLE=1 turns every instrument write into an untaken
+/// branch, so the same binary measures the uninstrumented baseline for
+/// overhead comparisons (docs/OBSERVABILITY.md). Call first in main().
+inline void InitBenchObs() {
+  const char* env = std::getenv("CUBRICK_OBS_DISABLE");
+  if (env != nullptr && env[0] == '1') obs::SetEnabled(false);
+}
 
 /// Scale multiplier from the environment (default 1.0).
 inline double ScaleFactor() {
@@ -119,6 +131,41 @@ inline cubrick::Query AggregationQuery(bool grouped = true) {
   if (grouped) q.group_by = {0};
   q.aggs = {{AggSpec::Fn::kSum, 0}, {AggSpec::Fn::kCount, 0}};
   return q;
+}
+
+/// Headline numbers a driver wants in its baseline file, in print order.
+using BenchHeadline = std::vector<std::pair<std::string, double>>;
+
+/// Writes the machine-readable baseline for a bench run: the driver's
+/// headline numbers plus a full registry snapshot — every counter, gauge
+/// and histogram the run touched (docs/OBSERVABILITY.md). Default path is
+/// BENCH_<name>.json in the working directory; CUBRICK_BENCH_JSON overrides
+/// it. CI parses these with scripts/check_bench_baseline.py.
+inline void EmitBenchJson(const std::string& name,
+                          const BenchHeadline& headline) {
+  const char* env = std::getenv("CUBRICK_BENCH_JSON");
+  const std::string path = (env != nullptr && env[0] != '\0')
+                               ? std::string(env)
+                               : "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "EmitBenchJson: cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": %g,\n  \"headline\": {",
+               name.c_str(), ScaleFactor());
+  bool first = true;
+  for (const auto& [key, value] : headline) {
+    std::fprintf(f, "%s\n    \"%s\": %g", first ? "" : ",", key.c_str(),
+                 value);
+    first = false;
+  }
+  const std::string metrics =
+      obs::ExportJson(obs::MetricsRegistry::Global().Snapshot());
+  std::fprintf(f, "\n  },\n  \"metrics\": %s\n}\n", metrics.c_str());
+  std::fclose(f);
+  std::printf("\nBaseline written to %s\n", path.c_str());
 }
 
 }  // namespace cubrick::bench

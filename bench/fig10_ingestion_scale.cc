@@ -21,6 +21,7 @@ using cubrick::cluster::Cluster;
 using cubrick::cluster::ClusterOptions;
 
 int main() {
+  InitBenchObs();
   const uint64_t kTotalRows = Scaled(3'000'000);
   const uint64_t kBatchRows = 10'000;
   const int kClients = 6;
@@ -110,5 +111,10 @@ int main() {
       rows_ingested.load(std::memory_order_relaxed), secs,
       HumanCount(static_cast<double>(rows_ingested.load(std::memory_order_relaxed)) / secs).c_str(),
       cluster.TotalRecords(), options.num_nodes);
+  const double rows =
+      static_cast<double>(rows_ingested.load(std::memory_order_relaxed));
+  EmitBenchJson("fig10", {{"records", rows},
+                          {"wall_seconds", secs},
+                          {"records_per_second", secs == 0 ? 0 : rows / secs}});
   return 0;
 }

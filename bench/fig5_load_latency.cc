@@ -21,6 +21,7 @@ using cubrick::cluster::DistTxn;
 using cubrick::cluster::LoadStats;
 
 int main() {
+  InitBenchObs();
   const uint64_t kBatches = Scaled(200);
   const uint64_t kBatchRows = 5000;
 
@@ -37,7 +38,7 @@ int main() {
                                 {{"value", DataType::kInt64}})
                     .ok());
 
-  LatencyRecorder parse, flush, total;
+  obs::LatencyRecorder parse, flush, total;
   Random rng(11);
   for (uint64_t b = 0; b < kBatches; ++b) {
     std::vector<Record> records;
@@ -62,7 +63,7 @@ int main() {
               kBatches, kBatchRows, options.message_latency_us);
   std::printf("%-22s %10s %10s %10s %10s %10s\n", "component", "p25_us",
               "p50_us", "p75_us", "p99_us", "mean_us");
-  auto row = [](const char* name, LatencyRecorder& r) {
+  auto row = [](const char* name, obs::LatencyRecorder& r) {
     std::printf("%-22s %10" PRId64 " %10" PRId64 " %10" PRId64 " %10" PRId64
                 " %10.0f\n",
                 name, r.Percentile(25), r.Percentile(50), r.Percentile(75),
@@ -76,5 +77,11 @@ int main() {
       "parse stays small — matching the paper's Fig 5.\n");
   std::printf("Ingested %" PRIu64 " records total.\n",
               cluster.TotalRecords());
+  EmitBenchJson("fig5",
+                {{"requests", static_cast<double>(kBatches)},
+                 {"parse_p50_us", static_cast<double>(parse.Percentile(50))},
+                 {"flush_p50_us", static_cast<double>(flush.Percentile(50))},
+                 {"total_p50_us", static_cast<double>(total.Percentile(50))},
+                 {"total_p99_us", static_cast<double>(total.Percentile(99))}});
   return 0;
 }

@@ -25,6 +25,7 @@ using namespace cubrick;
 using namespace cubrick::bench;
 
 int main() {
+  InitBenchObs();
   const uint64_t kTotalRows = Scaled(2'000'000);
   const uint64_t kBatchRows = 5000;
   const int kClients = 4;
@@ -115,5 +116,11 @@ int main() {
       HumanBytes(static_cast<double>(baseline)).c_str(),
       static_cast<double>(baseline) / static_cast<double>(aosi),
       HumanBytes(static_cast<double>(db.DataMemoryUsage())).c_str());
+  EmitBenchJson("fig6",
+                {{"records", static_cast<double>(records)},
+                 {"aosi_overhead_bytes", static_cast<double>(aosi)},
+                 {"mvcc_baseline_bytes", static_cast<double>(baseline)},
+                 {"dataset_bytes",
+                  static_cast<double>(db.DataMemoryUsage())}});
   return 0;
 }

@@ -18,6 +18,7 @@ using namespace cubrick;
 using namespace cubrick::bench;
 
 int main() {
+  InitBenchObs();
   const uint64_t kTotalRows = Scaled(200'000);
   const uint64_t kBatchRows = 5000;
   const int kClients = 4;
@@ -101,5 +102,11 @@ int main() {
       HumanBytes(static_cast<double>(records * 16)).c_str(),
       100.0 * static_cast<double>(records * 16) /
           static_cast<double>(dataset));
+  EmitBenchJson(
+      "fig7",
+      {{"records", static_cast<double>(records)},
+       {"dataset_bytes", static_cast<double>(dataset)},
+       {"aosi_overhead_bytes", static_cast<double>(aosi)},
+       {"mvcc_baseline_bytes", static_cast<double>(records * 16)}});
   return 0;
 }

@@ -21,7 +21,7 @@ namespace {
 
 double MedianLatencyUs(Database* db, const cubrick::Query& q, ScanMode mode,
                        int reps) {
-  LatencyRecorder recorder;
+  obs::LatencyRecorder recorder;
   for (int i = 0; i < reps; ++i) {
     Stopwatch timer;
     auto result = db->Query("t", q, mode);
@@ -34,6 +34,7 @@ double MedianLatencyUs(Database* db, const cubrick::Query& q, ScanMode mode,
 }  // namespace
 
 int main() {
+  InitBenchObs();
   const uint64_t kRows = Scaled(200'000);
   const int kReps = 15;
   const std::vector<uint64_t> kTxnCounts = {1, 10, 100, 1000, 10000};
@@ -46,6 +47,7 @@ int main() {
   std::printf("%8s %9s %12s %12s %10s\n", "txns", "pending", "si_p50_us",
               "ru_p50_us", "overhead");
 
+  double last_si = 0.0, last_ru = 0.0;
   for (uint64_t txns : kTxnCounts) {
     if (txns > kRows) continue;
     for (size_t pending : kPendingCounts) {
@@ -69,7 +71,7 @@ int main() {
       const cubrick::Query q = AggregationQuery();
       (void)db.QueryIn(reader, "t", q, ScanMode::kSnapshotIsolation);
       (void)db.QueryIn(reader, "t", q, ScanMode::kReadUncommitted);
-      LatencyRecorder si_rec, ru_rec;
+      obs::LatencyRecorder si_rec, ru_rec;
       for (int i = 0; i < kReps; ++i) {
         Stopwatch t1;
         CUBRICK_CHECK(
@@ -85,6 +87,8 @@ int main() {
       std::printf("%8" PRIu64 " %9zu %12.0f %12.0f %9.2f%%\n", txns, pending,
                   si, ru, ru == 0 ? 0.0 : 100.0 * (si - ru) / ru);
       std::fflush(stdout);
+      last_si = si;
+      last_ru = ru;
 
       CUBRICK_CHECK(db.Commit(reader).ok());
       for (auto& txn : open) {
@@ -114,6 +118,16 @@ int main() {
         "\nPurge effect (10000 txns): SI p50 %.0f us before purge, %.0f us "
         "after, RU %.0f us\n",
         before, after, ru);
+
+    // The canonical machine-readable baseline for CI: the fig9 headline
+    // numbers plus the full registry snapshot of this run's AOSI gauges,
+    // query histograms and purge counters.
+    EmitBenchJson("baseline",
+                  {{"si_p50_us", last_si},
+                   {"ru_p50_us", last_ru},
+                   {"purge_si_before_us", before},
+                   {"purge_si_after_us", after},
+                   {"purge_ru_us", ru}});
   }
   return 0;
 }

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_*.json baseline emitted by bench/ drivers.
+
+Usage: check_bench_baseline.py BENCH_baseline.json [more.json ...]
+
+Checks (stdlib only, no third-party deps):
+  * the file is well-formed JSON with the EmitBenchJson shape
+    ({"bench", "scale", "headline", "metrics"} — see bench/bench_common.h
+    and docs/OBSERVABILITY.md);
+  * the embedded registry snapshot has the "counters"/"gauges"/"histograms"
+    sections;
+  * every histogram satisfies count == sum(bucket counts) — the exporter's
+    consistency guarantee;
+  * for the canonical baseline (bench == "baseline", from fig9), the AOSI
+    health metrics the paper's analysis depends on are present.
+
+Exit codes: 0 ok, 1 validation failure, 2 usage/IO error.
+"""
+
+import json
+import sys
+
+REQUIRED_BASELINE_METRICS = [
+    ("gauges", "aosi.ec_lce_lag"),
+    ("gauges", "aosi.lce_lse_lag"),
+    ("gauges", "aosi.pending_txs"),
+    ("counters", "aosi.purge.records_reclaimed"),
+]
+
+
+def fail(path, msg):
+    print(f"check_bench_baseline: {path}: {msg}", file=sys.stderr)
+    return 1
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench_baseline: {path}: {e}", file=sys.stderr)
+        return 2
+
+    for key in ("bench", "scale", "headline", "metrics"):
+        if key not in doc:
+            return fail(path, f'missing top-level key "{key}"')
+    if not isinstance(doc["headline"], dict) or not doc["headline"]:
+        return fail(path, "headline must be a non-empty object")
+    for k, v in doc["headline"].items():
+        if not isinstance(v, (int, float)):
+            return fail(path, f'headline "{k}" is not a number')
+
+    metrics = doc["metrics"]
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            return fail(path, f'metrics missing "{section}" section')
+
+    for name, hist in metrics["histograms"].items():
+        bucket_sum = sum(count for _, count in hist.get("buckets", []))
+        if hist.get("count") != bucket_sum:
+            return fail(
+                path,
+                f'histogram "{name}": count {hist.get("count")} != '
+                f"sum(buckets) {bucket_sum}",
+            )
+
+    if doc["bench"] == "baseline":
+        for section, name in REQUIRED_BASELINE_METRICS:
+            if name not in metrics[section]:
+                return fail(path, f'required metric "{name}" missing from {section}')
+
+    n_metrics = sum(len(metrics[s]) for s in ("counters", "gauges", "histograms"))
+    print(
+        f'{path}: ok (bench "{doc["bench"]}", scale {doc["scale"]}, '
+        f"{len(doc['headline'])} headline values, {n_metrics} metrics)"
+    )
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    rc = 0
+    for path in argv[1:]:
+        rc = max(rc, check_file(path))
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

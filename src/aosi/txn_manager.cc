@@ -5,7 +5,35 @@
 namespace cubrick::aosi {
 
 TxnManager::TxnManager(uint32_t node_idx, uint32_t num_nodes)
-    : clock_(node_idx, num_nodes) {}
+    : clock_(node_idx, num_nodes) {
+  auto& reg = obs::MetricsRegistry::Global();
+  metrics_ = {
+      reg.GetCounter("aosi.txn.begin_rw_total"),
+      reg.GetCounter("aosi.txn.begin_ro_total"),
+      reg.GetCounter("aosi.txn.commit_total"),
+      reg.GetCounter("aosi.txn.rollback_total"),
+      reg.GetGauge("aosi.ec"),
+      reg.GetGauge("aosi.lce"),
+      reg.GetGauge("aosi.lse"),
+      reg.GetGauge("aosi.ec_lce_lag"),
+      reg.GetGauge("aosi.lce_lse_lag"),
+      reg.GetGauge("aosi.pending_txs"),
+      reg.GetGauge("aosi.tracked_txns"),
+  };
+}
+
+void TxnManager::PublishGaugesLocked() {
+  const Epoch ec = clock_.Peek();
+  metrics_.ec->Set(static_cast<int64_t>(ec));
+  metrics_.lce->Set(static_cast<int64_t>(lce_));
+  metrics_.lse->Set(static_cast<int64_t>(lse_));
+  // EC > LCE >= LSE always holds (checked by the SI oracle), so the lags
+  // are non-negative; they are the paper's protocol-health quantities.
+  metrics_.ec_lce_lag->Set(static_cast<int64_t>(ec - lce_));
+  metrics_.lce_lse_lag->Set(static_cast<int64_t>(lce_ - lse_));
+  metrics_.pending_txs->Set(static_cast<int64_t>(num_pending_));
+  metrics_.tracked_txns->Set(static_cast<int64_t>(tracked_.size()));
+}
 
 Txn TxnManager::BeginReadWrite() {
   MutexLock lock(mutex_);
@@ -23,6 +51,9 @@ Txn TxnManager::BeginReadWrite() {
   }
   tracked_.emplace(epoch, TrackedTxn{});
   active_horizons_.insert(txn.Horizon());
+  ++num_pending_;
+  metrics_.begin_rw->Add();
+  PublishGaugesLocked();
   return txn;
 }
 
@@ -32,6 +63,7 @@ Txn TxnManager::BeginReadOnly() {
   txn.epoch = lce_;
   txn.type = TxnType::kReadOnly;
   active_horizons_.insert(txn.Horizon());
+  metrics_.begin_ro->Add();
   return txn;
 }
 
@@ -48,9 +80,12 @@ Status TxnManager::Commit(const Txn& txn) {
         std::to_string(txn.epoch));
   }
   it->second.state = TxnState::kCommitted;
+  --num_pending_;
   auto h = active_horizons_.find(txn.Horizon());
   if (h != active_horizons_.end()) active_horizons_.erase(h);
   AdvanceLceLocked();
+  metrics_.commits->Add();
+  PublishGaugesLocked();
   return Status::OK();
 }
 
@@ -67,9 +102,12 @@ Status TxnManager::Rollback(const Txn& txn) {
         std::to_string(txn.epoch));
   }
   it->second.state = TxnState::kAborted;
+  --num_pending_;
   auto h = active_horizons_.find(txn.Horizon());
   if (h != active_horizons_.end()) active_horizons_.erase(h);
   AdvanceLceLocked();
+  metrics_.rollbacks->Add();
+  PublishGaugesLocked();
   return Status::OK();
 }
 
@@ -92,7 +130,11 @@ void TxnManager::AugmentDeps(Txn* txn, const EpochSet& remote_pending) {
 void TxnManager::NoteRemoteBegin(Epoch epoch) {
   MutexLock lock(mutex_);
   if (AtOrBefore(epoch, lce_)) return;  // already passed; stale message
-  tracked_.emplace(epoch, TrackedTxn{});  // no-op if present
+  const auto [it, inserted] = tracked_.emplace(epoch, TrackedTxn{});
+  if (inserted) {
+    ++num_pending_;
+    PublishGaugesLocked();
+  }
 }
 
 void TxnManager::NoteRemoteFinish(Epoch epoch, bool committed) {
@@ -103,7 +145,11 @@ void TxnManager::NoteRemoteFinish(Epoch epoch, bool committed) {
   auto [it, inserted] = tracked_.emplace(epoch, TrackedTxn{});
   if (!inserted && it->second.state != TxnState::kPending) return;
   it->second.state = committed ? TxnState::kCommitted : TxnState::kAborted;
+  // A newly inserted entry was never counted pending, so only an existing
+  // pending entry decrements the depth gauge.
+  if (!inserted) --num_pending_;
   AdvanceLceLocked();
+  PublishGaugesLocked();
 }
 
 void TxnManager::NoteRemoteDeps(Epoch epoch, const EpochSet& deps) {
@@ -112,6 +158,7 @@ void TxnManager::NoteRemoteDeps(Epoch epoch, const EpochSet& deps) {
   if (it == tracked_.end()) return;
   it->second.blocking_deps.UnionWith(deps);
   AdvanceLceLocked();
+  PublishGaugesLocked();
 }
 
 Epoch TxnManager::LCE() const {
@@ -151,6 +198,7 @@ Epoch TxnManager::TryAdvanceLSE(Epoch candidate) {
     effective = MinEpoch(effective, *active_horizons_.begin());
   }
   lse_ = MaxEpoch(lse_, effective);
+  PublishGaugesLocked();
   return lse_;
 }
 
@@ -161,6 +209,7 @@ void TxnManager::RestoreAfterRecovery(Epoch lce, Epoch lse) {
   lce_ = lce;
   lse_ = lse;
   clock_.Observe(lce + 1);
+  PublishGaugesLocked();
 }
 
 bool TxnManager::DepsFinishedLocked(const EpochSet& deps) const {

@@ -25,6 +25,7 @@
 #include "aosi/txn.h"
 #include "common/mutex.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace cubrick::aosi {
 
@@ -124,6 +125,27 @@ class TxnManager {
     EpochSet blocking_deps;
   };
 
+  /// Health gauges and lifecycle counters published to the global
+  /// MetricsRegistry (docs/OBSERVABILITY.md, "aosi.*"). Resolved once at
+  /// construction; writes through them are wait-free.
+  struct Instruments {
+    obs::Counter* begin_rw;
+    obs::Counter* begin_ro;
+    obs::Counter* commits;
+    obs::Counter* rollbacks;
+    obs::Gauge* ec;
+    obs::Gauge* lce;
+    obs::Gauge* lse;
+    obs::Gauge* ec_lce_lag;
+    obs::Gauge* lce_lse_lag;
+    obs::Gauge* pending_txs;
+    obs::Gauge* tracked_txns;
+  };
+
+  /// Re-publishes the EC/LCE/LSE gauges, their lags, and the pendingTxs /
+  /// tracked depths. Called after every state transition.
+  void PublishGaugesLocked() REQUIRES(mutex_);
+
   /// Walks finished transactions in epoch order and advances lce_.
   void AdvanceLceLocked() REQUIRES(mutex_);
 
@@ -142,6 +164,10 @@ class TxnManager {
   Epoch lse_ GUARDED_BY(mutex_) = kNoEpoch;
   /// Horizons of active snapshots (RO and RW), for LSE gating.
   std::multiset<Epoch> active_horizons_ GUARDED_BY(mutex_);
+  /// Count of tracked_ entries in state kPending (pendingTxs depth gauge).
+  size_t num_pending_ GUARDED_BY(mutex_) = 0;
+
+  Instruments metrics_;
 };
 
 }  // namespace cubrick::aosi

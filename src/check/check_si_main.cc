@@ -1,11 +1,17 @@
 // check_si: seeded snapshot-isolation stress runner (see stress.h).
 //
 //   check_si --mode=single|cluster|both --seeds=N --seed0=S --ops=K [-v]
+//            [--dump-metrics]
 //
 // Runs N seeds starting at S; each seed derives a configuration via
 // MakeSeedConfig and runs the full workload. Exit code 0 when every seed
 // passes; on divergence, prints the replayable diagnostic (config line,
 // seed, per-thread operation trace) and exits 1.
+//
+// --dump-metrics prints the Prometheus exposition of the metrics registry
+// after all seeds finish — the stress harness doubles as a concurrent-writer
+// workout for the observability layer, and the dump proves the snapshot
+// stays consistent under it.
 
 #include <cstdint>
 #include <cstdio>
@@ -14,6 +20,8 @@
 #include <string>
 
 #include "check/stress.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -23,6 +31,7 @@ struct Args {
   uint64_t seed0 = 1;
   int ops = 0;  // 0: keep MakeSeedConfig default
   bool verbose = false;
+  bool dump_metrics = false;
 };
 
 bool ParseFlag(const char* arg, const char* name, const char** value) {
@@ -49,11 +58,13 @@ Args ParseArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "-v") == 0 ||
                std::strcmp(argv[i], "--verbose") == 0) {
       args.verbose = true;
+    } else if (std::strcmp(argv[i], "--dump-metrics") == 0) {
+      args.dump_metrics = true;
     } else {
       std::fprintf(stderr,
                    "unknown argument: %s\n"
                    "usage: check_si [--mode=single|cluster|both] [--seeds=N] "
-                   "[--seed0=S] [--ops=K] [-v]\n",
+                   "[--seed0=S] [--ops=K] [-v] [--dump-metrics]\n",
                    argv[i]);
       std::exit(2);
     }
@@ -113,5 +124,10 @@ int main(int argc, char** argv) {
   }
   std::printf("[check_si] PASS: %llu seeds, mode=%s\n",
               static_cast<unsigned long long>(passed), args.mode.c_str());
+  if (args.dump_metrics) {
+    const cubrick::obs::MetricsSnapshot snap =
+        cubrick::obs::MetricsRegistry::Global().Snapshot();
+    std::printf("\n%s", cubrick::obs::ExportPrometheus(snap).c_str());
+  }
   return 0;
 }

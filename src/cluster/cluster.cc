@@ -1,11 +1,52 @@
 #include "cluster/cluster.h"
 
 #include "cubrick/ddl.h"
+#include "obs/metrics.h"
 
 #include <filesystem>
 #include <thread>
 
 namespace cubrick::cluster {
+
+namespace {
+
+/// RPC fan-out instrumentation (docs/OBSERVABILITY.md, "cluster.rpc.*").
+struct RpcInstruments {
+  obs::Counter* begin_broadcasts;
+  obs::Counter* finish_broadcasts;
+  obs::Counter* append_forwards;
+  obs::Counter* redeliveries_queued;
+  obs::Counter* redeliveries_applied;
+  obs::Gauge* redelivery_depth;
+};
+
+const RpcInstruments& Rpc() {
+  static const RpcInstruments m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    return RpcInstruments{
+        reg.GetCounter("cluster.rpc.begin_broadcasts"),
+        reg.GetCounter("cluster.rpc.finish_broadcasts"),
+        reg.GetCounter("cluster.rpc.append_forwards"),
+        reg.GetCounter("cluster.rpc.redeliveries_queued"),
+        reg.GetCounter("cluster.rpc.redeliveries_applied"),
+        reg.GetGauge("cluster.rpc.redelivery_depth"),
+    };
+  }();
+  return m;
+}
+
+}  // namespace
+
+void LoadStats::PublishTo(obs::MetricsRegistry& reg) const {
+  reg.GetCounter("cluster.load.records_accepted")->Add(accepted);
+  reg.GetCounter("cluster.load.records_rejected")->Add(rejected);
+  reg.GetHistogram("cluster.load.parse_us")
+      ->Record(static_cast<uint64_t>(parse_us < 0 ? 0 : parse_us));
+  reg.GetHistogram("cluster.load.flush_us")
+      ->Record(static_cast<uint64_t>(flush_us < 0 ? 0 : flush_us));
+  reg.GetHistogram("cluster.load.total_us")
+      ->Record(static_cast<uint64_t>(total_us < 0 ? 0 : total_us));
+}
 
 NodeOptions Cluster::NodeOptionsFor(uint32_t idx) const {
   NodeOptions node_options;
@@ -105,6 +146,7 @@ Result<DistTxn> Cluster::BeginReadWrite(uint32_t coordinator) {
   aosi::EpochSet remote_pending;
   for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
     if (o == coordinator) continue;
+    Rpc().begin_broadcasts->Add();
     CarryClocksForward(coordinator, o);
     remote_pending.UnionWith(node(o).HandleBeginBroadcast(dist.txn.epoch));
     CarryClocksBack(coordinator, o);
@@ -125,6 +167,9 @@ void Cluster::DeliverOrQueue(uint32_t from, uint32_t to,
   if (to != from && !node(to).online()) {
     MutexLock lock(redelivery_mutex_);
     missed_ops_[to - 1].push_back(std::move(op));
+    Rpc().redeliveries_queued->Add();
+    Rpc().redelivery_depth->Set(
+        static_cast<int64_t>(missed_ops_[to - 1].size()));
     return;
   }
   if (to != from) CarryClocksForward(from, to);
@@ -145,6 +190,7 @@ Status Cluster::Commit(DistTxn* dist) {
   const aosi::EpochSet deps = dist->txn.deps;
   for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
     if (o == dist->coordinator) continue;
+    Rpc().finish_broadcasts->Add();
     DeliverOrQueue(dist->coordinator, o, [epoch, deps](ClusterNode& n) {
       return n.HandleFinish(epoch, deps, /*committed=*/true);
     });
@@ -173,6 +219,7 @@ Status Cluster::Rollback(DistTxn* dist) {
   node(dist->coordinator).RollbackData(epoch);
   for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
     if (o == dist->coordinator) continue;
+    Rpc().finish_broadcasts->Add();
     DeliverOrQueue(dist->coordinator, o, [epoch, deps](ClusterNode& n) {
       return n.HandleFinish(epoch, deps, /*committed=*/false);
     });
@@ -216,18 +263,22 @@ Status Cluster::Append(DistTxn* dist, const std::string& cube,
     if (per_node[o - 1].empty()) continue;
     auto batches =
         std::make_shared<PerBrickBatches>(std::move(per_node[o - 1]));
+    Rpc().append_forwards->Add();
     DeliverOrQueue(dist->coordinator, o, [epoch, cube, batches](
                                              ClusterNode& n) {
       return n.HandleAppend(epoch, cube, *batches);
     });
   }
 
+  LoadStats local;
+  local.parse_us = parse_us;
+  local.flush_us = flush_timer.ElapsedMicros();
+  local.total_us = total.ElapsedMicros();
+  local.accepted = parsed->accepted;
+  local.rejected = parsed->rejected;
+  local.PublishTo(obs::MetricsRegistry::Global());
   if (stats != nullptr) {
-    stats->parse_us = parse_us;
-    stats->flush_us = flush_timer.ElapsedMicros();
-    stats->total_us = total.ElapsedMicros();
-    stats->accepted = parsed->accepted;
-    stats->rejected = parsed->rejected;
+    *stats = local;
   }
   return Status::OK();
 }
@@ -357,6 +408,8 @@ Status Cluster::SetNodeOnline(uint32_t idx, bool online) {
     const Status status = op(node(idx));
     CUBRICK_CHECK(status.ok());
   }
+  Rpc().redeliveries_applied->Add(queued.size());
+  Rpc().redelivery_depth->Set(0);
   return Status::OK();
 }
 

@@ -34,6 +34,10 @@
 #include "common/stopwatch.h"
 #include "ingest/parser.h"
 
+namespace cubrick::obs {
+class MetricsRegistry;
+}  // namespace cubrick::obs
+
 namespace cubrick::cluster {
 
 struct ClusterOptions {
@@ -65,6 +69,11 @@ struct LoadStats {
   int64_t total_us = 0;
   uint64_t accepted = 0;
   uint64_t rejected = 0;
+
+  /// Publishes this load's breakdown into the registry's "cluster.load.*"
+  /// instruments (docs/OBSERVABILITY.md). Called by Cluster::Append for
+  /// every load, whether or not the caller asked for the stats.
+  void PublishTo(obs::MetricsRegistry& reg) const;
 };
 
 class Cluster {

@@ -1,5 +1,7 @@
 #include "cluster/node.h"
 
+#include "obs/metrics.h"
+
 namespace cubrick::cluster {
 
 ClusterNode::ClusterNode(uint32_t node_idx, uint32_t num_nodes,
@@ -91,6 +93,13 @@ void ClusterNode::RollbackData(aosi::Epoch victim) {
 
 Status ClusterNode::HandleFinish(aosi::Epoch epoch,
                                  const aosi::EpochSet& deps, bool committed) {
+  // How far this node's clock has run past the finishing transaction when
+  // its finish message arrives — large values mean slow commit propagation
+  // (e.g. high simulated latency or redelivery catch-up after an outage).
+  static obs::Gauge* finish_lag =
+      obs::MetricsRegistry::Global().GetGauge("cluster.remote_finish_lag");
+  finish_lag->Set(static_cast<int64_t>(txns_.EC()) -
+                  static_cast<int64_t>(epoch));
   txns_.NoteRemoteDeps(epoch, deps);
   txns_.NoteRemoteFinish(epoch, committed);
   return Status::OK();

@@ -1,12 +1,13 @@
-// Wall-clock stopwatch and latency histogram for the experiment harness.
+// Wall-clock stopwatch for the experiment harness.
+//
+// Latency percentile collection lives in obs/percentile.h
+// (obs::LatencyRecorder); the multi-writer histogram lives in
+// obs/metrics.h (obs::Histogram).
 
 #pragma once
 
-#include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <string>
-#include <vector>
 
 namespace cubrick {
 
@@ -35,41 +36,6 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
-};
-
-/// Collects latency samples and reports percentiles, as used for the paper's
-/// load-latency distribution (Fig 5).
-class LatencyRecorder {
- public:
-  void Record(int64_t micros) { samples_.push_back(micros); }
-
-  size_t count() const { return samples_.size(); }
-
-  /// Percentile in [0, 100]. Returns 0 when no samples were recorded.
-  int64_t Percentile(double p) {
-    if (samples_.empty()) return 0;
-    std::sort(samples_.begin(), samples_.end());
-    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-    return samples_[static_cast<size_t>(rank + 0.5)];
-  }
-
-  double Mean() const {
-    if (samples_.empty()) return 0.0;
-    int64_t sum = 0;
-    for (int64_t s : samples_) sum += s;
-    return static_cast<double>(sum) / static_cast<double>(samples_.size());
-  }
-
-  int64_t Max() const {
-    int64_t mx = 0;
-    for (int64_t s : samples_) mx = std::max(mx, s);
-    return mx;
-  }
-
-  void Clear() { samples_.clear(); }
-
- private:
-  std::vector<int64_t> samples_;
 };
 
 }  // namespace cubrick

@@ -5,9 +5,19 @@
 #include <sched.h>
 #endif
 
+#include "obs/metrics.h"
+
 namespace cubrick {
 
 namespace {
+
+/// Last observed queue depth across all shards (last-writer-wins): a cheap
+/// backpressure indicator for the ingestion pipeline.
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("engine.shard_queue_depth");
+  return g;
+}
 /// Best-effort CPU pinning of the current thread (§V-B NUMA locality).
 void PinToCpu(int cpu) {
 #ifdef __linux__
@@ -62,6 +72,7 @@ std::future<void> Shard::Enqueue(std::function<void(BrickMap&)> op) {
         CheckFailure("operation enqueued on a stopped shard")));
     return dead.get_future();
   }
+  QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
   return fut;
 }
 
@@ -74,6 +85,7 @@ size_t Shard::QueueDepth() const { return threaded_ ? queue_.size() : 0; }
 
 void Shard::RunLoop() {
   while (auto op = queue_.Pop()) {
+    QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
     try {
       op->fn(bricks_);
       op->done.set_value();

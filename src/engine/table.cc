@@ -3,8 +3,18 @@
 #include <algorithm>
 
 #include "aosi/purge.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace cubrick {
+
+void PurgeStats::PublishTo(obs::MetricsRegistry& reg) const {
+  // Purge rounds are rare; the registry lookups are not worth caching.
+  reg.GetCounter("aosi.purge.bricks_examined")->Add(bricks_examined);
+  reg.GetCounter("aosi.purge.bricks_rewritten")->Add(bricks_rewritten);
+  reg.GetCounter("aosi.purge.bricks_erased")->Add(bricks_erased);
+  reg.GetCounter("aosi.purge.records_reclaimed")->Add(records_removed);
+}
 
 Table::Table(std::shared_ptr<const CubeSchema> schema, size_t num_shards,
              bool threaded, bool rollback_index, bool pin_shard_threads)
@@ -104,6 +114,12 @@ void Table::MarkDeleted(aosi::Epoch epoch,
 QueryResult Table::Scan(const aosi::Snapshot& snapshot, ScanMode mode,
                         const Query& query,
                         const std::function<bool(Bid)>& brick_filter) {
+  static obs::Counter* scans =
+      obs::MetricsRegistry::Global().GetCounter("query.scans_total");
+  static obs::Histogram* latency =
+      obs::MetricsRegistry::Global().GetHistogram("query.latency_us");
+  scans->Add();
+  obs::ObsSpan span("query.scan", latency);
   std::vector<QueryResult> partials(shards_.size(),
                                     QueryResult(query.aggs.size()));
   std::vector<std::future<void>> done;
@@ -135,6 +151,7 @@ ScanPlanStats Table::ExplainScan(const Query& query) {
         })
         .get();
   }
+  stats.PublishTo(obs::MetricsRegistry::Global());
   return stats;
 }
 
@@ -156,25 +173,37 @@ std::vector<MaterializedRow> Table::Materialize(
 }
 
 PurgeStats Table::Purge(aosi::Epoch lse) {
+  // The purge "pause" is the wall time the shards spend compacting instead
+  // of serving operations — the §III-C4 cost Figure 9's convergence section
+  // exercises.
+  obs::ObsSpan span(
+      "aosi.purge",
+      obs::MetricsRegistry::Global().GetHistogram("aosi.purge.pause_us"));
   if (rollback_index_) {
     // Transactions at or before LSE are finished: their index entries can
     // never be used and would otherwise grow without bound.
     rollback_index_->DiscardUpTo(lse);
   }
   std::vector<PurgeStats> partials(shards_.size());
+  std::vector<uint64_t> history_entries(shards_.size(), 0);
   std::vector<std::future<void>> done;
   for (size_t s = 0; s < shards_.size(); ++s) {
     PurgeStats* stats = &partials[s];
-    done.push_back(shards_[s]->Enqueue([lse, stats](BrickMap& bricks) {
+    uint64_t* entries = &history_entries[s];
+    done.push_back(shards_[s]->Enqueue([lse, stats, entries](BrickMap& bricks) {
       std::vector<Bid> dead;
       bricks.ForEach([&](Brick& brick) {
         ++stats->bricks_examined;
         auto plan = aosi::PlanPurge(brick.history(), lse);
-        if (!plan.needed) return;
+        if (!plan.needed) {
+          *entries += brick.history().num_entries();
+          return;
+        }
         const uint64_t before = brick.num_records();
         brick.ApplyCompaction(plan);
         ++stats->bricks_rewritten;
         stats->records_removed += before - brick.num_records();
+        *entries += brick.history().num_entries();
         if (brick.num_records() == 0 && brick.history().num_entries() == 0) {
           dead.push_back(brick.bid());
         }
@@ -187,12 +216,22 @@ PurgeStats Table::Purge(aosi::Epoch lse) {
   }
   for (auto& f : done) f.get();
   PurgeStats total;
-  for (const auto& p : partials) {
+  uint64_t total_entries = 0;
+  for (size_t s = 0; s < partials.size(); ++s) {
+    const PurgeStats& p = partials[s];
     total.bricks_examined += p.bricks_examined;
     total.bricks_rewritten += p.bricks_rewritten;
     total.bricks_erased += p.bricks_erased;
     total.records_removed += p.records_removed;
+    total_entries += history_entries[s];
   }
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("aosi.purge.rounds_total")->Add();
+  // Post-purge epochs-vector footprint: how much §III-C history the table
+  // still carries (grows between purges, shrinks as LSE advances).
+  reg.GetGauge("aosi.epochs_vector_entries")
+      ->Set(static_cast<int64_t>(total_entries));
+  total.PublishTo(reg);
   return total;
 }
 

@@ -21,6 +21,10 @@
 #include "storage/brick.h"
 #include "storage/schema.h"
 
+namespace cubrick::obs {
+class MetricsRegistry;
+}  // namespace cubrick::obs
+
 namespace cubrick {
 
 /// Parser output: records grouped and encoded per target brick.
@@ -32,6 +36,10 @@ struct PurgeStats {
   uint64_t bricks_rewritten = 0;
   uint64_t bricks_erased = 0;
   uint64_t records_removed = 0;
+
+  /// Adds this round's tallies to the registry's "aosi.purge.*" counters
+  /// (docs/OBSERVABILITY.md). Called by Table::Purge on its merged total.
+  void PublishTo(obs::MetricsRegistry& reg) const;
 };
 
 class Table {

@@ -2,6 +2,8 @@
 
 #include <charconv>
 
+#include "obs/metrics.h"
+
 namespace cubrick {
 
 namespace {
@@ -129,7 +131,16 @@ Result<ParseOutput> ParseRecords(const CubeSchema& schema,
     ++out.accepted;
   }
 
+  static obs::Counter* accepted =
+      obs::MetricsRegistry::Global().GetCounter("ingest.records_accepted");
+  static obs::Counter* rejected =
+      obs::MetricsRegistry::Global().GetCounter("ingest.records_rejected");
+  static obs::Counter* batches =
+      obs::MetricsRegistry::Global().GetCounter("ingest.batches_total");
+  rejected->Add(out.rejected);
+
   if (out.rejected > options.max_rejected) {
+    // The whole batch is discarded, so its accepted rows never land.
     std::string detail = out.errors.empty() ? "" : " (first: " +
                                                        out.errors.front() +
                                                        ")";
@@ -138,6 +149,8 @@ Result<ParseOutput> ParseRecords(const CubeSchema& schema,
         " records rejected, max_rejected=" +
         std::to_string(options.max_rejected) + detail);
   }
+  accepted->Add(out.accepted);
+  batches->Add();
   return out;
 }
 

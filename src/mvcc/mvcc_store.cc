@@ -11,6 +11,7 @@ MvccStore::MvccStore(size_t num_columns)
 
 MvccTxn MvccStore::Begin() {
   MvccTxn txn;
+  // relaxed: id allocation only needs uniqueness; ordering comes from mutex_.
   txn.id = next_txn_.fetch_add(1, std::memory_order_relaxed);
   MutexLock lock(mutex_);
   txn.begin_ts = clock_.load(std::memory_order_relaxed);
@@ -83,6 +84,7 @@ Status MvccStore::Commit(MvccTxn* txn) {
   if (it == active_.end()) {
     return Status::FailedPrecondition("transaction not active");
   }
+  // relaxed: clock_ is only advanced and read under mutex_, which orders it.
   const Timestamp commit_ts = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   for (uint64_t row : txn->insert_set) {
     created_[row] = commit_ts;

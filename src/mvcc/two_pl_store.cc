@@ -13,6 +13,7 @@ TwoPLStore::TwoPLStore(size_t num_columns, size_t num_partitions)
 
 TplTxn TwoPLStore::Begin() {
   TplTxn txn;
+  // relaxed: id allocation only needs uniqueness, no cross-thread ordering.
   txn.id = next_txn_.fetch_add(1, std::memory_order_relaxed);
   return txn;
 }

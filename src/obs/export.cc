@@ -1,0 +1,133 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace cubrick::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void AppendHistogramJson(const std::string& name, const HistogramSnapshot& h,
+                         std::string* out) {
+  *out += "\"" + JsonEscape(name) + "\": {";
+  *out += "\"count\": " + std::to_string(h.count);
+  *out += ", \"sum\": " + std::to_string(h.sum);
+  *out += ", \"mean\": " + FormatDouble(h.Mean());
+  *out += ", \"p50\": " + std::to_string(h.Percentile(50));
+  *out += ", \"p95\": " + std::to_string(h.Percentile(95));
+  *out += ", \"p99\": " + std::to_string(h.Percentile(99));
+  *out += ", \"max\": " + std::to_string(h.Percentile(100));
+  *out += ", \"buckets\": [";
+  bool first = true;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;
+    if (!first) *out += ", ";
+    first = false;
+    const uint64_t ub = Histogram::BucketUpperBound(i);
+    const bool overflow = i == Histogram::kNumBuckets - 1;
+    *out += "[" + (overflow ? std::string("-1") : std::to_string(ub)) + ", " +
+            std::to_string(h.buckets[i]) + "]";
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "cubrick_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_';
+  }
+  return out;
+}
+
+std::string ExportPrometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h.buckets[i] == 0 && i != Histogram::kNumBuckets - 1) continue;
+      cumulative += h.buckets[i];
+      const bool overflow = i == Histogram::kNumBuckets - 1;
+      const std::string le =
+          overflow ? "+Inf" : std::to_string(Histogram::BucketUpperBound(i));
+      out += pname + "_bucket{le=\"" + le +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += pname + "_sum " + std::to_string(h.sum) + "\n";
+    out += pname + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string ExportJson(const MetricsSnapshot& snap) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": " + std::to_string(value);
+  }
+  out += "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": " + std::to_string(value);
+  }
+  out += "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ",\n    ";
+    first = false;
+    AppendHistogramJson(name, h, &out);
+  }
+  out += "}\n}\n";
+  return out;
+}
+
+}  // namespace cubrick::obs

@@ -1,0 +1,44 @@
+// Exposition formats for a MetricsSnapshot.
+//
+// Both exporters operate on an immutable MetricsSnapshot, so every line of
+// an exposition comes from the same point-in-time copy; histogram counts
+// equal the sum of their bucket lines by construction (see obs/metrics.h).
+
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cubrick::obs {
+
+/// Prometheus text exposition (version 0.0.4 style). Metric names are
+/// prefixed with "cubrick_" and dots become underscores:
+///
+///   # TYPE cubrick_aosi_pending_txs gauge
+///   cubrick_aosi_pending_txs 3
+///   # TYPE cubrick_query_latency_us histogram
+///   cubrick_query_latency_us_bucket{le="1"} 0
+///   ...
+///   cubrick_query_latency_us_bucket{le="+Inf"} 45
+///   cubrick_query_latency_us_sum 12345
+///   cubrick_query_latency_us_count 45
+std::string ExportPrometheus(const MetricsSnapshot& snap);
+
+/// JSON snapshot:
+///
+///   {"counters": {"aosi.txn.commit_total": 12, ...},
+///    "gauges": {"aosi.pending_txs": 3, ...},
+///    "histograms": {"query.latency_us":
+///        {"count": 45, "sum": 12345, "mean": 274.3,
+///         "p50": 255, "p95": 511, "p99": 1023, "max": 2047,
+///         "buckets": [[1, 0], [3, 2], ...]}}}   // [upper_bound, count]
+///
+/// Bucket entries with zero count are omitted; the overflow bucket's upper
+/// bound is emitted as -1.
+std::string ExportJson(const MetricsSnapshot& snap);
+
+/// "cubrick_" + name with every non-[a-zA-Z0-9_] character replaced by '_'.
+std::string PrometheusName(const std::string& name);
+
+}  // namespace cubrick::obs

@@ -1,0 +1,65 @@
+// Shared percentile math for the two latency representations:
+//
+//  * obs::Histogram (fixed power-of-two buckets, lock-free, unbounded
+//    volume) — production instrumentation; and
+//  * obs::LatencyRecorder (exact per-sample storage, single-threaded) —
+//    the bench harness, where exact percentiles matter more than cost.
+//
+// Both resolve "the p-th percentile of n samples" through PercentileRank so
+// the two representations agree on rank semantics (nearest-rank over a
+// zero-based index, matching the harness behaviour the fig5–fig10 drivers
+// have always reported).
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cubrick::obs {
+
+/// Zero-based index of the sample holding the p-th percentile (p in
+/// [0, 100]) among `count` sorted samples: round(p/100 * (count-1)).
+/// Requires count > 0.
+inline size_t PercentileRank(size_t count, double p) {
+  const double rank = p / 100.0 * static_cast<double>(count - 1);
+  return static_cast<size_t>(rank + 0.5);
+}
+
+/// Collects exact latency samples and reports percentiles, as used for the
+/// paper's load-latency distribution (Fig 5) and the other bench drivers.
+/// Not thread-safe; for concurrent recording use obs::Histogram.
+class LatencyRecorder {
+ public:
+  void Record(int64_t micros) { samples_.push_back(micros); }
+
+  size_t count() const { return samples_.size(); }
+
+  /// Percentile in [0, 100]. Returns 0 when no samples were recorded.
+  int64_t Percentile(double p) {
+    if (samples_.empty()) return 0;
+    std::sort(samples_.begin(), samples_.end());
+    return samples_[PercentileRank(samples_.size(), p)];
+  }
+
+  double Mean() const {
+    if (samples_.empty()) return 0.0;
+    int64_t sum = 0;
+    for (int64_t s : samples_) sum += s;
+    return static_cast<double>(sum) / static_cast<double>(samples_.size());
+  }
+
+  int64_t Max() const {
+    int64_t mx = 0;
+    for (int64_t s : samples_) mx = std::max(mx, s);
+    return mx;
+  }
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  std::vector<int64_t> samples_;
+};
+
+}  // namespace cubrick::obs

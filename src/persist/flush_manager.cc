@@ -2,6 +2,8 @@
 
 #include <filesystem>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "persist/serializer.h"
 
 namespace cubrick::persist {
@@ -109,10 +111,21 @@ Status FlushManager::ReadDictionaries(const CubeSchema& schema) const {
   return Status::OK();
 }
 
+void FlushRoundStats::PublishTo(obs::MetricsRegistry& reg) const {
+  // Flush rounds are background work; no instrument caching needed.
+  reg.GetCounter("persist.rows_flushed")->Add(rows_written);
+  reg.GetCounter("persist.delete_markers_flushed")
+      ->Add(delete_markers_written);
+  reg.GetCounter("persist.bricks_flushed")->Add(bricks_touched);
+}
+
 Result<FlushRoundStats> FlushManager::FlushRound(Table* table,
                                                  aosi::Epoch from_lse,
                                                  aosi::Epoch to_lse) {
   CUBRICK_CHECK(aosi::AtOrBefore(from_lse, to_lse));
+  obs::ObsSpan span(
+      "persist.flush",
+      obs::MetricsRegistry::Global().GetHistogram("persist.flush_us"));
   const CubeSchema& schema = table->schema();
   const uint64_t round = ManifestRounds() + 1;
   FlushRoundStats stats;
@@ -177,10 +190,14 @@ Result<FlushRoundStats> FlushManager::FlushRound(Table* table,
   // complete: recovered coordinates are meaningless without them.
   CUBRICK_RETURN_IF_ERROR(WriteDictionaries(schema));
   CUBRICK_RETURN_IF_ERROR(WriteManifest(round, to_lse));
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("persist.flush_rounds_total")->Add();
+  stats.PublishTo(reg);
   return stats;
 }
 
 Result<RecoveryResult> FlushManager::Recover(Table* table) {
+  obs::ObsSpan span("persist.recover");
   RecoveryResult result;
   const uint64_t rounds = ManifestRounds();
   result.lse = ManifestLse();
@@ -249,6 +266,10 @@ Result<RecoveryResult> FlushManager::Recover(Table* table) {
     }
     ++result.rounds_replayed;
   }
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("persist.rows_recovered")->Add(result.rows_recovered);
+  reg.GetCounter("persist.rounds_replayed")->Add(result.rounds_replayed);
+  reg.GetGauge("persist.last_recovery_us")->Set(span.Finish());
   return result;
 }
 

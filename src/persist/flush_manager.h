@@ -23,12 +23,20 @@
 #include "engine/table.h"
 #include "storage/schema.h"
 
+namespace cubrick::obs {
+class MetricsRegistry;
+}  // namespace cubrick::obs
+
 namespace cubrick::persist {
 
 struct FlushRoundStats {
   uint64_t rows_written = 0;
   uint64_t delete_markers_written = 0;
   uint64_t bricks_touched = 0;
+
+  /// Adds this round's tallies to the registry's "persist.*" counters
+  /// (docs/OBSERVABILITY.md). Called by FlushManager::FlushRound.
+  void PublishTo(obs::MetricsRegistry& reg) const;
 };
 
 struct RecoveryResult {

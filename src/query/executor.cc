@@ -1,10 +1,43 @@
 #include "query/executor.h"
 
 #include "aosi/visibility.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace cubrick {
 
 namespace {
+
+/// Per-brick scan instrumentation (docs/OBSERVABILITY.md, "query.*").
+/// Resolved once; everything recorded at brick granularity so the row loop
+/// itself stays untouched.
+struct ScanInstruments {
+  obs::Counter* bricks_scanned;
+  obs::Counter* bricks_pruned;
+  obs::Counter* rows_considered;
+  obs::Counter* rows_scanned;
+  obs::Gauge* bitmap_density_permille;
+  obs::Histogram* visibility_us;
+  obs::Histogram* filter_us;
+  obs::Histogram* agg_us;
+};
+
+const ScanInstruments& Instruments() {
+  static const ScanInstruments m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    return ScanInstruments{
+        reg.GetCounter("query.bricks_scanned"),
+        reg.GetCounter("query.bricks_pruned"),
+        reg.GetCounter("query.rows_considered"),
+        reg.GetCounter("query.rows_scanned"),
+        reg.GetGauge("query.bitmap_density_permille"),
+        reg.GetHistogram("query.visibility_us"),
+        reg.GetHistogram("query.filter_us"),
+        reg.GetHistogram("query.agg_us"),
+    };
+  }();
+  return m;
+}
 
 /// [lo, hi] coordinate interval dimension `dim` spans inside `brick`.
 void BrickDimBounds(const Brick& brick, size_t dim, uint64_t* lo,
@@ -37,6 +70,16 @@ bool BrickCoveredByFilters(const Brick& brick, const Query& query) {
   return true;
 }
 
+void ScanPlanStats::PublishTo(obs::MetricsRegistry& reg) const {
+  // EXPLAIN is interactive, not a hot path; no instrument caching.
+  reg.GetCounter("query.explain.bricks_total")->Add(bricks_total);
+  reg.GetCounter("query.explain.bricks_pruned")->Add(bricks_pruned);
+  reg.GetCounter("query.explain.bricks_scanned")->Add(bricks_scanned);
+  reg.GetCounter("query.explain.filters_skipped_covered")
+      ->Add(filters_skipped_covered);
+  reg.GetCounter("query.explain.rows_considered")->Add(rows_considered);
+}
+
 void ExplainBrick(const Brick& brick, const Query& query,
                   ScanPlanStats* stats) {
   ++stats->bricks_total;
@@ -58,19 +101,27 @@ void ExplainBrick(const Brick& brick, const Query& query,
 void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
                ScanMode mode, const Query& query, QueryResult* result) {
   CUBRICK_CHECK(result->num_aggs() == query.aggs.size());
-  if (brick.num_records() == 0) return;
-  if (!BrickIntersectsFilters(brick, query)) return;
+  const ScanInstruments& ins = Instruments();
+  if (brick.num_records() == 0 || !BrickIntersectsFilters(brick, query)) {
+    ins.bricks_pruned->Add();
+    return;
+  }
+  ins.bricks_scanned->Add();
+  ins.rows_considered->Add(brick.num_records());
 
   // Concurrency-control pass: one bitmap per brick.
+  obs::ObsSpan cc_span("query.visibility", ins.visibility_us);
   Bitmap visible =
       mode == ScanMode::kSnapshotIsolation
           ? aosi::BuildVisibilityBitmap(brick.history(), snapshot)
           : aosi::BuildReadUncommittedBitmap(brick.history());
+  cc_span.Finish();
   if (visible.None()) return;
 
   // Filter pass: clear bits that fail a dimension predicate. Filters whose
   // clause already covers the brick's whole range are skipped (common with
   // range predicates aligned to granular partitioning).
+  obs::ObsSpan filter_span("query.filter", ins.filter_us);
   for (const auto& filter : query.filters) {
     uint64_t lo = 0, hi = 0;
     BrickDimBounds(brick, filter.dim, &lo, &hi);
@@ -82,10 +133,14 @@ void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
       }
     }
   }
+  filter_span.Finish();
 
   // Aggregation pass.
+  obs::ObsSpan agg_span("query.aggregate", ins.agg_us);
   QueryResult::GroupKey key(query.group_by.size());
+  uint64_t rows_aggregated = 0;
   visible.ForEachSet([&](size_t row) {
+    ++rows_aggregated;
     for (size_t g = 0; g < query.group_by.size(); ++g) {
       key[g] = brick.DimCoord(row, query.group_by[g]);
     }
@@ -97,6 +152,12 @@ void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
       result->Accumulate(key, a, v);
     }
   });
+  agg_span.Finish();
+  ins.rows_scanned->Add(rows_aggregated);
+  // Post-CC+filter visibility density of this brick, in rows per thousand:
+  // how much of the brick the snapshot (and filters) let through.
+  ins.bitmap_density_permille->Set(static_cast<int64_t>(
+      rows_aggregated * 1000 / brick.num_records()));
 }
 
 }  // namespace cubrick

@@ -12,6 +12,10 @@
 #include "query/query.h"
 #include "storage/brick.h"
 
+namespace cubrick::obs {
+class MetricsRegistry;
+}  // namespace cubrick::obs
+
 namespace cubrick {
 
 /// True when the brick's dimension ranges can contain a matching record —
@@ -37,6 +41,10 @@ struct ScanPlanStats {
   /// Filters that fully cover a brick's range are never evaluated per row.
   uint64_t filters_skipped_covered = 0;
   uint64_t rows_considered = 0;
+
+  /// Adds this plan's tallies to the registry's "query.explain.*" counters
+  /// (docs/OBSERVABILITY.md). Called by Table::ExplainScan.
+  void PublishTo(obs::MetricsRegistry& reg) const;
 };
 
 /// Dry-runs the brick-level planning of `query` over one brick.

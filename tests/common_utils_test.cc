@@ -10,6 +10,7 @@
 #include "common/shard_queue.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "obs/percentile.h"
 #include "storage/data_type.h"
 
 namespace cubrick {
@@ -190,7 +191,7 @@ TEST(RandomTest, NextDoubleInUnitInterval) {
 }
 
 TEST(LatencyRecorderTest, PercentilesSorted) {
-  LatencyRecorder r;
+  obs::LatencyRecorder r;
   for (int64_t v : {50, 10, 30, 20, 40}) r.Record(v);
   EXPECT_EQ(r.Percentile(0), 10);
   EXPECT_EQ(r.Percentile(50), 30);
@@ -201,7 +202,7 @@ TEST(LatencyRecorderTest, PercentilesSorted) {
 }
 
 TEST(LatencyRecorderTest, EmptyIsZero) {
-  LatencyRecorder r;
+  obs::LatencyRecorder r;
   EXPECT_EQ(r.Percentile(50), 0);
   EXPECT_DOUBLE_EQ(r.Mean(), 0.0);
 }

@@ -1,0 +1,15 @@
+// aosi-lint-fixture: atomic-memory-order
+// aosi-lint-as: src/example/bad_relaxed_rmw.cc
+//
+// A relaxed RMW in src/ without a '// relaxed: <why>' justification comment
+// must be flagged: the order is explicit, but dropping the
+// synchronizes-with edge needs a stated reason.
+#include <atomic>
+
+namespace cubrick {
+
+std::atomic<unsigned long> hits{0};
+
+void BadRelaxedRmw() { hits.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace cubrick

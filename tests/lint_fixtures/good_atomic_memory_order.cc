@@ -10,6 +10,7 @@ std::atomic<int> counter{0};
 
 int GoodLoad() { return counter.load(std::memory_order_acquire); }
 void GoodStore(int v) { counter.store(v, std::memory_order_release); }
+// relaxed: fixture counter is a plain tally; no ordering needed.
 void GoodRmw() { counter.fetch_add(1, std::memory_order_relaxed); }
 
 }  // namespace cubrick

@@ -1,0 +1,20 @@
+// aosi-lint-fixture: atomic-memory-order
+// aosi-lint-as: src/obs/example_counter.h
+//
+// The src/obs carve-out: metric instruments use relaxed RMW writes by
+// documented policy (docs/OBSERVABILITY.md), so no per-site justification
+// comment is required inside src/obs/.
+#include <atomic>
+
+namespace cubrick::obs {
+
+class ExampleCounter {
+ public:
+  void Add(unsigned long n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  unsigned long Value() const { return v_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<unsigned long> v_{0};
+};
+
+}  // namespace cubrick::obs

@@ -1,0 +1,22 @@
+// aosi-lint-fixture: atomic-memory-order
+// aosi-lint-as: src/example/good_relaxed_rmw.cc
+//
+// A relaxed RMW is fine in src/ when the same (or preceding) line carries a
+// '// relaxed: <why>' justification comment.
+#include <atomic>
+
+namespace cubrick {
+
+std::atomic<unsigned long> hits{0};
+std::atomic<unsigned long> misses{0};
+
+void SameLineJustification() {
+  hits.fetch_add(1, std::memory_order_relaxed);  // relaxed: plain tally
+}
+
+void PrecedingLineJustification() {
+  // relaxed: tally only; the reader takes an acquire snapshot elsewhere.
+  misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace cubrick

@@ -1,0 +1,192 @@
+// Unit tests for the observability core: counters, gauges, histograms, the
+// process-wide registry, the exporters and the percentile helpers
+// (docs/OBSERVABILITY.md).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/percentile.h"
+
+namespace cubrick::obs {
+namespace {
+
+// Each test uses its own metric names: the registry is process-global and
+// the full binary can run all tests in one process.
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetEnabled(true); }
+  void TearDown() override { SetEnabled(true); }
+};
+
+TEST_F(ObsMetricsTest, CounterAddsAndReads) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.counter_basic");
+  c->ResetForTest();
+  EXPECT_EQ(c->Value(), 0u);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), 42u);
+}
+
+TEST_F(ObsMetricsTest, DisabledWritesAreDropped) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.counter_disabled");
+  Gauge* g = MetricsRegistry::Global().GetGauge("test.gauge_disabled");
+  Histogram* h =
+      MetricsRegistry::Global().GetHistogram("test.histogram_disabled");
+  c->ResetForTest();
+  g->ResetForTest();
+  h->ResetForTest();
+  SetEnabled(false);
+  EXPECT_FALSE(Enabled());
+  c->Add(5);
+  g->Set(5);
+  g->Add(5);
+  h->Record(5);
+  SetEnabled(true);
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0);
+  EXPECT_EQ(h->Read().count, 0u);
+}
+
+TEST_F(ObsMetricsTest, GaugeSetAndAdd) {
+  Gauge* g = MetricsRegistry::Global().GetGauge("test.gauge_basic");
+  g->ResetForTest();
+  g->Set(-7);
+  EXPECT_EQ(g->Value(), -7);
+  g->Add(10);
+  EXPECT_EQ(g->Value(), 3);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketIndexIsPowerOfTwo) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  // Everything past the last finite bucket lands in the overflow bucket.
+  EXPECT_EQ(Histogram::BucketIndex(~static_cast<uint64_t>(0)),
+            Histogram::kNumBuckets - 1);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketUpperBounds) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023u);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
+            ~static_cast<uint64_t>(0));
+  // Every value sits at or below its bucket's upper bound.
+  for (uint64_t v : {0ull, 1ull, 2ull, 5ull, 100ull, 65536ull}) {
+    EXPECT_LE(v, Histogram::BucketUpperBound(Histogram::BucketIndex(v)));
+  }
+}
+
+TEST_F(ObsMetricsTest, HistogramSnapshotCountEqualsBucketSum) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.histogram_sum");
+  h->ResetForTest();
+  for (uint64_t v : {0ull, 1ull, 3ull, 200ull, 200ull, 9000ull}) h->Record(v);
+  const HistogramSnapshot snap = h->Read();
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_EQ(snap.sum, 0u + 1 + 3 + 200 + 200 + 9000);
+  uint64_t bucket_sum = 0;
+  for (uint64_t b : snap.buckets) bucket_sum += b;
+  EXPECT_EQ(snap.count, bucket_sum);
+  EXPECT_DOUBLE_EQ(snap.Mean(), static_cast<double>(snap.sum) / 6.0);
+}
+
+TEST_F(ObsMetricsTest, HistogramPercentileReturnsBucketUpperBound) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.histogram_pct");
+  h->ResetForTest();
+  // 9 samples in [128, 256) and one far outlier.
+  for (int i = 0; i < 9; ++i) h->Record(130);
+  h->Record(100'000);
+  const HistogramSnapshot snap = h->Read();
+  EXPECT_EQ(snap.Percentile(50), 255u);   // bucket [128, 256)
+  EXPECT_EQ(snap.Percentile(100), 131071u);  // the outlier's bucket
+  Histogram* empty =
+      MetricsRegistry::Global().GetHistogram("test.histogram_empty");
+  empty->ResetForTest();
+  EXPECT_EQ(empty->Read().Percentile(50), 0u);
+}
+
+TEST_F(ObsMetricsTest, RegistryReturnsStablePointers) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* a = reg.GetCounter("test.registry_stable");
+  Counter* b = reg.GetCounter("test.registry_stable");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(static_cast<void*>(a),
+            static_cast<void*>(reg.GetGauge("test.registry_stable")));
+}
+
+TEST_F(ObsMetricsTest, SnapshotContainsRegisteredInstruments) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.snapshot_counter")->ResetForTest();
+  reg.GetCounter("test.snapshot_counter")->Add(3);
+  reg.GetGauge("test.snapshot_gauge")->Set(-2);
+  reg.GetHistogram("test.snapshot_histogram")->Record(10);
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_TRUE(snap.counters.count("test.snapshot_counter"));
+  EXPECT_EQ(snap.counters.at("test.snapshot_counter"), 3u);
+  ASSERT_TRUE(snap.gauges.count("test.snapshot_gauge"));
+  EXPECT_EQ(snap.gauges.at("test.snapshot_gauge"), -2);
+  ASSERT_TRUE(snap.histograms.count("test.snapshot_histogram"));
+  EXPECT_GE(snap.histograms.at("test.snapshot_histogram").count, 1u);
+}
+
+TEST_F(ObsMetricsTest, PrometheusExposition) {
+  MetricsSnapshot snap;
+  snap.counters["test.promo_total"] = 7;
+  snap.gauges["test.promo_gauge"] = -5;
+  Histogram h;
+  h.Record(3);
+  h.Record(300);
+  snap.histograms["test.promo_us"] = h.Read();
+  const std::string text = ExportPrometheus(snap);
+  EXPECT_NE(text.find("# TYPE cubrick_test_promo_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("cubrick_test_promo_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cubrick_test_promo_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("cubrick_test_promo_gauge -5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cubrick_test_promo_us histogram"),
+            std::string::npos);
+  // Cumulative buckets: value 3 -> le="3", and the +Inf bucket always ends
+  // the series with the total count.
+  EXPECT_NE(text.find("cubrick_test_promo_us_bucket{le=\"3\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("cubrick_test_promo_us_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("cubrick_test_promo_us_sum 303"), std::string::npos);
+  EXPECT_NE(text.find("cubrick_test_promo_us_count 2"), std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, JsonExposition) {
+  MetricsSnapshot snap;
+  snap.counters["test.json_total"] = 11;
+  snap.gauges["test.json_gauge"] = 4;
+  Histogram h;
+  h.Record(5);
+  snap.histograms["test.json_us"] = h.Read();
+  const std::string json = ExportJson(snap);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_total\": 11"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_us\": {\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": [[7, 1]]"), std::string::npos);
+}
+
+TEST(PercentileRankTest, MatchesRecorderSemantics) {
+  // rank = p/100 * (n-1), rounded to nearest index.
+  EXPECT_EQ(PercentileRank(5, 0), 0u);
+  EXPECT_EQ(PercentileRank(5, 50), 2u);
+  EXPECT_EQ(PercentileRank(5, 100), 4u);
+  EXPECT_EQ(PercentileRank(4, 50), 2u);  // 1.5 rounds up
+  EXPECT_EQ(PercentileRank(1, 99), 0u);
+}
+
+}  // namespace
+}  // namespace cubrick::obs

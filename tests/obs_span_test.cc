@@ -1,0 +1,79 @@
+// Unit tests for trace spans and the bounded span ring
+// (docs/OBSERVABILITY.md).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace cubrick::obs {
+namespace {
+
+class ObsSpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    GlobalSpanRing().ResetForTest();
+  }
+  void TearDown() override { SetEnabled(true); }
+};
+
+TEST_F(ObsSpanTest, SpanRecordsIntoGlobalRing) {
+  {
+    ObsSpan span("test.span_basic");
+  }
+  EXPECT_EQ(GlobalSpanRing().TotalRecorded(), 1u);
+  const auto records = GlobalSpanRing().Collect();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_STREQ(records[0].name, "test.span_basic");
+  EXPECT_GE(records[0].dur_us, 0);
+  EXPECT_GE(records[0].start_us, 0);
+}
+
+TEST_F(ObsSpanTest, FinishIsIdempotent) {
+  ObsSpan span("test.span_finish");
+  const int64_t dur = span.Finish();
+  EXPECT_GE(dur, 0);
+  EXPECT_EQ(span.Finish(), 0);  // second Finish is a no-op
+  EXPECT_EQ(GlobalSpanRing().TotalRecorded(), 1u);
+}
+
+TEST_F(ObsSpanTest, DisabledSpansRecordNothing) {
+  SetEnabled(false);
+  {
+    ObsSpan span("test.span_disabled");
+  }
+  SetEnabled(true);
+  EXPECT_EQ(GlobalSpanRing().TotalRecorded(), 0u);
+  EXPECT_TRUE(GlobalSpanRing().Collect().empty());
+}
+
+TEST_F(ObsSpanTest, SpanPublishesIntoHistogram) {
+  Histogram* h =
+      MetricsRegistry::Global().GetHistogram("test.span_latency_us");
+  h->ResetForTest();
+  {
+    ObsSpan span("test.span_histogram", h);
+  }
+  EXPECT_EQ(h->Read().count, 1u);
+}
+
+TEST_F(ObsSpanTest, RingKeepsOnlyTheMostRecentCapacity) {
+  SpanRing& ring = GlobalSpanRing();
+  const size_t total = SpanRing::kCapacity + 100;
+  for (size_t i = 0; i < total; ++i) {
+    ring.Record("test.span_wrap", static_cast<int64_t>(i), 1);
+  }
+  EXPECT_EQ(ring.TotalRecorded(), total);
+  const auto records = ring.Collect();
+  EXPECT_EQ(records.size(), SpanRing::kCapacity);
+  // Oldest surviving span is the one kCapacity back from the end.
+  EXPECT_EQ(records.front().start_us, static_cast<int64_t>(100));
+  EXPECT_EQ(records.back().start_us, static_cast<int64_t>(total - 1));
+}
+
+}  // namespace
+}  // namespace cubrick::obs

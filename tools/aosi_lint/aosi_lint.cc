@@ -4,7 +4,10 @@
 // Clang's -Wthread-safety cannot express:
 //
 //   atomic-memory-order  every std::atomic load/store/RMW names an explicit
-//                        std::memory_order argument
+//                        std::memory_order argument; relaxed RMWs in src/
+//                        additionally need a '// relaxed: <why>' comment,
+//                        except in src/obs/ (relaxed instrument writes are
+//                        that subsystem's documented policy)
 //   epoch-compare        raw integer comparisons of epochs (identifiers
 //                        mentioning epoch/lce/lse/horizon) are only allowed
 //                        inside src/aosi/epoch*.{h,cc}; everything else uses
@@ -51,7 +54,10 @@ struct RuleInfo {
 const RuleInfo kRules[] = {
     {"atomic-memory-order",
      "std::atomic loads/stores/RMWs must pass an explicit std::memory_order; "
-     "operator forms (++, +=, =) on atomics are forbidden"},
+     "operator forms (++, +=, =) on atomics are forbidden; relaxed RMWs in "
+     "src/ need a '// relaxed: <why>' justification comment, except in "
+     "src/obs/ where relaxed instrument writes are the documented policy "
+     "(docs/OBSERVABILITY.md)"},
     {"epoch-compare",
      "raw comparisons of epoch-like values (identifiers containing epoch/lce/"
      "lse/horizon) are only allowed in src/aosi/epoch*; use the named helpers "
@@ -342,6 +348,7 @@ struct FileClass {
   bool epoch_zone = false;    // src/aosi/epoch*
   bool mutex_header = false;  // src/common/mutex.h / thread_annotations.h
   bool in_cluster = false;    // src/cluster/
+  bool in_obs = false;        // src/obs/ (relaxed instrument writes allowed)
 };
 
 FileClass Classify(std::string rel) {
@@ -353,6 +360,7 @@ FileClass Classify(std::string rel) {
   fc.mutex_header = rel == "src/common/mutex.h" ||
                     rel == "src/common/thread_annotations.h";
   fc.in_cluster = rel.rfind("src/cluster/", 0) == 0;
+  fc.in_obs = rel.rfind("src/obs/", 0) == 0;
   return fc;
 }
 
@@ -362,6 +370,8 @@ struct SourceFile {
   std::vector<Token> toks;
   // line -> waived rule names ("*" = all)
   std::map<int, std::set<std::string>> waivers;
+  // Lines carrying (or covered by) a '// relaxed: <why>' justification.
+  std::set<int> relaxed_lines;
 };
 
 // Scans raw (pre-strip) content for waiver comments.
@@ -399,6 +409,24 @@ std::map<int, std::set<std::string>> CollectWaivers(const std::string& raw) {
   return waivers;
 }
 
+// Scans raw (pre-strip) content for '// relaxed: <why>' justification
+// comments. Like waivers, a comment-only line also covers the next line.
+std::set<int> CollectRelaxedComments(const std::string& raw) {
+  std::set<int> lines;
+  std::istringstream in(raw);
+  std::string line_text;
+  int line = 0;
+  while (std::getline(in, line_text)) {
+    ++line;
+    const size_t comment = line_text.find("//");
+    if (comment == std::string::npos) continue;
+    if (line_text.find("relaxed:", comment) == std::string::npos) continue;
+    lines.insert(line);
+    if (line_text.find_first_not_of(" \t") == comment) lines.insert(line + 1);
+  }
+  return lines;
+}
+
 std::string FindDirective(const std::string& raw, const std::string& key) {
   const size_t pos = raw.find(key);
   if (pos == std::string::npos) return "";
@@ -420,6 +448,12 @@ const std::set<std::string> kAtomicMemberOps = {
     "fetch_add",     "fetch_sub",      "fetch_and",
     "fetch_or",      "fetch_xor",      "compare_exchange_weak",
     "compare_exchange_strong"};
+
+// Read-modify-write subset: relaxed ordering on these loses the usual
+// synchronizes-with edge, so src/ callers must justify it in a comment.
+const std::set<std::string> kAtomicRmwOps = {
+    "exchange",  "fetch_add", "fetch_sub",
+    "fetch_and", "fetch_or",  "fetch_xor"};
 
 // First pass: record names declared as std::atomic<...> so the operator-form
 // check (`flag++`, `flag = x`) can recognize them. Names are scoped to the
@@ -466,18 +500,30 @@ void CheckAtomicMemoryOrder(const SourceFile& f,
         toks[i + 1].text == "(") {
       int depth = 0;
       bool has_order = false;
+      bool is_relaxed = false;
       for (size_t j = i + 1; j < toks.size(); ++j) {
         if (toks[j].text == "(") ++depth;
         else if (toks[j].text == ")") { if (--depth == 0) break; }
         else if (toks[j].kind == TokKind::kIdent &&
                  toks[j].text.rfind("memory_order", 0) == 0) {
           has_order = true;
+          if (toks[j].text == "memory_order_relaxed") is_relaxed = true;
         }
       }
       if (!has_order) {
         out->push_back({f.display_path, t.line, "atomic-memory-order",
                         "atomic ." + t.text +
                             "() without an explicit std::memory_order"});
+      } else if (is_relaxed && kAtomicRmwOps.count(t.text) && f.cls.in_src &&
+                 !f.cls.in_obs && !f.relaxed_lines.count(t.line)) {
+        // Carve-out: src/obs instruments are relaxed by documented policy
+        // (monotonic tallies read via acquire snapshots); everyone else
+        // explains why the missing synchronizes-with edge is safe.
+        out->push_back(
+            {f.display_path, t.line, "atomic-memory-order",
+             "relaxed ." + t.text +
+                 "() needs a '// relaxed: <why>' justification comment "
+                 "(src/obs instruments are exempt; docs/OBSERVABILITY.md)"});
       }
       continue;
     }
@@ -679,6 +725,7 @@ bool LoadFile(const std::string& path, const std::string& rel_for_rules,
   out->display_path = path;
   out->cls = Classify(as.empty() ? rel_for_rules : as);
   out->waivers = CollectWaivers(raw);
+  out->relaxed_lines = CollectRelaxedComments(raw);
   out->toks = Lex(StripCommentsAndStrings(raw));
   if (raw_out) *raw_out = std::move(raw);
   return true;
