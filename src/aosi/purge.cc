@@ -1,5 +1,7 @@
 #include "aosi/purge.h"
 
+#include "aosi/visibility.h"
+
 namespace cubrick::aosi {
 
 namespace {
@@ -34,7 +36,11 @@ CompactionPlan BuildPlan(const EpochVector& history,
         HappensBefore(new_runs.back().epoch, merge_below);
     if (mergeable) {
       auto& prev = new_runs.back();
-      prev.epoch = std::max(prev.epoch, run.epoch);
+      // The merged run is stamped with the later epoch in *epoch order*
+      // (MaxEpoch, not std::max): under node-strided epoch encodings the
+      // two orders are not interchangeable, and a merged run stamped too
+      // early would let PlanRetainUpTo/readers resurrect purged records.
+      prev.epoch = MaxEpoch(prev.epoch, run.epoch);
       prev.end += kept;
       next_idx += kept;
     } else {
@@ -81,22 +87,14 @@ CompactionPlan PlanPurge(const EpochVector& history, Epoch lse) {
   }
 
   // Compute surviving records: start from all-kept, then apply every delete
-  // marker with epoch < lse using exactly the visibility cleanup rule.
+  // marker with epoch < lse using exactly the visibility cleanup rule —
+  // literally the same code (visibility.cc's ApplyDeleteCleanup), so purge
+  // and scan can never disagree about what a delete covers.
   Bitmap keep(history.num_records(), true);
   std::vector<EpochRun> working = runs;
   for (auto& del : working) {
     if (!del.is_delete || AtOrAfter(del.epoch, lse)) continue;
-    const Epoch k = del.epoch;
-    const uint64_t delete_point = del.begin;
-    for (const auto& run : runs) {
-      if (run.is_delete) continue;
-      if (HappensBefore(run.epoch, k)) {
-        keep.ClearRange(run.begin, run.end);
-      } else if (SameEpoch(run.epoch, k) && run.begin < delete_point) {
-        keep.ClearRange(run.begin,
-                        run.end < delete_point ? run.end : delete_point);
-      }
-    }
+    ApplyDeleteCleanup(runs, del.epoch, del.begin, &keep);
     del.epoch = kNoEpoch;  // mark the marker itself as dropped
   }
 

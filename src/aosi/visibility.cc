@@ -14,24 +14,28 @@ Bitmap BuildVisibilityBitmap(const EpochVector& history,
     }
   }
 
-  // Secondary pass: apply visible deletes. A delete by k clears (a) every
-  // record of transactions j < k regardless of physical position, and (b)
-  // k's own records located before the delete point.
+  // Secondary pass: apply visible deletes via the shared cleanup rule.
   for (const auto& del : runs) {
     if (!del.is_delete || !snapshot.Sees(del.epoch)) continue;
-    const Epoch k = del.epoch;
-    const uint64_t delete_point = del.begin;
-    for (const auto& run : runs) {
-      if (run.is_delete) continue;
-      if (HappensBefore(run.epoch, k)) {
-        bitmap.ClearRange(run.begin, run.end);
-      } else if (SameEpoch(run.epoch, k) && run.begin < delete_point) {
-        bitmap.ClearRange(run.begin,
-                          run.end < delete_point ? run.end : delete_point);
-      }
-    }
+    ApplyDeleteCleanup(runs, del.epoch, del.begin, &bitmap);
   }
   return bitmap;
+}
+
+void ApplyDeleteCleanup(const std::vector<EpochRun>& runs, Epoch k,
+                        uint64_t delete_point, Bitmap* bitmap) {
+  // A delete by k clears (a) every record of transactions j ordered before
+  // k regardless of physical position, and (b) k's own records located
+  // strictly before the delete point.
+  for (const auto& run : runs) {
+    if (run.is_delete) continue;
+    if (HappensBefore(run.epoch, k)) {
+      bitmap->ClearRange(run.begin, run.end);
+    } else if (SameEpoch(run.epoch, k) && run.begin < delete_point) {
+      bitmap->ClearRange(run.begin,
+                         run.end < delete_point ? run.end : delete_point);
+    }
+  }
 }
 
 Bitmap BuildReadUncommittedBitmap(const EpochVector& history) {

@@ -22,6 +22,18 @@ namespace cubrick::aosi {
 Bitmap BuildVisibilityBitmap(const EpochVector& history,
                              const Snapshot& snapshot);
 
+/// The delete-cleanup rule, shared by visibility construction (above) and
+/// purge planning (purge.cc) so the two can never drift apart: a delete
+/// marker stamped `k` whose physical position is `delete_point` clears
+/// (a) every append run of a transaction ordered before k — wherever the
+/// run physically sits, covering late arrivals from logically-older
+/// transactions — and (b) k's own records strictly before the delete point
+/// (runs are half-open [begin, end), so a run with begin == delete_point is
+/// untouched). `bitmap` must have one bit per record of the history that
+/// decoded into `runs`; delete markers in `runs` are ignored.
+void ApplyDeleteCleanup(const std::vector<EpochRun>& runs, Epoch k,
+                        uint64_t delete_point, Bitmap* bitmap);
+
 /// Read-uncommitted scan mask: every record visible, no concurrency-control
 /// work. Used as the baseline in the paper's query-performance experiment
 /// (§VI-B).

@@ -1,17 +1,26 @@
 // check_si: seeded snapshot-isolation stress runner (see stress.h).
 //
 //   check_si --mode=single|cluster|both --seeds=N --seed0=S --ops=K [-v]
-//            [--dump-metrics]
+//            [--parallel=P] [--dump-metrics]
 //
 // Runs N seeds starting at S; each seed derives a configuration via
 // MakeSeedConfig and runs the full workload. Exit code 0 when every seed
 // passes; on divergence, prints the replayable diagnostic (config line,
 // seed, per-thread operation trace) and exits 1.
 //
+// --parallel=P runs single-node seeds with the morsel-parallel query
+// executor at fan-out P (DatabaseOptions::query_parallelism); the oracle
+// comparison is unchanged because the workload's metric values are small
+// integers, so aggregation is exact regardless of merge order. Cluster
+// seeds ignore it (cluster tables scan serially).
+//
 // --dump-metrics prints the Prometheus exposition of the metrics registry
 // after all seeds finish — the stress harness doubles as a concurrent-writer
 // workout for the observability layer, and the dump proves the snapshot
-// stays consistent under it.
+// stays consistent under it. With --parallel=P > 1 the dump additionally
+// carries the pool.* gauges/counters and the query.worker_scan_us /
+// query.parallel_merge_us histograms, and query.bitmap_density_permille
+// shows up as a histogram (docs/OBSERVABILITY.md).
 
 #include <cstdint>
 #include <cstdio>
@@ -30,6 +39,7 @@ struct Args {
   uint64_t seeds = 20;
   uint64_t seed0 = 1;
   int ops = 0;  // 0: keep MakeSeedConfig default
+  int parallel = 0;  // 0: keep MakeSeedConfig default (serial)
   bool verbose = false;
   bool dump_metrics = false;
 };
@@ -55,6 +65,8 @@ Args ParseArgs(int argc, char** argv) {
       args.seed0 = std::strtoull(value, nullptr, 10);
     } else if (ParseFlag(argv[i], "--ops", &value)) {
       args.ops = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--parallel", &value)) {
+      args.parallel = std::atoi(value);
     } else if (std::strcmp(argv[i], "-v") == 0 ||
                std::strcmp(argv[i], "--verbose") == 0) {
       args.verbose = true;
@@ -64,7 +76,8 @@ Args ParseArgs(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown argument: %s\n"
                    "usage: check_si [--mode=single|cluster|both] [--seeds=N] "
-                   "[--seed0=S] [--ops=K] [-v] [--dump-metrics]\n",
+                   "[--seed0=S] [--ops=K] [--parallel=P] [-v] "
+                   "[--dump-metrics]\n",
                    argv[i]);
       std::exit(2);
     }
@@ -83,6 +96,9 @@ bool RunOne(const Args& args, uint64_t seed, bool cluster) {
   cubrick::check::StressOptions opt =
       cubrick::check::MakeSeedConfig(seed, cluster);
   if (args.ops > 0) opt.ops_per_thread = args.ops;
+  if (args.parallel > 0) {
+    opt.query_parallelism = static_cast<size_t>(args.parallel);
+  }
   const cubrick::check::StressReport report =
       cluster ? cubrick::check::RunClusterStress(opt)
               : cubrick::check::RunSingleNodeStress(opt);

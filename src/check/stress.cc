@@ -578,6 +578,9 @@ std::string ConfigLine(const StressOptions& opt, bool cluster) {
       << " threaded=" << opt.threaded_shards
       << " rollback_index=" << opt.rollback_index
       << " persist=" << opt.with_persistence;
+  if (!cluster) {
+    out << " parallel=" << opt.query_parallelism;
+  }
   if (cluster) {
     out << " nodes=" << opt.num_nodes << " rf=" << opt.replication_factor
         << " latency_us=" << opt.message_latency_us;
@@ -585,6 +588,9 @@ std::string ConfigLine(const StressOptions& opt, bool cluster) {
   out << "\nreplay: check_si --mode=" << (cluster ? "cluster" : "single")
       << " --seed0=" << opt.seed << " --seeds=1 --ops="
       << opt.ops_per_thread;
+  if (!cluster && opt.query_parallelism > 1) {
+    out << " --parallel=" << opt.query_parallelism;
+  }
   return out.str();
 }
 
@@ -694,6 +700,7 @@ StressReport RunSingleNodeStress(const StressOptions& opt) {
   db_options.shards_per_cube = opt.shards_per_cube;
   db_options.threaded_shards = opt.threaded_shards;
   db_options.rollback_index = opt.rollback_index;
+  db_options.query_parallelism = opt.query_parallelism;
   if (opt.with_persistence) {
     fs::remove_all(dir);
     fs::create_directories(dir);

@@ -43,6 +43,14 @@ struct StressOptions {
   /// Enables checkpoint operations in the mix plus a crash/recovery epilogue
   /// validated against the oracle.
   bool with_persistence = false;
+  /// Morsel-parallel query executor fan-out per shard (single-node mode;
+  /// see DatabaseOptions::query_parallelism). 1 keeps the serial executor.
+  /// MakeSeedConfig never raises this — replay determinism stays pinned to
+  /// the serial path — so parallel runs are opted into via check_si
+  /// --parallel=N. Safe to diff against the oracle either way: workload
+  /// metric values are small integers, so double aggregation is exact and
+  /// merge order cannot change any query result.
+  size_t query_parallelism = 1;
   /// Cluster mode only.
   uint32_t num_nodes = 3;
   size_t replication_factor = 2;

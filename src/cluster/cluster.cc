@@ -482,7 +482,7 @@ Status Cluster::RecoverNode(uint32_t idx) {
   aosi::Epoch cluster_lce = 0;
   for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
     if (o == idx || !node(o).online()) continue;
-    cluster_lce = std::max(cluster_lce, node(o).txns().LCE());
+    cluster_lce = aosi::MaxEpoch(cluster_lce, node(o).txns().LCE());
   }
   for (const auto& [name, schema] : catalog_) {
     for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
@@ -517,7 +517,7 @@ Status Cluster::RecoverNode(uint32_t idx) {
 
   // Step 3: restore counters — caught up to the cluster's LCE in memory,
   // durable locally only up to local_lse.
-  target.txns().RestoreAfterRecovery(std::max(cluster_lce, local_lse),
+  target.txns().RestoreAfterRecovery(aosi::MaxEpoch(cluster_lce, local_lse),
                                      local_lse);
   target.set_online(true);
   return Status::OK();

@@ -186,7 +186,8 @@ Result<QueryResult> Database::QueryIn(const aosi::Txn& txn,
   if (table == nullptr) {
     return Status::NotFound("cube '" + cube + "' does not exist");
   }
-  return table->Scan(txn.snapshot(), mode, query);
+  return table->Scan(txn.snapshot(), mode, query, nullptr,
+                     options_.query_parallelism);
 }
 
 Status Database::DeletePartitionsIn(const aosi::Txn& txn,

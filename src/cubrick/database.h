@@ -38,6 +38,11 @@ struct DatabaseOptions {
   bool rollback_index = false;
   /// Pins shard threads to CPUs (§V-B NUMA locality; threaded mode only).
   bool pin_shard_threads = false;
+  /// Morsel-parallel query execution: maximum concurrent scan workers per
+  /// shard (bricks fanned out on ThreadPool::Global(); see Table::Scan).
+  /// 1 (the default) keeps the serial executor — the deterministic path the
+  /// src/check/ harness replays by default.
+  size_t query_parallelism = 1;
   /// Period of the background flush/purge thread; 0 disables it. Requires
   /// data_dir.
   int64_t auto_checkpoint_interval_ms = 0;

@@ -86,9 +86,21 @@ class Table {
   /// (optional) restricts the scan to bricks it accepts — the cluster layer
   /// uses it to scan only bricks this node primarily owns, so replicated
   /// bricks are not double-counted.
+  ///
+  /// `parallelism` > 1 enables the morsel-parallel executor: inside each
+  /// shard operation the shard's bricks are fanned out as tasks on
+  /// ThreadPool::Global() (up to `parallelism` concurrent workers including
+  /// the shard's own thread), each worker scans into a thread-local partial
+  /// and the partials are merged before the shard op returns. The shard
+  /// stays blocked in its own op for the whole fan-out, so the
+  /// single-writer invariant holds: nothing can mutate its bricks while
+  /// pool workers read them. The default (1) is the serial path — bit-for-
+  /// bit the previous behavior — which `src/check/` keeps for deterministic
+  /// replay (see DESIGN.md, "Serial vs parallel determinism policy").
   QueryResult Scan(const aosi::Snapshot& snapshot, ScanMode mode,
                    const Query& query,
-                   const std::function<bool(Bid)>& brick_filter = nullptr);
+                   const std::function<bool(Bid)>& brick_filter = nullptr,
+                   size_t parallelism = 1);
 
   /// EXPLAIN: reports how many bricks the filters prune without scanning —
   /// the indexed-access property of granular partitioning.

@@ -1,6 +1,9 @@
 #include "query/executor.h"
 
+#include <atomic>
+
 #include "aosi/visibility.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -16,10 +19,12 @@ struct ScanInstruments {
   obs::Counter* bricks_pruned;
   obs::Counter* rows_considered;
   obs::Counter* rows_scanned;
-  obs::Gauge* bitmap_density_permille;
+  obs::Histogram* bitmap_density_permille;
   obs::Histogram* visibility_us;
   obs::Histogram* filter_us;
   obs::Histogram* agg_us;
+  obs::Histogram* worker_scan_us;
+  obs::Histogram* parallel_merge_us;
 };
 
 const ScanInstruments& Instruments() {
@@ -30,10 +35,12 @@ const ScanInstruments& Instruments() {
         reg.GetCounter("query.bricks_pruned"),
         reg.GetCounter("query.rows_considered"),
         reg.GetCounter("query.rows_scanned"),
-        reg.GetGauge("query.bitmap_density_permille"),
+        reg.GetHistogram("query.bitmap_density_permille"),
         reg.GetHistogram("query.visibility_us"),
         reg.GetHistogram("query.filter_us"),
         reg.GetHistogram("query.agg_us"),
+        reg.GetHistogram("query.worker_scan_us"),
+        reg.GetHistogram("query.parallel_merge_us"),
     };
   }();
   return m;
@@ -155,9 +162,80 @@ void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
   agg_span.Finish();
   ins.rows_scanned->Add(rows_aggregated);
   // Post-CC+filter visibility density of this brick, in rows per thousand:
-  // how much of the brick the snapshot (and filters) let through.
-  ins.bitmap_density_permille->Set(static_cast<int64_t>(
-      rows_aggregated * 1000 / brick.num_records()));
+  // how much of the brick the snapshot (and filters) let through. A
+  // histogram (not a gauge): concurrent morsel workers each record their
+  // own brick, and the distribution is what the density is for.
+  ins.bitmap_density_permille->Record(rows_aggregated * 1000 /
+                                      brick.num_records());
+}
+
+std::vector<const Brick*> PlanMorsels(
+    const std::vector<const Brick*>& candidates, const Query& query) {
+  const ScanInstruments& ins = Instruments();
+  std::vector<const Brick*> morsels;
+  morsels.reserve(candidates.size());
+  for (const Brick* brick : candidates) {
+    if (brick->num_records() == 0 || !BrickIntersectsFilters(*brick, query)) {
+      // Same prune accounting as the serial ScanBrick fast path; pruned
+      // bricks never become tasks, so the pool only sees real work.
+      ins.bricks_pruned->Add();
+      continue;
+    }
+    morsels.push_back(brick);
+  }
+  return morsels;
+}
+
+std::vector<QueryResult> ScanMorsels(const std::vector<const Brick*>& morsels,
+                                     const aosi::Snapshot& snapshot,
+                                     ScanMode mode, const Query& query,
+                                     ThreadPool* pool, size_t parallelism) {
+  const ScanInstruments& ins = Instruments();
+  size_t workers = parallelism == 0 ? 1 : parallelism;
+  if (workers > morsels.size()) {
+    workers = morsels.empty() ? 1 : morsels.size();
+  }
+  std::vector<QueryResult> partials(workers, QueryResult(query.aggs.size()));
+  if (morsels.empty()) return partials;
+  if (workers == 1 || pool == nullptr) {
+    for (const Brick* brick : morsels) {
+      ScanBrick(*brick, snapshot, mode, query, &partials[0]);
+    }
+    return partials;
+  }
+
+  std::atomic<size_t> next{0};
+  auto scan_worker = [&](size_t w) {
+    obs::ObsSpan span("query.worker_scan", ins.worker_scan_us);
+    QueryResult* out = &partials[w];
+    while (true) {
+      // The brick data itself was published to the pool threads by the
+      // task-handoff mutexes in ThreadPool::Submit/PopTask.
+      // relaxed: the ticket only partitions disjoint morsels; no data rides on it
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= morsels.size()) break;
+      ScanBrick(*morsels[i], snapshot, mode, query, out);
+    }
+  };
+
+  TaskGroup group(pool);
+  for (size_t w = 1; w < workers; ++w) {
+    group.Run([&scan_worker, w] { scan_worker(w); });
+  }
+  scan_worker(0);  // the calling thread is always worker 0
+  group.Wait();
+  return partials;
+}
+
+QueryResult MergePartials(std::vector<QueryResult> partials,
+                          size_t num_aggs) {
+  const ScanInstruments& ins = Instruments();
+  obs::ObsSpan span("query.parallel_merge", ins.parallel_merge_us);
+  QueryResult result(num_aggs);
+  for (const QueryResult& partial : partials) {
+    result.Merge(partial);
+  }
+  return result;
 }
 
 }  // namespace cubrick

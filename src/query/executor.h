@@ -8,6 +8,8 @@
 
 #pragma once
 
+#include <vector>
+
 #include "aosi/epoch.h"
 #include "query/query.h"
 #include "storage/brick.h"
@@ -17,6 +19,8 @@ class MetricsRegistry;
 }  // namespace cubrick::obs
 
 namespace cubrick {
+
+class ThreadPool;
 
 /// True when the brick's dimension ranges can contain a matching record —
 /// the granular-partitioning prune that skips bricks without touching rows.
@@ -30,6 +34,37 @@ bool BrickCoveredByFilters(const Brick& brick, const Query& query);
 /// constructed with query.aggs.size()).
 void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
                ScanMode mode, const Query& query, QueryResult* result);
+
+// --- Morsel-parallel scan pipeline (plan -> scan -> merge) -----------------
+//
+// Bricks are the natural morsel unit (granular partitioning already sizes
+// them, cf. morsel-driven parallelism, Leis et al. SIGMOD 2014). The three
+// steps below are what Table::Scan composes when its parallelism knob is
+// > 1; each is independently testable. No shared mutable state exists
+// inside the row loops: every worker scans into its own partial
+// QueryResult, and only the final merge combines group-by maps.
+
+/// Plan step: the subset of `candidates` that needs row work, in input
+/// order. Bricks pruned here (empty, or ranges disjoint from the filters)
+/// are tallied into query.bricks_pruned exactly as the serial path does.
+std::vector<const Brick*> PlanMorsels(
+    const std::vector<const Brick*>& candidates, const Query& query);
+
+/// Scan step: fans `morsels` out over `pool` with up to `parallelism`
+/// concurrent workers — the calling thread always participates, so
+/// `parallelism - 1` pool tasks are spawned — and returns one partial
+/// result per worker. Workers claim morsels from a shared atomic ticket,
+/// so skew (one dense brick) cannot idle the rest of the crew. With
+/// `parallelism <= 1` or a null pool this degenerates to a serial loop on
+/// the calling thread.
+std::vector<QueryResult> ScanMorsels(const std::vector<const Brick*>& morsels,
+                                     const aosi::Snapshot& snapshot,
+                                     ScanMode mode, const Query& query,
+                                     ThreadPool* pool, size_t parallelism);
+
+/// Merge step: folds the worker partials into one result, recording the
+/// fold's duration into query.parallel_merge_us.
+QueryResult MergePartials(std::vector<QueryResult> partials, size_t num_aggs);
 
 /// EXPLAIN-style account of how granular partitioning served a query.
 struct ScanPlanStats {

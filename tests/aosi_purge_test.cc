@@ -93,6 +93,52 @@ TEST(PurgeTest, SkipsSingleOldEntry) {
   EXPECT_FALSE(plan.needed);
 }
 
+TEST(PurgeTest, MergeStampIsEpochOrderMaxBothArgumentOrders) {
+  // Regression for the epoch-max merge bug: BuildPlan must stamp a merged
+  // run with MaxEpoch (epoch order), not raw integer std::max, and the
+  // answer cannot depend on which physical order the mergeable runs arrive
+  // in. Epoch is currently an integer where the two coincide numerically,
+  // so the raw-std::max regression itself is guarded structurally: the
+  // aosi_lint epoch-compare rule rejects std::min/std::max over epoch
+  // operands tree-wide (tests/lint_fixtures/bad_epoch_minmax.cc), which
+  // fails on the old `std::max(prev.epoch, run.epoch)` code. This test
+  // pins the behavioral contract so a future non-integer epoch encoding
+  // (e.g. node-strided cluster epochs) keeps the epoch-order stamp.
+  {
+    EpochVector ev;
+    ev.RecordAppend(7, 1);  // larger epoch physically first
+    ev.RecordAppend(2, 1);
+    CompactionPlan plan = PlanPurge(ev, /*lse=*/10);
+    ASSERT_TRUE(plan.needed);
+    EXPECT_EQ(plan.new_history.ToString(), "[7:0-1]");
+  }
+  {
+    EpochVector ev;
+    ev.RecordAppend(2, 1);  // larger epoch physically last
+    ev.RecordAppend(7, 1);
+    CompactionPlan plan = PlanPurge(ev, /*lse=*/10);
+    ASSERT_TRUE(plan.needed);
+    EXPECT_EQ(plan.new_history.ToString(), "[7:0-1]");
+  }
+}
+
+TEST(PurgeTest, DeleteCleanupAgreesWithVisibility) {
+  // Purge and visibility share ApplyDeleteCleanup; the keep bitmap of a
+  // purge that applies a delete must equal the visibility bitmap of a
+  // reader that sees the whole history. Drift here is exactly the class of
+  // bug the shared helper exists to prevent.
+  EpochVector ev;
+  ev.RecordAppend(1, 2);
+  ev.RecordAppend(5, 1);
+  ev.RecordDelete(3);
+  ev.RecordAppend(5, 3);
+  ev.RecordAppend(7, 1);
+  CompactionPlan plan = PlanPurge(ev, /*lse=*/8);
+  ASSERT_TRUE(plan.needed);
+  Bitmap visible = BuildVisibilityBitmap(ev, Reader(9));
+  EXPECT_EQ(plan.keep.ToString(), visible.ToString());
+}
+
 TEST(PurgeTest, MergeStampsLargestEpoch) {
   EpochVector ev;
   ev.RecordAppend(2, 1);

@@ -142,6 +142,63 @@ TEST(VisibilityTest, LateArrivingOlderEpochIsKilledByDelete) {
   EXPECT_EQ(bm.ToString(), "00000");
 }
 
+// --- ApplyDeleteCleanup boundary semantics -------------------------------
+// The shared delete-cleanup rule (used by both visibility construction and
+// purge planning) over hand-built run lists; runs are half-open [begin,end).
+
+TEST(DeleteCleanupTest, DeletePointAtRunExclusiveEndClearsWholeRun) {
+  // k's own run [0,4) with delete_point == 4 (its exclusive end): every
+  // record of the run is strictly before the delete point, so all die.
+  std::vector<EpochRun> runs = {{5, 0, 4, false}, {5, 4, 6, false}};
+  Bitmap bm(6, true);
+  ApplyDeleteCleanup(runs, /*k=*/5, /*delete_point=*/4, &bm);
+  EXPECT_EQ(bm.ToString(), "000011");
+}
+
+TEST(DeleteCleanupTest, DeletePointAtRunBeginLeavesRunUntouched) {
+  // A run of k whose begin equals the delete point sits entirely at-or-
+  // after the marker; none of it is cleared.
+  std::vector<EpochRun> runs = {{5, 2, 5, false}};
+  Bitmap bm(5, true);
+  ApplyDeleteCleanup(runs, /*k=*/5, /*delete_point=*/2, &bm);
+  EXPECT_EQ(bm.ToString(), "11111");
+}
+
+TEST(DeleteCleanupTest, DeletePointInsideOwnRunClearsPrefixOnly) {
+  // Delete epoch equal to its own run's records: [0,3) with delete_point 1
+  // clears exactly the first record — the clamp is min(end, delete_point).
+  std::vector<EpochRun> runs = {{5, 0, 3, false}};
+  Bitmap bm(3, true);
+  ApplyDeleteCleanup(runs, /*k=*/5, /*delete_point=*/1, &bm);
+  EXPECT_EQ(bm.ToString(), "011");
+}
+
+TEST(DeleteCleanupTest, OlderEpochsClearedEverywhere) {
+  // Runs of transactions ordered before k die wherever they physically sit
+  // — including after the delete point (late distributed arrivals). Newer
+  // transactions survive untouched.
+  std::vector<EpochRun> runs = {
+      {2, 0, 2, false},   // older, before the point
+      {6, 2, 4, false},   // newer than k=5
+      {3, 4, 6, false},   // older, physically after the point
+  };
+  Bitmap bm(6, true);
+  ApplyDeleteCleanup(runs, /*k=*/5, /*delete_point=*/2, &bm);
+  EXPECT_EQ(bm.ToString(), "001100");
+}
+
+TEST(DeleteCleanupTest, DeleteMarkersInRunListIgnored) {
+  // A zero-width delete marker entry must not clear anything, even when
+  // its epoch is older than k.
+  std::vector<EpochRun> runs = {
+      {2, 0, 0, true},    // marker of an older epoch
+      {6, 0, 3, false},
+  };
+  Bitmap bm(3, true);
+  ApplyDeleteCleanup(runs, /*k=*/5, /*delete_point=*/0, &bm);
+  EXPECT_EQ(bm.ToString(), "111");
+}
+
 TEST(VisibilityTest, ReadUncommittedSeesEverything) {
   Bitmap bm = BuildReadUncommittedBitmap(Fig2a());
   EXPECT_EQ(bm.size(), 9u);

@@ -178,6 +178,74 @@ TEST(BitmapTest, EqualityIsSizeAndContent) {
   EXPECT_FALSE(a == c);
 }
 
+TEST(BitmapTest, RangeOpsAtWordBoundaries) {
+  // begin/end exactly at multiples of 64: the word-masking fast paths in
+  // SetRange/ClearRange must not spill into neighbor words.
+  Bitmap bm(256);
+  bm.SetRange(64, 128);  // exactly one full word
+  EXPECT_EQ(bm.CountSet(), 64u);
+  EXPECT_FALSE(bm.Get(63));
+  EXPECT_TRUE(bm.Get(64));
+  EXPECT_TRUE(bm.Get(127));
+  EXPECT_FALSE(bm.Get(128));
+  bm.SetRange(128, 192);
+  bm.ClearRange(64, 128);  // clear the first full word again
+  EXPECT_EQ(bm.CountSet(), 64u);
+  EXPECT_FALSE(bm.Get(64));
+  EXPECT_FALSE(bm.Get(127));
+  EXPECT_TRUE(bm.Get(128));
+  EXPECT_TRUE(bm.Get(191));
+}
+
+TEST(BitmapTest, EmptyRangeAtWordBoundaryIsNoOp) {
+  Bitmap bm(192, true);
+  bm.ClearRange(64, 64);
+  bm.ClearRange(128, 128);
+  bm.ClearRange(192, 192);  // empty range at size() is legal
+  EXPECT_TRUE(bm.All());
+  Bitmap clear(192);
+  clear.SetRange(64, 64);
+  clear.SetRange(0, 0);
+  EXPECT_TRUE(clear.None());
+}
+
+TEST(BitmapTest, MultiFullWordSpans) {
+  Bitmap bm(320);
+  bm.SetRange(0, 320);  // five full words
+  EXPECT_TRUE(bm.All());
+  bm.ClearRange(64, 256);  // three interior full words
+  EXPECT_EQ(bm.CountSet(), 128u);
+  EXPECT_TRUE(bm.Get(0));
+  EXPECT_TRUE(bm.Get(63));
+  EXPECT_FALSE(bm.Get(64));
+  EXPECT_FALSE(bm.Get(255));
+  EXPECT_TRUE(bm.Get(256));
+  EXPECT_TRUE(bm.Get(319));
+}
+
+TEST(BitmapTest, FindNextSetAcrossWordBoundary) {
+  Bitmap bm(256);
+  bm.Set(64);
+  bm.Set(128);
+  EXPECT_EQ(bm.FindNextSet(0), 64u);
+  EXPECT_EQ(bm.FindNextSet(64), 64u);   // from an exactly-set boundary bit
+  EXPECT_EQ(bm.FindNextSet(65), 128u);  // skips a fully-clear word
+  EXPECT_EQ(bm.FindNextSet(129), 256u);
+  bm.Clear(64);
+  EXPECT_EQ(bm.FindNextSet(63), 128u);
+}
+
+TEST(BitmapTest, CountSetInRangeWordBoundaries) {
+  Bitmap bm(256, true);
+  EXPECT_EQ(bm.CountSetInRange(64, 128), 64u);   // one exact word
+  EXPECT_EQ(bm.CountSetInRange(64, 64), 0u);     // empty at boundary
+  EXPECT_EQ(bm.CountSetInRange(0, 256), 256u);   // all words
+  EXPECT_EQ(bm.CountSetInRange(63, 65), 2u);     // straddles the boundary
+  bm.ClearRange(64, 192);
+  EXPECT_EQ(bm.CountSetInRange(0, 256), 128u);
+  EXPECT_EQ(bm.CountSetInRange(63, 193), 2u);    // only the edge bits
+}
+
 TEST(BitmapTest, RangePreconditionsChecked) {
   Bitmap bm(10);
   EXPECT_THROW(bm.SetRange(5, 11), CheckFailure);

@@ -1,0 +1,30 @@
+// aosi-lint-fixture: epoch-compare
+// aosi-lint-as: src/example/bad_epoch_minmax.cc
+//
+// std::min/std::max applied to epoch operands order epochs with raw integer
+// comparison — the purge run-merge bug (src/aosi/purge.cc) — and must be
+// rejected in favor of MinEpoch/MaxEpoch from src/aosi/epoch.h.
+#include <algorithm>
+#include <cstdint>
+
+namespace cubrick {
+
+using Epoch = uint64_t;
+
+struct Run {
+  Epoch epoch = 0;
+};
+
+Epoch BadMergeStamp(const Run& prev, const Run& next) {
+  return std::max(prev.epoch, next.epoch);
+}
+
+Epoch BadClusterLce(Epoch cluster_lce, Epoch local_lse) {
+  return std::max(cluster_lce, local_lse);
+}
+
+Epoch BadPurgeHorizon(Epoch lse, Epoch horizon) {
+  return std::min(lse, horizon);
+}
+
+}  // namespace cubrick

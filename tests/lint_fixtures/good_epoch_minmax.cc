@@ -1,0 +1,34 @@
+// aosi-lint-fixture: epoch-compare
+// aosi-lint-as: src/example/good_epoch_minmax.cc
+//
+// Epoch ordering expressed through MinEpoch/MaxEpoch; std::min/std::max on
+// non-epoch values stays allowed (and so does an explicit Epoch template
+// argument whose operands are not epoch-named — the rule keys on operand
+// names, like the comparison-operator half of epoch-compare).
+#include <algorithm>
+#include <cstdint>
+
+namespace cubrick {
+
+using Epoch = uint64_t;
+
+// aosi-lint: allow(epoch-compare)
+constexpr Epoch MaxEpoch(Epoch a, Epoch b) { return a > b ? a : b; }
+
+struct Run {
+  Epoch epoch = 0;
+};
+
+Epoch GoodMergeStamp(const Run& prev, const Run& next) {
+  return MaxEpoch(prev.epoch, next.epoch);
+}
+
+uint64_t GoodRowClamp(uint64_t run_end, uint64_t delete_point) {
+  return std::min(run_end, delete_point);
+}
+
+size_t GoodFanOut(size_t parallelism, size_t morsels) {
+  return std::min(parallelism, morsels);
+}
+
+}  // namespace cubrick

@@ -61,7 +61,9 @@ const RuleInfo kRules[] = {
     {"epoch-compare",
      "raw comparisons of epoch-like values (identifiers containing epoch/lce/"
      "lse/horizon) are only allowed in src/aosi/epoch*; use the named helpers "
-     "(IsVisibleAt, HappensBefore, ...) from src/aosi/epoch.h"},
+     "(IsVisibleAt, HappensBefore, ...) from src/aosi/epoch.h. Also covers "
+     "std::min/std::max applied to epoch operands: use MinEpoch/MaxEpoch, "
+     "which state the epoch-order intent"},
     {"naked-mutex",
      "std::mutex/std::shared_mutex/std::condition_variable/std::*_lock are "
      "forbidden outside src/common/mutex.h; use the annotated wrappers"},
@@ -638,6 +640,46 @@ void CheckEpochCompare(const SourceFile& f, std::vector<Finding>* out) {
          "raw epoch comparison '" + hit->text + " " + toks[i].text +
              " ...' outside src/aosi/epoch*; use the named helpers from "
              "src/aosi/epoch.h (IsVisibleAt, HappensBefore, AtOrBefore, ...)"});
+  }
+
+  // std::min / std::max over epoch operands order epochs with raw integer
+  // comparison just as the operators above do (this is exactly the purge
+  // run-merge bug): flag them and point at MinEpoch/MaxEpoch.
+  for (size_t i = 2; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        (toks[i].text != "min" && toks[i].text != "max")) {
+      continue;
+    }
+    if (toks[i - 1].text != "::" || toks[i - 2].text != "std") continue;
+    // Skip an explicit template argument list (std::max<Epoch>(...)).
+    size_t j = i + 1;
+    if (j < toks.size() && toks[j].text == "<") {
+      int angle = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "<") ++angle;
+        else if (toks[j].text == ">") { if (--angle == 0) { ++j; break; } }
+        else if (toks[j].text == ">>") { angle -= 2; if (angle <= 0) { ++j; break; } }
+        else if (toks[j].text == ";" || toks[j].text == "{") break;
+      }
+    }
+    if (j >= toks.size() || toks[j].text != "(") continue;
+    const Token* hit = nullptr;
+    int depth = 0;
+    for (size_t k = j; k < toks.size(); ++k) {
+      if (toks[k].text == "(") ++depth;
+      else if (toks[k].text == ")") { if (--depth == 0) break; }
+      else if (toks[k].kind == TokKind::kIdent &&
+               NameTouchesEpoch(toks[k].text)) {
+        hit = &toks[k];
+        break;
+      }
+    }
+    if (hit == nullptr) continue;
+    out->push_back(
+        {f.display_path, toks[i].line, "epoch-compare",
+         "std::" + toks[i].text + " over epoch operand '" + hit->text +
+             "' outside src/aosi/epoch*; ordering epochs needs "
+             "MinEpoch/MaxEpoch from src/aosi/epoch.h"});
   }
 }
 
