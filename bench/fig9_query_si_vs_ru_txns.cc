@@ -195,5 +195,95 @@ int main() {
          {"speedup_4t",
           p50_by_threads[2] == 0 ? 0.0 : serial / p50_by_threads[2]}});
   }
+
+  // Visibility-bitmap cache sweep (DESIGN.md §4c): steady state — no
+  // concurrent writers — so every cached scan after the first is a pure
+  // cache hit. Uncached SI rebuilds each brick's bitmap per scan (cost
+  // grows with epochs-vector entries); cached SI should sit within ~10% of
+  // RU regardless of history length. Every rep asserts exact-result
+  // equivalence: cached vs uncached, serial vs parallel.
+  {
+    std::printf("\nVisibility-cache sweep (fixed %" PRIu64
+                " rows, steady state)\n",
+                kRows);
+    std::printf("%8s %14s %16s %12s %10s\n", "txns", "si_cached_us",
+                "si_uncached_us", "ru_us", "overhead");
+    double cached_p50 = 0.0, uncached_p50 = 0.0, ru_p50 = 0.0;
+    for (uint64_t txns : {uint64_t{100}, uint64_t{1000}, uint64_t{10000}}) {
+      if (txns > kRows) continue;
+      Database db;
+      CUBRICK_CHECK(CreateSingleColumnCube(&db, "t").ok());
+      Random rng(7);
+      for (uint64_t t = 0; t < txns; ++t) {
+        CUBRICK_CHECK(db.Load("t", SingleColumnBatch(&rng, kRows / txns)).ok());
+      }
+      Table* table = db.FindTable("t");
+      CUBRICK_CHECK(table != nullptr);
+      aosi::Txn ro = db.BeginReadOnly();
+      const cubrick::Query q = AggregationQuery();
+      const QueryResult reference = table->Scan(
+          ro.snapshot(), ScanMode::kSnapshotIsolation, q, nullptr, 1,
+          /*visibility_cache=*/false);
+      const auto check_equal = [&reference](const QueryResult& result) {
+        CUBRICK_CHECK(result.num_groups() == reference.num_groups());
+        for (const auto& [key, states] : reference.groups()) {
+          CUBRICK_CHECK(result.Value(key, 0, AggSpec::Fn::kSum) ==
+                        states[0].Finalize(AggSpec::Fn::kSum));
+          CUBRICK_CHECK(result.Value(key, 1, AggSpec::Fn::kCount) ==
+                        states[1].Finalize(AggSpec::Fn::kCount));
+        }
+      };
+      // Warm the cache, then verify a parallel cached scan also reproduces
+      // the uncached serial answer bit-for-bit (integer metrics: double
+      // aggregation is exact, so merge order cannot matter).
+      check_equal(table->Scan(ro.snapshot(), ScanMode::kSnapshotIsolation, q,
+                              nullptr, 1, /*visibility_cache=*/true));
+      check_equal(table->Scan(ro.snapshot(), ScanMode::kSnapshotIsolation, q,
+                              nullptr, 4, /*visibility_cache=*/true));
+
+      obs::LatencyRecorder cached_rec, uncached_rec, ru_rec;
+      for (int i = 0; i < kReps; ++i) {
+        Stopwatch t1;
+        const QueryResult cached =
+            table->Scan(ro.snapshot(), ScanMode::kSnapshotIsolation, q,
+                        nullptr, 1, /*visibility_cache=*/true);
+        cached_rec.Record(t1.ElapsedMicros());
+        Stopwatch t2;
+        const QueryResult uncached =
+            table->Scan(ro.snapshot(), ScanMode::kSnapshotIsolation, q,
+                        nullptr, 1, /*visibility_cache=*/false);
+        uncached_rec.Record(t2.ElapsedMicros());
+        Stopwatch t3;
+        CUBRICK_CHECK(
+            !table
+                 ->Scan(ro.snapshot(), ScanMode::kReadUncommitted, q, nullptr,
+                        1, /*visibility_cache=*/true)
+                 .empty());
+        ru_rec.Record(t3.ElapsedMicros());
+        check_equal(cached);
+        check_equal(uncached);
+      }
+      db.txns().EndReadOnly(ro);
+      cached_p50 = static_cast<double>(cached_rec.Percentile(50));
+      uncached_p50 = static_cast<double>(uncached_rec.Percentile(50));
+      ru_p50 = static_cast<double>(ru_rec.Percentile(50));
+      std::printf("%8" PRIu64 " %14.0f %16.0f %12.0f %9.2f%%\n", txns,
+                  cached_p50, uncached_p50, ru_p50,
+                  ru_p50 == 0 ? 0.0
+                              : 100.0 * (cached_p50 - ru_p50) / ru_p50);
+      std::fflush(stdout);
+    }
+    // Headline numbers from the deepest history (10000 txns), where the
+    // uncached bitmap build is most expensive and the cache matters most.
+    EmitBenchJson(
+        "fig9_cache",
+        {{"si_cached_p50_us", cached_p50},
+         {"si_uncached_p50_us", uncached_p50},
+         {"ru_p50_us", ru_p50},
+         {"cached_overhead_vs_ru",
+          ru_p50 == 0 ? 0.0 : (cached_p50 - ru_p50) / ru_p50},
+         {"cache_speedup",
+          cached_p50 == 0 ? 0.0 : uncached_p50 / cached_p50}});
+  }
   return 0;
 }

@@ -27,6 +27,15 @@ REQUIRED_BASELINE_METRICS = [
     ("counters", "aosi.purge.records_reclaimed"),
 ]
 
+# The cache sweep (bench == "fig9_cache") must prove the cache actually ran:
+# hit/miss counters and the word-wise kernel instruments have to be present.
+REQUIRED_CACHE_METRICS = [
+    ("counters", "query.vis_cache_hits"),
+    ("counters", "query.vis_cache_misses"),
+    ("counters", "query.kernel_words_scanned"),
+    ("histograms", "query.kernel_dense_words_permille"),
+]
+
 
 def fail(path, msg):
     print(f"check_bench_baseline: {path}: {msg}", file=sys.stderr)
@@ -68,6 +77,14 @@ def check_file(path):
         for section, name in REQUIRED_BASELINE_METRICS:
             if name not in metrics[section]:
                 return fail(path, f'required metric "{name}" missing from {section}')
+
+    if doc["bench"] == "fig9_cache":
+        for section, name in REQUIRED_CACHE_METRICS:
+            if name not in metrics[section]:
+                return fail(path, f'required metric "{name}" missing from {section}')
+        hits = metrics["counters"].get("query.vis_cache_hits", 0)
+        if hits <= 0:
+            return fail(path, "cache sweep recorded zero query.vis_cache_hits")
 
     n_metrics = sum(len(metrics[s]) for s in ("counters", "gauges", "histograms"))
     print(

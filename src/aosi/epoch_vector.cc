@@ -17,11 +17,15 @@ void EpochVector::RecordAppend(Epoch txn, uint64_t count) {
     entries_.push_back(EpochEntry::Append(txn, new_last));
   }
   num_records_ += count;
+  ++version_;
+  max_epoch_ = MaxEpoch(max_epoch_, txn);
 }
 
 void EpochVector::RecordDelete(Epoch txn) {
   CUBRICK_CHECK(txn != kNoEpoch);
   entries_.push_back(EpochEntry::Delete(txn, num_records_));
+  ++version_;
+  max_epoch_ = MaxEpoch(max_epoch_, txn);
 }
 
 bool EpochVector::HasDelete() const {
@@ -65,9 +69,17 @@ EpochVector EpochVector::FromRuns(const std::vector<EpochRun>& runs) {
       // entry verbatim even when adjacent to a same-epoch run.
       ev.entries_.push_back(EpochEntry::Append(run.epoch, run.end - 1));
       ev.num_records_ = run.end;
+      ev.max_epoch_ = MaxEpoch(ev.max_epoch_, run.epoch);
     }
   }
   return ev;
+}
+
+void EpochVector::InstallRebuilt(const EpochVector& rebuilt) {
+  entries_ = rebuilt.entries_;
+  num_records_ = rebuilt.num_records_;
+  max_epoch_ = rebuilt.max_epoch_;
+  ++version_;
 }
 
 std::string EpochVector::ToString() const {

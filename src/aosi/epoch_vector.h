@@ -79,6 +79,20 @@ class EpochVector {
   /// Number of records tracked (i.e. size of the partition's data vectors).
   uint64_t num_records() const { return num_records_; }
 
+  /// Monotonic mutation counter: bumped by every append, delete marker and
+  /// InstallRebuilt (purge/rollback/truncate compactions). Visibility-bitmap
+  /// caches key on it, so any history change invalidates every cached
+  /// bitmap for the partition. Read/written under the owning shard's
+  /// single-writer discipline, like the entries themselves.
+  uint64_t version() const { return version_; }
+
+  /// The largest epoch stamped on any entry (appends and delete markers),
+  /// or kNoEpoch when empty. Maintained incrementally so callers can clamp
+  /// a snapshot to its *effective* horizon in O(1): any snapshot at or past
+  /// max_epoch() sees the same history prefix, which is what lets bitmap
+  /// caches share entries across readers.
+  Epoch max_epoch() const { return max_epoch_; }
+
   /// Number of entries currently held (appends + delete markers).
   size_t num_entries() const { return entries_.size(); }
 
@@ -104,6 +118,12 @@ class EpochVector {
   /// be contiguous starting at record 0.
   static EpochVector FromRuns(const std::vector<EpochRun>& runs);
 
+  /// Replaces this vector's contents with `rebuilt`'s (a compaction plan's
+  /// new_history) while *advancing* — never resetting — the version
+  /// counter, so caches keyed on (this partition, version) invalidate.
+  /// Plain copy assignment would clobber the counter with the plan's.
+  void InstallRebuilt(const EpochVector& rebuilt);
+
   bool operator==(const EpochVector& other) const {
     return entries_ == other.entries_ && num_records_ == other.num_records_;
   }
@@ -114,6 +134,11 @@ class EpochVector {
  private:
   std::vector<EpochEntry> entries_;
   uint64_t num_records_ = 0;
+  /// See version(). Not part of operator== — two histories with identical
+  /// entries are logically equal regardless of how they got there.
+  uint64_t version_ = 0;
+  /// See max_epoch().
+  Epoch max_epoch_ = kNoEpoch;
 };
 
 }  // namespace cubrick::aosi

@@ -1,0 +1,136 @@
+// Per-partition visibility-bitmap cache.
+//
+// §III-C3 bitmap generation is AOSI's only per-query concurrency-control
+// cost, and the bitmap a scan builds is a pure function of (the partition's
+// epochs vector, the snapshot). In the steady state — readers far behind no
+// writer, or writers idle — consecutive scans of a brick recompute the exact
+// same bitmap. This cache memoizes those bitmaps per brick.
+//
+// Keying. A cached entry is tagged with a VisKey:
+//   - history_version: EpochVector::version(), bumped by every append,
+//     delete marker and compaction install, so any history change
+//     invalidates every cached bitmap without the cache ever observing the
+//     mutation.
+//   - horizon: the snapshot epoch clamped to the history's max_epoch().
+//     Every snapshot at or past the newest stamp in the partition sees the
+//     same prefix, so scans at epoch 1000 and 1007 over a partition whose
+//     newest entry is 900 share one entry — the property that makes the
+//     cache hit across an advancing epoch clock.
+//   - deps: the snapshot's pendingTxs restricted to epochs at or before the
+//     horizon (later deps cannot mask anything the horizon admits). Compared
+//     *exactly* — a fingerprint collision would be a correctness bug, so no
+//     fingerprint is ever trusted for equality.
+//   - read_uncommitted: RU scans cache the all-ones mask under the version
+//     tag alone.
+//
+// Concurrency. Bricks are single-writer (paper §V-B): mutations happen on
+// the owning shard thread with no scan in flight, and each scan assigns a
+// brick to exactly one morsel worker. Lookups may therefore race only with
+// publishes of *other* bricks' workers on the shared pool, but the slots are
+// still accessed from different threads across scans, so entries are
+// published with release stores of immutable heap entries and read with
+// acquire loads — TSan-clean with no locks on the hit path. Entries evicted
+// by Publish are retired, not freed: a pointer returned by Lookup stays
+// valid until the next quiescent point (a brick mutation, which calls
+// Clear() on the shard thread while no scan holds the brick).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "aosi/epoch.h"
+#include "aosi/epoch_vector.h"
+#include "common/bitmap.h"
+#include "common/mutex.h"
+
+namespace cubrick::aosi {
+
+/// Identity of one cached visibility bitmap. See file comment for the
+/// normalization that makes distinct snapshots share entries.
+struct VisKey {
+  uint64_t history_version = 0;
+  Epoch horizon = kNoEpoch;
+  bool read_uncommitted = false;
+  EpochSet deps;
+
+  bool operator==(const VisKey& other) const {
+    return history_version == other.history_version &&
+           SameEpoch(horizon, other.horizon) &&
+           read_uncommitted == other.read_uncommitted && deps == other.deps;
+  }
+};
+
+/// Small per-brick slot cache of visibility bitmaps. Owned by Brick;
+/// mutable state of a const brick (scans are logically read-only).
+class VisibilityCache {
+ public:
+  /// Distinct (horizon, deps) combinations live per brick. More than a
+  /// handful of concurrently useful snapshots per partition means writers
+  /// are active, in which case the version tag churns anyway.
+  static constexpr size_t kSlots = 8;
+
+  /// Publish stops storing new entries once this many evicted entries are
+  /// awaiting a quiescent point, bounding memory on pure-read workloads
+  /// whose snapshots never repeat (every miss would otherwise retire one).
+  static constexpr size_t kMaxRetired = 64;
+
+  VisibilityCache() {
+    for (auto& slot : slots_) {
+      slot.store(nullptr, std::memory_order_relaxed);
+    }
+  }
+  ~VisibilityCache() { Clear(); }
+
+  VisibilityCache(const VisibilityCache&) = delete;
+  VisibilityCache& operator=(const VisibilityCache&) = delete;
+
+  /// The normalized cache key for scanning `history` under `snapshot`.
+  static VisKey MakeKey(const EpochVector& history, const Snapshot& snapshot,
+                        bool read_uncommitted);
+
+  /// The cached bitmap for `key`, or nullptr on miss. The pointer stays
+  /// valid until the brick's next mutation (see file comment).
+  const Bitmap* Lookup(const VisKey& key) const;
+
+  struct PublishResult {
+    /// The published (now cache-owned) bitmap, or nullptr when the cache
+    /// declined (retired backlog at kMaxRetired) and left *bitmap untouched.
+    const Bitmap* published = nullptr;
+    /// True when storing displaced an older entry.
+    bool evicted = false;
+  };
+
+  /// Stores `*bitmap` (moved from on success) under `key`, displacing the
+  /// round-robin victim slot. Safe to call while other threads Lookup.
+  PublishResult Publish(const VisKey& key, Bitmap* bitmap);
+
+  /// Drops every entry, published and retired. Must only be called at a
+  /// quiescent point for the owning brick: on the shard thread, with no
+  /// scan in flight (every brick mutation qualifies).
+  void Clear();
+
+  /// Entries awaiting reclamation (white-box tests).
+  size_t num_retired() const {
+    MutexLock lock(retired_mu_);
+    return retired_.size();
+  }
+
+ private:
+  struct Entry {
+    VisKey key;
+    Bitmap bitmap;
+  };
+
+  std::array<std::atomic<const Entry*>, kSlots> slots_;
+  /// relaxed round-robin victim cursor; see Publish.
+  std::atomic<uint64_t> next_victim_{0};
+
+  /// Entries swapped out of a slot while a concurrent scan of another
+  /// publish round may still dereference them; freed in Clear().
+  mutable Mutex retired_mu_;
+  std::vector<const Entry*> retired_ GUARDED_BY(retired_mu_);
+};
+
+}  // namespace cubrick::aosi

@@ -1,7 +1,7 @@
 // check_si: seeded snapshot-isolation stress runner (see stress.h).
 //
 //   check_si --mode=single|cluster|both --seeds=N --seed0=S --ops=K [-v]
-//            [--parallel=P] [--dump-metrics]
+//            [--parallel=P] [--cache] [--dump-metrics]
 //
 // Runs N seeds starting at S; each seed derives a configuration via
 // MakeSeedConfig and runs the full workload. Exit code 0 when every seed
@@ -13,6 +13,13 @@
 // comparison is unchanged because the workload's metric values are small
 // integers, so aggregation is exact regardless of merge order. Cluster
 // seeds ignore it (cluster tables scan serially).
+//
+// --cache runs single-node seeds with the per-brick visibility-bitmap
+// cache enabled (DatabaseOptions::query_visibility_cache; DESIGN.md §4c).
+// The cache memoizes exactly the bitmap the uncached path would build, so
+// the oracle comparison is unchanged; the flag exists to drive the cache's
+// atomic publish/lookup/invalidate machinery under the stress mix —
+// combine with --parallel=P so concurrent morsel workers hit the slots.
 //
 // --dump-metrics prints the Prometheus exposition of the metrics registry
 // after all seeds finish — the stress harness doubles as a concurrent-writer
@@ -40,6 +47,7 @@ struct Args {
   uint64_t seed0 = 1;
   int ops = 0;  // 0: keep MakeSeedConfig default
   int parallel = 0;  // 0: keep MakeSeedConfig default (serial)
+  bool cache = false;  // MakeSeedConfig default stays uncached
   bool verbose = false;
   bool dump_metrics = false;
 };
@@ -67,6 +75,8 @@ Args ParseArgs(int argc, char** argv) {
       args.ops = std::atoi(value);
     } else if (ParseFlag(argv[i], "--parallel", &value)) {
       args.parallel = std::atoi(value);
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      args.cache = true;
     } else if (std::strcmp(argv[i], "-v") == 0 ||
                std::strcmp(argv[i], "--verbose") == 0) {
       args.verbose = true;
@@ -76,7 +86,7 @@ Args ParseArgs(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown argument: %s\n"
                    "usage: check_si [--mode=single|cluster|both] [--seeds=N] "
-                   "[--seed0=S] [--ops=K] [--parallel=P] [-v] "
+                   "[--seed0=S] [--ops=K] [--parallel=P] [--cache] [-v] "
                    "[--dump-metrics]\n",
                    argv[i]);
       std::exit(2);
@@ -99,6 +109,7 @@ bool RunOne(const Args& args, uint64_t seed, bool cluster) {
   if (args.parallel > 0) {
     opt.query_parallelism = static_cast<size_t>(args.parallel);
   }
+  if (args.cache) opt.visibility_cache = true;
   const cubrick::check::StressReport report =
       cluster ? cubrick::check::RunClusterStress(opt)
               : cubrick::check::RunSingleNodeStress(opt);

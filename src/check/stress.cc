@@ -579,7 +579,8 @@ std::string ConfigLine(const StressOptions& opt, bool cluster) {
       << " rollback_index=" << opt.rollback_index
       << " persist=" << opt.with_persistence;
   if (!cluster) {
-    out << " parallel=" << opt.query_parallelism;
+    out << " parallel=" << opt.query_parallelism
+        << " cache=" << opt.visibility_cache;
   }
   if (cluster) {
     out << " nodes=" << opt.num_nodes << " rf=" << opt.replication_factor
@@ -590,6 +591,9 @@ std::string ConfigLine(const StressOptions& opt, bool cluster) {
       << opt.ops_per_thread;
   if (!cluster && opt.query_parallelism > 1) {
     out << " --parallel=" << opt.query_parallelism;
+  }
+  if (!cluster && opt.visibility_cache) {
+    out << " --cache";
   }
   return out.str();
 }
@@ -701,6 +705,7 @@ StressReport RunSingleNodeStress(const StressOptions& opt) {
   db_options.threaded_shards = opt.threaded_shards;
   db_options.rollback_index = opt.rollback_index;
   db_options.query_parallelism = opt.query_parallelism;
+  db_options.query_visibility_cache = opt.visibility_cache;
   if (opt.with_persistence) {
     fs::remove_all(dir);
     fs::create_directories(dir);

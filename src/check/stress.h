@@ -51,6 +51,14 @@ struct StressOptions {
   /// metric values are small integers, so double aggregation is exact and
   /// merge order cannot change any query result.
   size_t query_parallelism = 1;
+  /// Per-brick visibility-bitmap cache (single-node mode; see
+  /// DatabaseOptions::query_visibility_cache). Off by default so seed
+  /// replays keep exercising the uncached build path; check_si --cache
+  /// opts in. The cache cannot change any query result — it memoizes the
+  /// exact bitmap the uncached path would build — so the oracle comparison
+  /// is unchanged; what the flag adds is coverage of the cache's
+  /// lookup/publish/invalidate machinery under a concurrent workload.
+  bool visibility_cache = false;
   /// Cluster mode only.
   uint32_t num_nodes = 3;
   size_t replication_factor = 2;

@@ -76,6 +76,25 @@ class Bitmap {
   /// Index of the first set bit at or after `from`, or size() if none.
   size_t FindNextSet(size_t from) const;
 
+  // --- Word-granular access for vectorized scan kernels -------------------
+  //
+  // Bits [w*64, w*64+64) live in word w; bits at or past size() are always
+  // zero, so kernels may skip zero words and popcount set ones without
+  // worrying about the ragged tail.
+
+  /// Number of 64-bit words backing the bitmap.
+  size_t num_words() const { return words_.size(); }
+
+  /// Word `w`. Precondition: w < num_words().
+  uint64_t Word(size_t w) const { return words_[w]; }
+
+  /// Overwrites word `w`; bits past size() are masked off. Precondition:
+  /// w < num_words().
+  void SetWord(size_t w, uint64_t value) {
+    words_[w] = value;
+    if (w + 1 == words_.size()) ClearTrailingBits();
+  }
+
   /// Invokes `fn(index)` for every set bit, in increasing order.
   template <typename Fn>
   void ForEachSet(Fn&& fn) const {

@@ -187,7 +187,8 @@ Result<QueryResult> Database::QueryIn(const aosi::Txn& txn,
     return Status::NotFound("cube '" + cube + "' does not exist");
   }
   return table->Scan(txn.snapshot(), mode, query, nullptr,
-                     options_.query_parallelism);
+                     options_.query_parallelism,
+                     options_.query_visibility_cache);
 }
 
 Status Database::DeletePartitionsIn(const aosi::Txn& txn,
@@ -211,8 +212,9 @@ Result<std::vector<MaterializedRow>> Database::Select(
     return Status::NotFound("cube '" + cube + "' does not exist");
   }
   aosi::Txn txn = txns_.BeginReadOnly();
-  auto rows = table->Materialize(txn.snapshot(),
-                                 ScanMode::kSnapshotIsolation, query, options);
+  auto rows =
+      table->Materialize(txn.snapshot(), ScanMode::kSnapshotIsolation, query,
+                         options, options_.query_visibility_cache);
   txns_.EndReadOnly(txn);
   return rows;
 }

@@ -43,6 +43,11 @@ struct DatabaseOptions {
   /// 1 (the default) keeps the serial executor — the deterministic path the
   /// src/check/ harness replays by default.
   size_t query_parallelism = 1;
+  /// Per-brick visibility-bitmap cache (DESIGN.md §4c): memoizes §III-C3
+  /// bitmaps keyed on (epochs-vector version, effective horizon, deps).
+  /// Results are identical either way; the src/check/ harness keeps it off
+  /// by default for seed-replay stability and opts in via --cache.
+  bool query_visibility_cache = true;
   /// Period of the background flush/purge thread; 0 disables it. Requires
   /// data_dir.
   int64_t auto_checkpoint_interval_ms = 0;

@@ -115,7 +115,7 @@ void Table::MarkDeleted(aosi::Epoch epoch,
 QueryResult Table::Scan(const aosi::Snapshot& snapshot, ScanMode mode,
                         const Query& query,
                         const std::function<bool(Bid)>& brick_filter,
-                        size_t parallelism) {
+                        size_t parallelism, bool visibility_cache) {
   static obs::Counter* scans =
       obs::MetricsRegistry::Global().GetCounter("query.scans_total");
   static obs::Histogram* latency =
@@ -129,14 +129,14 @@ QueryResult Table::Scan(const aosi::Snapshot& snapshot, ScanMode mode,
   for (size_t s = 0; s < shards_.size(); ++s) {
     QueryResult* out = &partials[s];
     done.push_back(shards_[s]->Enqueue([&snapshot, mode, &query, out,
-                                        &brick_filter,
-                                        fan_out](BrickMap& bricks) {
+                                        &brick_filter, fan_out,
+                                        visibility_cache](BrickMap& bricks) {
       if (fan_out <= 1) {
         // Serial path, unchanged: scan in BrickMap order on the shard's
         // own thread.
         bricks.ForEach([&](Brick& brick) {
           if (brick_filter && !brick_filter(brick.bid())) return;
-          ScanBrick(brick, snapshot, mode, query, out);
+          ScanBrick(brick, snapshot, mode, query, out, visibility_cache);
         });
         return;
       }
@@ -149,8 +149,9 @@ QueryResult Table::Scan(const aosi::Snapshot& snapshot, ScanMode mode,
         candidates.push_back(&brick);
       });
       auto morsels = PlanMorsels(candidates, query);
-      auto worker_partials = ScanMorsels(morsels, snapshot, mode, query,
-                                         &ThreadPool::Global(), fan_out);
+      auto worker_partials =
+          ScanMorsels(morsels, snapshot, mode, query, &ThreadPool::Global(),
+                      fan_out, visibility_cache);
       *out = MergePartials(std::move(worker_partials), query.aggs.size());
     }));
   }
@@ -178,14 +179,15 @@ ScanPlanStats Table::ExplainScan(const Query& query) {
 
 std::vector<MaterializedRow> Table::Materialize(
     const aosi::Snapshot& snapshot, ScanMode mode, const Query& query,
-    const MaterializeOptions& options) {
+    const MaterializeOptions& options, bool visibility_cache) {
   std::vector<MaterializedRow> rows;
   for (auto& shard : shards_) {
     if (rows.size() >= options.limit) break;
     shard
         ->Enqueue([&](BrickMap& bricks) {
           bricks.ForEach([&](const Brick& brick) {
-            MaterializeBrick(brick, snapshot, mode, query, options, &rows);
+            MaterializeBrick(brick, snapshot, mode, query, options, &rows,
+                             visibility_cache);
           });
         })
         .get();

@@ -97,10 +97,13 @@ class Table {
   /// pool workers read them. The default (1) is the serial path — bit-for-
   /// bit the previous behavior — which `src/check/` keeps for deterministic
   /// replay (see DESIGN.md, "Serial vs parallel determinism policy").
+  ///
+  /// `visibility_cache` enables each brick's visibility-bitmap cache
+  /// (DESIGN.md §4c); results are identical with it on or off.
   QueryResult Scan(const aosi::Snapshot& snapshot, ScanMode mode,
                    const Query& query,
                    const std::function<bool(Bid)>& brick_filter = nullptr,
-                   size_t parallelism = 1);
+                   size_t parallelism = 1, bool visibility_cache = true);
 
   /// EXPLAIN: reports how many bricks the filters prune without scanning —
   /// the indexed-access property of granular partitioning.
@@ -111,7 +114,7 @@ class Table {
   /// row order follows physical order within each brick.
   std::vector<MaterializedRow> Materialize(
       const aosi::Snapshot& snapshot, ScanMode mode, const Query& query,
-      const MaterializeOptions& options = {});
+      const MaterializeOptions& options = {}, bool visibility_cache = true);
 
   /// Runs the purge procedure (§III-C4) over every brick at `lse`.
   PurgeStats Purge(aosi::Epoch lse);

@@ -1,7 +1,9 @@
 #include "query/executor.h"
 
 #include <atomic>
+#include <utility>
 
+#include "aosi/vis_cache.h"
 #include "aosi/visibility.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
@@ -25,6 +27,14 @@ struct ScanInstruments {
   obs::Histogram* agg_us;
   obs::Histogram* worker_scan_us;
   obs::Histogram* parallel_merge_us;
+  obs::Counter* vis_cache_hits;
+  obs::Counter* vis_cache_misses;
+  obs::Counter* vis_cache_evictions;
+  obs::Counter* vis_cache_bypass;
+  obs::Counter* kernel_words_scanned;
+  obs::Counter* kernel_words_skipped;
+  obs::Counter* kernel_words_dense;
+  obs::Histogram* kernel_dense_words_permille;
 };
 
 const ScanInstruments& Instruments() {
@@ -41,9 +51,55 @@ const ScanInstruments& Instruments() {
         reg.GetHistogram("query.agg_us"),
         reg.GetHistogram("query.worker_scan_us"),
         reg.GetHistogram("query.parallel_merge_us"),
+        reg.GetCounter("query.vis_cache_hits"),
+        reg.GetCounter("query.vis_cache_misses"),
+        reg.GetCounter("query.vis_cache_evictions"),
+        reg.GetCounter("query.vis_cache_bypass"),
+        reg.GetCounter("query.kernel_words_scanned"),
+        reg.GetCounter("query.kernel_words_skipped"),
+        reg.GetCounter("query.kernel_words_dense"),
+        reg.GetHistogram("query.kernel_dense_words_permille"),
     };
   }();
   return m;
+}
+
+/// All 64 bits set — the "dense word" sentinel of the scan kernels. The
+/// ragged last word of a bitmap never equals this (trailing bits are kept
+/// zero), so dense fast paths never read past num_records.
+constexpr uint64_t kDenseWord = ~0ULL;
+
+/// One aggregate's metric read path, resolved once per brick so the row
+/// loops carry no per-row type branch or metric-index indirection.
+struct MetricAccessor {
+  bool is_count = false;
+  bool is_double = false;
+  const int64_t* ints = nullptr;
+  const double* doubles = nullptr;
+
+  double Fetch(size_t row) const {
+    if (is_count) return 1.0;
+    return is_double ? doubles[row] : static_cast<double>(ints[row]);
+  }
+};
+
+std::vector<MetricAccessor> ResolveAccessors(const Brick& brick,
+                                             const Query& query) {
+  std::vector<MetricAccessor> accessors;
+  accessors.reserve(query.aggs.size());
+  for (const auto& agg : query.aggs) {
+    MetricAccessor acc;
+    if (agg.fn == AggSpec::Fn::kCount) {
+      acc.is_count = true;
+    } else {
+      const MetricColumn& col = brick.metric(agg.metric);
+      acc.is_double = col.type() == DataType::kDouble;
+      acc.ints = col.ints().data();
+      acc.doubles = col.doubles().data();
+    }
+    accessors.push_back(acc);
+  }
+  return accessors;
 }
 
 /// [lo, hi] coordinate interval dimension `dim` spans inside `brick`.
@@ -105,9 +161,38 @@ void ExplainBrick(const Brick& brick, const Query& query,
   }
 }
 
+VisibilityRef VisibilityForScan(const Brick& brick,
+                                const aosi::Snapshot& snapshot, ScanMode mode,
+                                bool use_cache) {
+  const bool ru = mode == ScanMode::kReadUncommitted;
+  if (!use_cache) {
+    return VisibilityRef(
+        ru ? aosi::BuildReadUncommittedBitmap(brick.history())
+           : aosi::BuildVisibilityBitmap(brick.history(), snapshot));
+  }
+  const ScanInstruments& ins = Instruments();
+  aosi::VisibilityCache& cache = brick.vis_cache();
+  const aosi::VisKey key =
+      aosi::VisibilityCache::MakeKey(brick.history(), snapshot, ru);
+  if (const Bitmap* hit = cache.Lookup(key)) {
+    ins.vis_cache_hits->Add();
+    return VisibilityRef(hit);
+  }
+  ins.vis_cache_misses->Add();
+  Bitmap built = ru ? aosi::BuildReadUncommittedBitmap(brick.history())
+                    : aosi::BuildVisibilityBitmap(brick.history(), snapshot);
+  const auto outcome = cache.Publish(key, &built);
+  if (outcome.evicted) ins.vis_cache_evictions->Add();
+  if (outcome.published != nullptr) return VisibilityRef(outcome.published);
+  // Retired backlog full: serve the bitmap privately rather than grow the
+  // cache without bound before the next quiescent point.
+  ins.vis_cache_bypass->Add();
+  return VisibilityRef(std::move(built));
+}
+
 void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
-               ScanMode mode, const Query& query, QueryResult* result) {
-  CUBRICK_CHECK(result->num_aggs() == query.aggs.size());
+               ScanMode mode, const Query& query, QueryResult* result,
+               bool use_cache) {
   const ScanInstruments& ins = Instruments();
   if (brick.num_records() == 0 || !BrickIntersectsFilters(brick, query)) {
     ins.bricks_pruned->Add();
@@ -116,50 +201,148 @@ void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
   ins.bricks_scanned->Add();
   ins.rows_considered->Add(brick.num_records());
 
-  // Concurrency-control pass: one bitmap per brick.
+  // Concurrency-control pass: one bitmap per brick, memoized in the
+  // brick's VisibilityCache when enabled.
   obs::ObsSpan cc_span("query.visibility", ins.visibility_us);
-  Bitmap visible =
-      mode == ScanMode::kSnapshotIsolation
-          ? aosi::BuildVisibilityBitmap(brick.history(), snapshot)
-          : aosi::BuildReadUncommittedBitmap(brick.history());
+  VisibilityRef visible = VisibilityForScan(brick, snapshot, mode, use_cache);
   cc_span.Finish();
-  if (visible.None()) return;
+  const Bitmap* mask = &visible.bitmap();
+  if (mask->None()) return;
 
   // Filter pass: clear bits that fail a dimension predicate. Filters whose
   // clause already covers the brick's whole range are skipped (common with
-  // range predicates aligned to granular partitioning).
+  // range predicates aligned to granular partitioning). The pass is
+  // copy-on-write: the visibility bitmap may be shared cache state, so the
+  // first filter needing row work takes a private copy; fully-covered
+  // queries never copy at all. Word-wise kernel: zero words are skipped,
+  // dense words evaluate 64 rows in a straight loop, sparse words
+  // enumerate set bits with ctz.
   obs::ObsSpan filter_span("query.filter", ins.filter_us);
+  Bitmap filtered;
   for (const auto& filter : query.filters) {
     uint64_t lo = 0, hi = 0;
     BrickDimBounds(brick, filter.dim, &lo, &hi);
     if (filter.Covers(lo, hi)) continue;
-    for (size_t row = visible.FindNextSet(0); row < visible.size();
-         row = visible.FindNextSet(row + 1)) {
-      if (!filter.Matches(brick.DimCoord(row, filter.dim))) {
-        visible.Clear(row);
+    if (mask != &filtered) {
+      filtered = *mask;
+      mask = &filtered;
+    }
+    const size_t num_words = filtered.num_words();
+    for (size_t w = 0; w < num_words; ++w) {
+      const uint64_t word = filtered.Word(w);
+      if (word == 0) continue;
+      const size_t base = w * 64;
+      uint64_t out = word;
+      if (word == kDenseWord) {
+        out = 0;
+        for (size_t b = 0; b < 64; ++b) {
+          if (filter.Matches(brick.DimCoord(base + b, filter.dim))) {
+            out |= 1ULL << b;
+          }
+        }
+      } else {
+        uint64_t bits = word;
+        while (bits != 0) {
+          const size_t b = static_cast<size_t>(__builtin_ctzll(bits));
+          bits &= bits - 1;
+          if (!filter.Matches(brick.DimCoord(base + b, filter.dim))) {
+            out &= ~(1ULL << b);
+          }
+        }
       }
+      if (out != word) filtered.SetWord(w, out);
     }
   }
   filter_span.Finish();
 
-  // Aggregation pass.
+  // Aggregation pass, word-wise over the final mask. Row order within the
+  // brick is strictly increasing on every path (dense loop, ctz
+  // enumeration), so the floating-point fold order — and therefore the
+  // result bits — match the serial row-at-a-time executor exactly.
   obs::ObsSpan agg_span("query.aggregate", ins.agg_us);
-  QueryResult::GroupKey key(query.group_by.size());
+  const std::vector<MetricAccessor> accessors = ResolveAccessors(brick, query);
+  const size_t num_words = mask->num_words();
   uint64_t rows_aggregated = 0;
-  visible.ForEachSet([&](size_t row) {
-    ++rows_aggregated;
-    for (size_t g = 0; g < query.group_by.size(); ++g) {
-      key[g] = brick.DimCoord(row, query.group_by[g]);
+  uint64_t words_skipped = 0;
+  uint64_t words_dense = 0;
+  if (query.group_by.empty()) {
+    // Ungrouped fast path: fold the whole brick into local states (no map
+    // walk anywhere in the loop), merge once at the end.
+    std::vector<AggState> locals(query.aggs.size());
+    for (size_t w = 0; w < num_words; ++w) {
+      const uint64_t word = mask->Word(w);
+      if (word == 0) {
+        ++words_skipped;
+        continue;
+      }
+      const size_t base = w * 64;
+      const auto word_rows =
+          static_cast<uint64_t>(__builtin_popcountll(word));
+      rows_aggregated += word_rows;
+      const bool dense = word == kDenseWord;
+      if (dense) ++words_dense;
+      for (size_t a = 0; a < accessors.size(); ++a) {
+        const MetricAccessor& acc = accessors[a];
+        if (acc.is_count) {
+          // COUNT needs no row values: one popcount per word.
+          locals[a].AccumulateRepeated(1.0, word_rows);
+        } else if (dense) {
+          for (size_t b = 0; b < 64; ++b) {
+            locals[a].Accumulate(acc.Fetch(base + b));
+          }
+        } else {
+          uint64_t bits = word;
+          while (bits != 0) {
+            const size_t b = static_cast<size_t>(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            locals[a].Accumulate(acc.Fetch(base + b));
+          }
+        }
+      }
     }
-    for (size_t a = 0; a < query.aggs.size(); ++a) {
-      const AggSpec& agg = query.aggs[a];
-      const double v = agg.fn == AggSpec::Fn::kCount
-                           ? 1.0
-                           : brick.metric(agg.metric).GetAsDouble(row);
-      result->Accumulate(key, a, v);
+    if (rows_aggregated > 0) {
+      result->MergeGroup(QueryResult::GroupKey(), locals);
     }
-  });
+  } else {
+    // Grouped path: ctz row enumeration with current-group memoization —
+    // granular partitioning clusters group-by coordinates, so consecutive
+    // rows usually share a key and skip the map walk.
+    QueryResult::GroupKey key(query.group_by.size());
+    QueryResult::GroupKey prev_key;
+    std::vector<AggState>* states = nullptr;
+    for (size_t w = 0; w < num_words; ++w) {
+      uint64_t bits = mask->Word(w);
+      if (bits == 0) {
+        ++words_skipped;
+        continue;
+      }
+      if (bits == kDenseWord) ++words_dense;
+      const size_t base = w * 64;
+      while (bits != 0) {
+        const size_t b = static_cast<size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        const size_t row = base + b;
+        ++rows_aggregated;
+        for (size_t g = 0; g < query.group_by.size(); ++g) {
+          key[g] = brick.DimCoord(row, query.group_by[g]);
+        }
+        if (states == nullptr || key != prev_key) {
+          states = result->GroupStates(key);
+          prev_key = key;
+        }
+        for (size_t a = 0; a < accessors.size(); ++a) {
+          (*states)[a].Accumulate(accessors[a].Fetch(row));
+        }
+      }
+    }
+  }
   agg_span.Finish();
+  ins.kernel_words_scanned->Add(num_words);
+  ins.kernel_words_skipped->Add(words_skipped);
+  ins.kernel_words_dense->Add(words_dense);
+  if (num_words > 0) {
+    ins.kernel_dense_words_permille->Record(words_dense * 1000 / num_words);
+  }
   ins.rows_scanned->Add(rows_aggregated);
   // Post-CC+filter visibility density of this brick, in rows per thousand:
   // how much of the brick the snapshot (and filters) let through. A
@@ -189,7 +372,8 @@ std::vector<const Brick*> PlanMorsels(
 std::vector<QueryResult> ScanMorsels(const std::vector<const Brick*>& morsels,
                                      const aosi::Snapshot& snapshot,
                                      ScanMode mode, const Query& query,
-                                     ThreadPool* pool, size_t parallelism) {
+                                     ThreadPool* pool, size_t parallelism,
+                                     bool use_cache) {
   const ScanInstruments& ins = Instruments();
   size_t workers = parallelism == 0 ? 1 : parallelism;
   if (workers > morsels.size()) {
@@ -199,7 +383,7 @@ std::vector<QueryResult> ScanMorsels(const std::vector<const Brick*>& morsels,
   if (morsels.empty()) return partials;
   if (workers == 1 || pool == nullptr) {
     for (const Brick* brick : morsels) {
-      ScanBrick(*brick, snapshot, mode, query, &partials[0]);
+      ScanBrick(*brick, snapshot, mode, query, &partials[0], use_cache);
     }
     return partials;
   }
@@ -214,7 +398,7 @@ std::vector<QueryResult> ScanMorsels(const std::vector<const Brick*>& morsels,
       // relaxed: the ticket only partitions disjoint morsels; no data rides on it
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= morsels.size()) break;
-      ScanBrick(*morsels[i], snapshot, mode, query, out);
+      ScanBrick(*morsels[i], snapshot, mode, query, out, use_cache);
     }
   };
 

@@ -8,9 +8,11 @@
 
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "aosi/epoch.h"
+#include "common/bitmap.h"
 #include "query/query.h"
 #include "storage/brick.h"
 
@@ -30,10 +32,44 @@ bool BrickIntersectsFilters(const Brick& brick, const Query& query);
 /// partition-granular delete predicate fully covers it).
 bool BrickCoveredByFilters(const Brick& brick, const Query& query);
 
+/// A visibility bitmap for one brick scan: either borrowed from the brick's
+/// cache (valid until the brick's next mutation, i.e. for the whole scan op
+/// — see vis_cache.h) or owned because the cache missed and declined to
+/// store. Scan code treats both uniformly and read-only.
+class VisibilityRef {
+ public:
+  explicit VisibilityRef(const Bitmap* borrowed) : ptr_(borrowed) {}
+  explicit VisibilityRef(Bitmap owned)
+      : owned_(std::move(owned)), ptr_(&owned_) {}
+
+  VisibilityRef(VisibilityRef&& other) noexcept
+      : owned_(std::move(other.owned_)),
+        ptr_(other.ptr_ == &other.owned_ ? &owned_ : other.ptr_) {}
+  VisibilityRef(const VisibilityRef&) = delete;
+  VisibilityRef& operator=(const VisibilityRef&) = delete;
+  VisibilityRef& operator=(VisibilityRef&&) = delete;
+
+  const Bitmap& bitmap() const { return *ptr_; }
+
+ private:
+  Bitmap owned_;
+  const Bitmap* ptr_;
+};
+
+/// The single entry point for scan visibility (executor + materialize): the
+/// mode-appropriate bitmap for `brick` under `snapshot`, served from the
+/// brick's VisibilityCache when `use_cache` (publishing on miss), built
+/// fresh otherwise. Records query.vis_cache_* instruments.
+VisibilityRef VisibilityForScan(const Brick& brick,
+                                const aosi::Snapshot& snapshot, ScanMode mode,
+                                bool use_cache);
+
 /// Scans one brick and accumulates into `result` (which must have been
-/// constructed with query.aggs.size()).
+/// constructed with query.aggs.size()). `use_cache` enables the brick's
+/// visibility-bitmap cache (results are identical either way).
 void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
-               ScanMode mode, const Query& query, QueryResult* result);
+               ScanMode mode, const Query& query, QueryResult* result,
+               bool use_cache = true);
 
 // --- Morsel-parallel scan pipeline (plan -> scan -> merge) -----------------
 //
@@ -60,7 +96,8 @@ std::vector<const Brick*> PlanMorsels(
 std::vector<QueryResult> ScanMorsels(const std::vector<const Brick*>& morsels,
                                      const aosi::Snapshot& snapshot,
                                      ScanMode mode, const Query& query,
-                                     ThreadPool* pool, size_t parallelism);
+                                     ThreadPool* pool, size_t parallelism,
+                                     bool use_cache = true);
 
 /// Merge step: folds the worker partials into one result, recording the
 /// fold's duration into query.parallel_merge_us.

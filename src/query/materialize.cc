@@ -1,6 +1,5 @@
 #include "query/materialize.h"
 
-#include "aosi/visibility.h"
 #include "query/executor.h"
 
 namespace cubrick {
@@ -8,16 +7,15 @@ namespace cubrick {
 uint64_t MaterializeBrick(const Brick& brick, const aosi::Snapshot& snapshot,
                           ScanMode mode, const Query& query,
                           const MaterializeOptions& options,
-                          std::vector<MaterializedRow>* out) {
+                          std::vector<MaterializedRow>* out, bool use_cache) {
   if (out->size() >= options.limit) return 0;
   if (brick.num_records() == 0) return 0;
   if (!BrickIntersectsFilters(brick, query)) return 0;
 
   const CubeSchema& schema = brick.schema();
-  Bitmap visible =
-      mode == ScanMode::kSnapshotIsolation
-          ? aosi::BuildVisibilityBitmap(brick.history(), snapshot)
-          : aosi::BuildReadUncommittedBitmap(brick.history());
+  // Same visibility entry point (and cache) as the aggregation executor.
+  const VisibilityRef ref = VisibilityForScan(brick, snapshot, mode, use_cache);
+  const Bitmap& visible = ref.bitmap();
 
   uint64_t produced = 0;
   for (size_t row = visible.FindNextSet(0);

@@ -114,6 +114,17 @@ struct AggState {
     if (v > max) max = v;
   }
 
+  /// Accumulates `v` exactly `n` times with one multiply. Only used where
+  /// the folded sum is bit-identical to n serial adds — COUNT aggregation
+  /// (v == 1.0, so the running sum is a small integer): a whole bitmap
+  /// word's rows collapse into one popcount-sized call.
+  void AccumulateRepeated(double v, uint64_t n) {
+    sum += v * static_cast<double>(n);
+    count += n;
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+
   void Merge(const AggState& other) {
     sum += other.sum;
     count += other.count;
@@ -151,6 +162,24 @@ class QueryResult {
     auto& states = groups_[key];
     if (states.empty()) states.resize(num_aggs_);
     states[agg_idx].Accumulate(value);
+  }
+
+  /// Stable pointer to group `key`'s per-agg states, creating the group if
+  /// absent. The pointer survives later insertions (std::map nodes do not
+  /// move), which is what lets scan kernels memoize the current group
+  /// across consecutive rows instead of re-walking the map per row.
+  std::vector<AggState>* GroupStates(const GroupKey& key) {
+    auto& states = groups_[key];
+    if (states.empty()) states.resize(num_aggs_);
+    return &states;
+  }
+
+  /// Folds fully-accumulated `states` into group `key` — the ungrouped scan
+  /// fast path accumulates a whole brick into locals and merges once.
+  void MergeGroup(const GroupKey& key, const std::vector<AggState>& states) {
+    auto& dst = groups_[key];
+    if (dst.empty()) dst.resize(num_aggs_);
+    for (size_t a = 0; a < num_aggs_; ++a) dst[a].Merge(states[a]);
   }
 
   /// Merges a partial result (same query shape) into this one.

@@ -43,9 +43,13 @@ void Brick::AppendBatch(aosi::Epoch epoch, const EncodedBatch& batch) {
     }
   }
   history_.RecordAppend(epoch, batch.num_rows);
+  vis_cache_.Clear();
 }
 
-void Brick::MarkDeleted(aosi::Epoch epoch) { history_.RecordDelete(epoch); }
+void Brick::MarkDeleted(aosi::Epoch epoch) {
+  history_.RecordDelete(epoch);
+  vis_cache_.Clear();
+}
 
 void Brick::ApplyCompaction(const aosi::CompactionPlan& plan) {
   CUBRICK_CHECK(plan.needed);
@@ -60,10 +64,14 @@ void Brick::ApplyCompaction(const aosi::CompactionPlan& plan) {
   CUBRICK_CHECK(new_bess.num_records() == plan.new_history.num_records());
   bess_ = std::move(new_bess);
   metrics_ = std::move(new_metrics);
-  history_ = plan.new_history;
+  // InstallRebuilt (not plain assignment) keeps the version counter
+  // advancing, so cached visibility bitmaps of the pre-compaction layout
+  // can never be mistaken for the new one.
+  history_.InstallRebuilt(plan.new_history);
   // Recycling epochs entries is the point of purge: release the old
   // capacity so the memory actually returns (Fig 6's post-purge drop).
   history_.ShrinkToFit();
+  vis_cache_.Clear();
 }
 
 size_t Brick::DataMemoryUsage() const {

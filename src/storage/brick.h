@@ -18,6 +18,7 @@
 
 #include "aosi/epoch_vector.h"
 #include "aosi/purge.h"
+#include "aosi/vis_cache.h"
 #include "common/status.h"
 #include "storage/metric_column.h"
 #include "storage/bess_column.h"
@@ -68,6 +69,12 @@ class Brick {
   const BessColumn& bess() const { return bess_; }
   const aosi::EpochVector& history() const { return history_; }
 
+  /// The brick's visibility-bitmap cache. Mutable scan-side state: scans
+  /// take const bricks, publishing a memoized bitmap does not change what
+  /// any reader observes. Every mutator above clears it at the shard
+  /// thread's quiescent point (see vis_cache.h).
+  aosi::VisibilityCache& vis_cache() const { return vis_cache_; }
+
   /// Applies a purge/rollback compaction plan: rebuilds every column keeping
   /// only plan.keep rows and installs plan.new_history. The rebuild happens
   /// into fresh vectors which then replace the old ones, mirroring the
@@ -88,6 +95,7 @@ class Brick {
   BessColumn bess_;
   std::vector<MetricColumn> metrics_;
   aosi::EpochVector history_;
+  mutable aosi::VisibilityCache vis_cache_;
 };
 
 }  // namespace cubrick

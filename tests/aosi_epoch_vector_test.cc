@@ -134,5 +134,53 @@ TEST(EpochVectorTest, DeleteBitDoesNotCorruptLargeIndexes) {
   EXPECT_EQ(ev.entries()[0].index(), (1ULL << 40) - 1);
 }
 
+TEST(EpochVectorTest, VersionBumpsOnEveryMutation) {
+  EpochVector ev;
+  EXPECT_EQ(ev.version(), 0u);
+  ev.RecordAppend(3, 2);
+  EXPECT_EQ(ev.version(), 1u);
+  // Coalescing into the back entry is still a history change.
+  ev.RecordAppend(3, 2);
+  EXPECT_EQ(ev.version(), 2u);
+  ev.RecordDelete(4);
+  EXPECT_EQ(ev.version(), 3u);
+  ev.InstallRebuilt(EpochVector());
+  EXPECT_EQ(ev.version(), 4u);
+}
+
+TEST(EpochVectorTest, InstallRebuiltAdvancesVersionPastTheSource) {
+  // The rebuilt history's own (lower) counter must never clobber the
+  // target's: a cache keyed on the old version would otherwise serve a
+  // pre-compaction bitmap for the compacted layout.
+  EpochVector ev;
+  for (int i = 1; i <= 5; ++i) ev.RecordAppend(static_cast<Epoch>(i), 1);
+  const uint64_t before = ev.version();
+
+  EpochVector rebuilt = EpochVector::FromRuns({{7, 0, 3, false}});
+  EXPECT_LT(rebuilt.version(), before);
+  ev.InstallRebuilt(rebuilt);
+  EXPECT_GT(ev.version(), before);
+  EXPECT_EQ(ev.ToString(), "[7:0-2]");
+  EXPECT_EQ(ev.num_records(), 3u);
+}
+
+TEST(EpochVectorTest, MaxEpochTracksAppendsDeletesAndRebuilds) {
+  EpochVector ev;
+  EXPECT_TRUE(IsNoEpoch(ev.max_epoch()));
+  ev.RecordAppend(5, 1);
+  EXPECT_TRUE(SameEpoch(ev.max_epoch(), 5));
+  ev.RecordAppend(2, 1);  // out-of-order arrival keeps the max
+  EXPECT_TRUE(SameEpoch(ev.max_epoch(), 5));
+  ev.RecordDelete(9);
+  EXPECT_TRUE(SameEpoch(ev.max_epoch(), 9));
+
+  // FromRuns installs append entries directly; max_epoch must still track.
+  EpochVector rebuilt = EpochVector::FromRuns(
+      {{4, 0, 2, false}, {6, 2, 3, false}, {6, 3, 3, true}});
+  EXPECT_TRUE(SameEpoch(rebuilt.max_epoch(), 6));
+  ev.InstallRebuilt(rebuilt);
+  EXPECT_TRUE(SameEpoch(ev.max_epoch(), 6));
+}
+
 }  // namespace
 }  // namespace cubrick::aosi

@@ -230,6 +230,63 @@ TEST(BrickMapTest, AggregatesAcrossBricks) {
   EXPECT_EQ(seen, 30u);
 }
 
+TEST(BrickTest, MutationsInvalidateVisibilityCache) {
+  // Every brick mutation is a quiescent point: it must both bump the
+  // history version (so stale keys can never match) and clear the cache
+  // (reclaiming retired entries). Covers append, delete-marker, and the
+  // compaction paths used by purge and rollback.
+  auto schema = TestSchema();
+  Brick brick(schema, 0);
+  brick.AppendBatch(1, MakeBatch(*schema, 10));
+
+  auto prime = [&brick]() -> aosi::VisKey {
+    const aosi::Snapshot snap{9, {}};
+    const aosi::VisKey key =
+        aosi::VisibilityCache::MakeKey(brick.history(), snap, false);
+    if (brick.vis_cache().Lookup(key) == nullptr) {
+      Bitmap bm = aosi::BuildVisibilityBitmap(brick.history(), snap);
+      EXPECT_NE(brick.vis_cache().Publish(key, &bm).published, nullptr);
+    }
+    EXPECT_NE(brick.vis_cache().Lookup(key), nullptr);
+    return key;
+  };
+
+  // Append.
+  aosi::VisKey key = prime();
+  uint64_t version = brick.history().version();
+  brick.AppendBatch(2, MakeBatch(*schema, 5));
+  EXPECT_GT(brick.history().version(), version);
+  EXPECT_EQ(brick.vis_cache().Lookup(key), nullptr);
+
+  // Delete marker.
+  key = prime();
+  version = brick.history().version();
+  brick.MarkDeleted(3);
+  EXPECT_GT(brick.history().version(), version);
+  EXPECT_EQ(brick.vis_cache().Lookup(key), nullptr);
+
+  // Purge compaction.
+  brick.AppendBatch(4, MakeBatch(*schema, 4));
+  key = prime();
+  version = brick.history().version();
+  auto purge = aosi::PlanPurge(brick.history(), /*lse=*/5);
+  ASSERT_TRUE(purge.needed);
+  brick.ApplyCompaction(purge);
+  EXPECT_GT(brick.history().version(), version);
+  EXPECT_EQ(brick.vis_cache().Lookup(key), nullptr);
+  EXPECT_EQ(brick.vis_cache().num_retired(), 0u);
+
+  // Rollback compaction.
+  brick.AppendBatch(6, MakeBatch(*schema, 3));
+  key = prime();
+  version = brick.history().version();
+  auto rollback = aosi::PlanRollback(brick.history(), 6);
+  ASSERT_TRUE(rollback.needed);
+  brick.ApplyCompaction(rollback);
+  EXPECT_GT(brick.history().version(), version);
+  EXPECT_EQ(brick.vis_cache().Lookup(key), nullptr);
+}
+
 TEST(BrickMapTest, EraseRemovesBrick) {
   auto schema = TestSchema();
   BrickMap map(schema);
