@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -136,6 +137,27 @@ inline cubrick::Query AggregationQuery(bool grouped = true) {
 /// Headline numbers a driver wants in its baseline file, in print order.
 using BenchHeadline = std::vector<std::pair<std::string, double>>;
 
+/// Sanitizer flavor this binary was compiled with ("none", "thread",
+/// "address") — detected from compiler macros so it matches the actual
+/// instrumentation, not just the CUBRICK_SANITIZE cache entry.
+inline const char* SanitizerFlavor() {
+#if defined(__SANITIZE_THREAD__)
+  return "thread";
+#elif defined(__SANITIZE_ADDRESS__)
+  return "address";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  return "thread";
+#elif __has_feature(address_sanitizer)
+  return "address";
+#else
+  return "none";
+#endif
+#else
+  return "none";
+#endif
+}
+
 /// Writes the machine-readable baseline for a bench run: the driver's
 /// headline numbers plus a full registry snapshot — every counter, gauge
 /// and histogram the run touched (docs/OBSERVABILITY.md). Default path is
@@ -153,8 +175,17 @@ inline void EmitBenchJson(const std::string& name,
                  path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": %g,\n  \"headline\": {",
-               name.c_str(), ScaleFactor());
+  // Machine-capability stamp: lets the baseline checker judge numbers in
+  // context — multi-thread scaling assertions are meaningless on a box with
+  // fewer cores than measured threads, and sanitizer builds run ~2-15x
+  // slower than release, so absolute latencies must not be compared across
+  // flavors.
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"scale\": %g,\n"
+               "  \"machine\": {\n    \"cores\": %u,\n"
+               "    \"sanitizer\": \"%s\"\n  },\n  \"headline\": {",
+               name.c_str(), ScaleFactor(), cores, SanitizerFlavor());
   bool first = true;
   for (const auto& [key, value] : headline) {
     std::fprintf(f, "%s\n    \"%s\": %g", first ? "" : ",", key.c_str(),

@@ -10,8 +10,10 @@
 // SI converges back to RU.
 
 #include <cinttypes>
+#include <memory>
 
 #include "bench_common.h"
+#include "check/online_checker.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "engine/table.h"
@@ -284,6 +286,73 @@ int main() {
           ru_p50 == 0 ? 0.0 : (cached_p50 - ru_p50) / ru_p50},
          {"cache_speedup",
           cached_p50 == 0 ? 0.0 : uncached_p50 / cached_p50}});
+  }
+
+  // Online-checker overhead sweep: the same SI aggregation, checker off vs
+  // on at full sampling (every scan observed, validated on the background
+  // thread). The checker-on cost per sampled scan is one history decode
+  // plus two bitmap popcount passes — cheap next to the aggregation kernel
+  // — so the headline overhead must stay within noise of zero;
+  // scripts/check_bench_baseline.py fails CI when it exceeds 5%.
+  {
+    const uint64_t kTxns = 1000;
+    const int kOverheadReps = 31;
+    const auto build = [&](bool online) {
+      DatabaseOptions options;
+      options.online_check = online;
+      auto db = std::make_unique<Database>(options);
+      CUBRICK_CHECK(CreateSingleColumnCube(db.get(), "t").ok());
+      Random rng(7);
+      for (uint64_t t = 0; t < kTxns; ++t) {
+        CUBRICK_CHECK(
+            db->Load("t", SingleColumnBatch(&rng, kRows / kTxns)).ok());
+      }
+      return db;
+    };
+    auto db_off = build(false);
+    auto db_on = build(true);
+    check::OnlineChecker* checker = db_on->online_checker();
+    const cubrick::Query q = AggregationQuery();
+    // Interleave the two sides rep by rep: the checker hook is
+    // process-global, so it is uninstalled for every checker-off rep (or
+    // db_off's scans would be sampled too), and both medians see the same
+    // machine conditions — measuring the halves back to back lets minutes
+    // of container drift masquerade as checker overhead. The toggling
+    // happens outside the timed region.
+    obs::LatencyRecorder rec_off;
+    obs::LatencyRecorder rec_on;
+    checker->Uninstall();
+    (void)db_off->Query("t", q, ScanMode::kSnapshotIsolation);  // warm-up
+    checker->Install();
+    (void)db_on->Query("t", q, ScanMode::kSnapshotIsolation);  // warm-up
+    for (int i = 0; i < kOverheadReps; ++i) {
+      checker->Uninstall();
+      {
+        Stopwatch timer;
+        CUBRICK_CHECK(db_off->Query("t", q, ScanMode::kSnapshotIsolation).ok());
+        rec_off.Record(timer.ElapsedMicros());
+      }
+      checker->Install();
+      {
+        Stopwatch timer;
+        CUBRICK_CHECK(db_on->Query("t", q, ScanMode::kSnapshotIsolation).ok());
+        rec_on.Record(timer.ElapsedMicros());
+      }
+    }
+    // Final drain, so the registry snapshot below reflects every sample.
+    checker->Uninstall();
+    const double off_p50 = static_cast<double>(rec_off.Percentile(50));
+    const double on_p50 = static_cast<double>(rec_on.Percentile(50));
+    const double overhead_pct =
+        off_p50 == 0 ? 0.0 : 100.0 * (on_p50 - off_p50) / off_p50;
+    std::printf(
+        "\nOnline-checker overhead (%" PRIu64 " txns, full sampling): "
+        "off p50 %.0f us, on p50 %.0f us, overhead %.2f%%\n",
+        kTxns, off_p50, on_p50, overhead_pct);
+    EmitBenchJson("fig9_online_check",
+                  {{"checker_off_p50_us", off_p50},
+                   {"checker_on_p50_us", on_p50},
+                   {"overhead_pct", overhead_pct}});
   }
   return 0;
 }

@@ -5,14 +5,20 @@ Usage: check_bench_baseline.py BENCH_baseline.json [more.json ...]
 
 Checks (stdlib only, no third-party deps):
   * the file is well-formed JSON with the EmitBenchJson shape
-    ({"bench", "scale", "headline", "metrics"} — see bench/bench_common.h
-    and docs/OBSERVABILITY.md);
+    ({"bench", "scale", "headline", "metrics"}, plus the optional "machine"
+    capability stamp — see bench/bench_common.h and docs/OBSERVABILITY.md);
   * the embedded registry snapshot has the "counters"/"gauges"/"histograms"
     sections;
   * every histogram satisfies count == sum(bucket counts) — the exporter's
     consistency guarantee;
   * for the canonical baseline (bench == "baseline", from fig9), the AOSI
-    health metrics the paper's analysis depends on are present.
+    health metrics the paper's analysis depends on are present;
+  * for the morsel-parallel sweep (bench == "fig9_parallel"), the 4-thread
+    speedup clears its floor — asserted only when the machine stamp shows
+    an uninstrumented build on a box with >= 4 cores (a 1-core container
+    reports ~1.0x by construction, and sanitizers distort the ratio);
+  * for the online-checker sweep (bench == "fig9_online_check"), the
+    checker-on overhead stays <= 5% and the checker actually sampled.
 
 Exit codes: 0 ok, 1 validation failure, 2 usage/IO error.
 """
@@ -35,6 +41,26 @@ REQUIRED_CACHE_METRICS = [
     ("counters", "query.kernel_words_scanned"),
     ("histograms", "query.kernel_dense_words_permille"),
 ]
+
+# The online-checker sweep (bench == "fig9_online_check") must prove the
+# checker was live during the checker-on half: sampled transactions,
+# observations and validated records all have to be present and non-zero
+# (asserted below, not just listed here).
+REQUIRED_ONLINE_METRICS = [
+    ("counters", "check.online.sampled_txns"),
+    ("counters", "check.online.observations"),
+    ("counters", "check.online.validated"),
+    ("counters", "check.online.violations"),
+]
+
+# Multi-thread scaling floor for fig9_parallel, asserted only on capable
+# machines (see skip logic below).
+MIN_SPEEDUP_4T = 1.1
+MIN_SCALING_CORES = 4
+
+# Ceiling for the online checker's query-latency overhead (ISSUE: the
+# checker must ride the epoch metadata "near-free").
+MAX_ONLINE_OVERHEAD_PCT = 5.0
 
 
 def fail(path, msg):
@@ -64,6 +90,19 @@ def check_file(path):
         if not isinstance(metrics.get(section), dict):
             return fail(path, f'metrics missing "{section}" section')
 
+    # Machine-capability stamp (bench_common.h): optional for backward
+    # compatibility with pre-stamp baselines, validated when present.
+    machine = doc.get("machine")
+    if machine is not None:
+        if not isinstance(machine, dict):
+            return fail(path, '"machine" must be an object')
+        if not isinstance(machine.get("cores"), int) or machine["cores"] < 0:
+            return fail(path, 'machine "cores" must be a non-negative integer')
+        if machine.get("sanitizer") not in ("none", "thread", "address"):
+            return fail(
+                path, 'machine "sanitizer" must be "none", "thread" or "address"'
+            )
+
     for name, hist in metrics["histograms"].items():
         bucket_sum = sum(count for _, count in hist.get("buckets", []))
         if hist.get("count") != bucket_sum:
@@ -85,6 +124,58 @@ def check_file(path):
         hits = metrics["counters"].get("query.vis_cache_hits", 0)
         if hits <= 0:
             return fail(path, "cache sweep recorded zero query.vis_cache_hits")
+
+    if doc["bench"] == "fig9_parallel":
+        speedup = doc["headline"].get("speedup_4t")
+        if speedup is None:
+            return fail(path, 'fig9_parallel headline missing "speedup_4t"')
+        # Scaling assertions need the cores to scale onto and an
+        # uninstrumented build; otherwise the number is measured and
+        # recorded but not judged. Without a machine stamp we cannot tell,
+        # so we also skip (old baselines predate the stamp).
+        capable = (
+            machine is not None
+            and machine["cores"] >= MIN_SCALING_CORES
+            and machine["sanitizer"] == "none"
+        )
+        if capable:
+            if speedup < MIN_SPEEDUP_4T:
+                return fail(
+                    path,
+                    f"4-thread speedup {speedup:.2f}x below the "
+                    f"{MIN_SPEEDUP_4T}x floor on a "
+                    f'{machine["cores"]}-core machine',
+                )
+        else:
+            why = (
+                "no machine stamp"
+                if machine is None
+                else f'{machine["cores"]} cores, sanitizer "{machine["sanitizer"]}"'
+            )
+            print(f"{path}: scaling assertion skipped ({why})")
+
+    if doc["bench"] == "fig9_online_check":
+        for section, name in REQUIRED_ONLINE_METRICS:
+            if name not in metrics[section]:
+                return fail(path, f'required metric "{name}" missing from {section}')
+        for name in (
+            "check.online.sampled_txns",
+            "check.online.observations",
+            "check.online.validated",
+        ):
+            if metrics["counters"].get(name, 0) <= 0:
+                return fail(path, f'online sweep recorded zero "{name}"')
+        if metrics["counters"].get("check.online.violations", 0) > 0:
+            return fail(path, "online checker reported violations during the sweep")
+        overhead = doc["headline"].get("overhead_pct")
+        if overhead is None:
+            return fail(path, 'fig9_online_check headline missing "overhead_pct"')
+        if overhead > MAX_ONLINE_OVERHEAD_PCT:
+            return fail(
+                path,
+                f"online-checker overhead {overhead:.2f}% exceeds the "
+                f"{MAX_ONLINE_OVERHEAD_PCT}% ceiling",
+            )
 
     n_metrics = sum(len(metrics[s]) for s in ("counters", "gauges", "histograms"))
     print(

@@ -1,5 +1,6 @@
 #include "aosi/epoch_vector.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace cubrick::aosi {
@@ -53,6 +54,34 @@ std::vector<EpochRun> EpochVector::Decode() const {
     runs.push_back(run);
   }
   CUBRICK_CHECK(pos == num_records_);
+  return runs;
+}
+
+std::vector<EpochRun> EpochVector::DecodePrefix(size_t max_runs,
+                                                bool* truncated) const {
+  std::vector<EpochRun> runs;
+  runs.reserve(std::min(max_runs, entries_.size()));
+  uint64_t pos = 0;
+  for (const auto& e : entries_) {
+    if (runs.size() >= max_runs) {
+      if (truncated != nullptr) *truncated = true;
+      return runs;
+    }
+    EpochRun run;
+    run.epoch = e.epoch;
+    run.is_delete = e.is_delete();
+    if (run.is_delete) {
+      run.begin = run.end = e.index();
+    } else {
+      run.begin = pos;
+      run.end = e.index() + 1;
+      pos = run.end;
+    }
+    runs.push_back(run);
+  }
+  // A full prefix must reproduce Decode() exactly.
+  CUBRICK_CHECK(pos == num_records_);
+  if (truncated != nullptr) *truncated = false;
   return runs;
 }
 

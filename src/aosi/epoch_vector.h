@@ -104,6 +104,12 @@ class EpochVector {
   /// Expands entries into explicit record ranges, in physical order.
   std::vector<EpochRun> Decode() const;
 
+  /// Like Decode() but stops after `max_runs` runs; sets *truncated (may be
+  /// nullptr) when entries remain beyond the bound. Keeps bounded consumers
+  /// — the online checker's scan hook observes at most
+  /// aosi::kMaxObservedRuns runs — O(bound) instead of O(history).
+  std::vector<EpochRun> DecodePrefix(size_t max_runs, bool* truncated) const;
+
   /// Bytes of heap memory consumed by the entries array. This is the "AOSI
   /// overhead" series of the paper's Figures 6/7.
   size_t MemoryUsage() const {

@@ -1,0 +1,40 @@
+// Deliberate visibility faults for validating the online checker.
+//
+// A checker that never fires is indistinguishable from one that cannot
+// fire. These knobs let tests corrupt the §III-C3 visibility computation in
+// a controlled way — e.g. treating the snapshot's first dependency as
+// visible, which manufactures exactly the stale-read anomaly AOSI's deps
+// set exists to prevent — and then assert the online checker flags it
+// within a bounded number of sampled transactions.
+//
+// The knobs are process-global atomics, default-off, and checked with a
+// single relaxed load on the visibility path (same cost model as the
+// obs::Enabled kill switch). They exist for tests and the check_si
+// harness only; production code never sets them.
+
+#pragma once
+
+#include <atomic>
+
+namespace cubrick::aosi {
+
+namespace internal {
+inline std::atomic<bool>& SkipFirstDepFaultFlag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+}  // namespace internal
+
+/// When enabled, BuildVisibilityBitmap treats append runs stamped with the
+/// snapshot's *minimum dependency epoch* as visible — i.e. the snapshot
+/// "forgets" to exclude one concurrent uncommitted transaction.
+inline bool SkipFirstDepFaultEnabled() {
+  return internal::SkipFirstDepFaultFlag().load(std::memory_order_relaxed);
+}
+
+inline void SetSkipFirstDepFault(bool enabled) {
+  internal::SkipFirstDepFaultFlag().store(enabled,
+                                          std::memory_order_release);
+}
+
+}  // namespace cubrick::aosi

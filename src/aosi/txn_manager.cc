@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "aosi/checker_hook.h"
+
 namespace cubrick::aosi {
 
 TxnManager::TxnManager(uint32_t node_idx, uint32_t num_nodes)
@@ -12,6 +14,7 @@ TxnManager::TxnManager(uint32_t node_idx, uint32_t num_nodes)
       reg.GetCounter("aosi.txn.begin_ro_total"),
       reg.GetCounter("aosi.txn.commit_total"),
       reg.GetCounter("aosi.txn.rollback_total"),
+      reg.GetCounter("aosi.txn.begin_rejects"),
       reg.GetGauge("aosi.ec"),
       reg.GetGauge("aosi.lce"),
       reg.GetGauge("aosi.lse"),
@@ -35,35 +38,43 @@ void TxnManager::PublishGaugesLocked() {
   metrics_.tracked_txns->Set(static_cast<int64_t>(tracked_.size()));
 }
 
-Txn TxnManager::BeginReadWrite() {
-  MutexLock lock(mutex_);
-  // The epoch must be acquired with mutex_ held: acquiring it first would
-  // let a transaction that draws a later epoch snapshot pendingTxs before
-  // this one registers, missing it in deps — a dirty read.
-  const Epoch epoch = clock_.Acquire();
+Txn TxnManager::BeginReadWrite(bool notify_checker) {
   Txn txn;
-  txn.epoch = epoch;
-  txn.type = TxnType::kReadWrite;
-  for (const auto& [e, info] : tracked_) {
-    if (HappensBefore(e, epoch) && info.state == TxnState::kPending) {
-      txn.deps.Insert(e);
+  {
+    MutexLock lock(mutex_);
+    // The epoch must be acquired with mutex_ held: acquiring it first would
+    // let a transaction that draws a later epoch snapshot pendingTxs before
+    // this one registers, missing it in deps — a dirty read.
+    const Epoch epoch = clock_.Acquire();
+    txn.epoch = epoch;
+    txn.type = TxnType::kReadWrite;
+    for (const auto& [e, info] : tracked_) {
+      if (HappensBefore(e, epoch) && info.state == TxnState::kPending) {
+        txn.deps.Insert(e);
+      }
     }
+    tracked_.emplace(epoch, TrackedTxn{});
+    active_horizons_.insert(txn.Horizon());
+    ++num_pending_;
+    metrics_.begin_rw->Add();
+    PublishGaugesLocked();
   }
-  tracked_.emplace(epoch, TrackedTxn{});
-  active_horizons_.insert(txn.Horizon());
-  ++num_pending_;
-  metrics_.begin_rw->Add();
-  PublishGaugesLocked();
+  if (notify_checker) {
+    if (CheckerHook* hook = GetCheckerHook()) hook->OnBegin(txn);
+  }
   return txn;
 }
 
 Txn TxnManager::BeginReadOnly() {
-  MutexLock lock(mutex_);
   Txn txn;
-  txn.epoch = lce_;
-  txn.type = TxnType::kReadOnly;
-  active_horizons_.insert(txn.Horizon());
-  metrics_.begin_ro->Add();
+  {
+    MutexLock lock(mutex_);
+    txn.epoch = lce_;
+    txn.type = TxnType::kReadOnly;
+    active_horizons_.insert(txn.Horizon());
+    metrics_.begin_ro->Add();
+  }
+  if (CheckerHook* hook = GetCheckerHook()) hook->OnBegin(txn);
   return txn;
 }
 
@@ -72,20 +83,28 @@ Status TxnManager::Commit(const Txn& txn) {
     EndReadOnly(txn);
     return Status::OK();
   }
-  MutexLock lock(mutex_);
-  auto it = tracked_.find(txn.epoch);
-  if (it == tracked_.end() || it->second.state != TxnState::kPending) {
-    return Status::FailedPrecondition(
-        "commit of unknown or finished transaction epoch " +
-        std::to_string(txn.epoch));
+  {
+    MutexLock lock(mutex_);
+    auto it = tracked_.find(txn.epoch);
+    if (it == tracked_.end() || it->second.state != TxnState::kPending) {
+      return Status::FailedPrecondition(
+          "commit of unknown or finished transaction epoch " +
+          std::to_string(txn.epoch));
+    }
+    it->second.state = TxnState::kCommitted;
+    --num_pending_;
+    auto h = active_horizons_.find(txn.Horizon());
+    if (h != active_horizons_.end()) active_horizons_.erase(h);
+    AdvanceLceLocked();
+    metrics_.commits->Add();
+    PublishGaugesLocked();
+    // OnFinish must fire inside the critical section that removes the
+    // horizon: fired after release, a preempted committer lets a
+    // concurrent TryAdvanceLSE (which no longer sees this horizon) deliver
+    // OnLseAdvance first, and the checker flags a false lost_horizon
+    // against a transaction that was already finished.
+    if (CheckerHook* hook = GetCheckerHook()) hook->OnFinish(txn, true);
   }
-  it->second.state = TxnState::kCommitted;
-  --num_pending_;
-  auto h = active_horizons_.find(txn.Horizon());
-  if (h != active_horizons_.end()) active_horizons_.erase(h);
-  AdvanceLceLocked();
-  metrics_.commits->Add();
-  PublishGaugesLocked();
   return Status::OK();
 }
 
@@ -94,20 +113,25 @@ Status TxnManager::Rollback(const Txn& txn) {
     EndReadOnly(txn);
     return Status::OK();
   }
-  MutexLock lock(mutex_);
-  auto it = tracked_.find(txn.epoch);
-  if (it == tracked_.end() || it->second.state != TxnState::kPending) {
-    return Status::FailedPrecondition(
-        "rollback of unknown or finished transaction epoch " +
-        std::to_string(txn.epoch));
+  {
+    MutexLock lock(mutex_);
+    auto it = tracked_.find(txn.epoch);
+    if (it == tracked_.end() || it->second.state != TxnState::kPending) {
+      return Status::FailedPrecondition(
+          "rollback of unknown or finished transaction epoch " +
+          std::to_string(txn.epoch));
+    }
+    it->second.state = TxnState::kAborted;
+    --num_pending_;
+    auto h = active_horizons_.find(txn.Horizon());
+    if (h != active_horizons_.end()) active_horizons_.erase(h);
+    AdvanceLceLocked();
+    metrics_.rollbacks->Add();
+    PublishGaugesLocked();
+    // Inside the lock for the same reason as Commit: linearize the finish
+    // with the horizon removal so OnLseAdvance can never outrun it.
+    if (CheckerHook* hook = GetCheckerHook()) hook->OnFinish(txn, false);
   }
-  it->second.state = TxnState::kAborted;
-  --num_pending_;
-  auto h = active_horizons_.find(txn.Horizon());
-  if (h != active_horizons_.end()) active_horizons_.erase(h);
-  AdvanceLceLocked();
-  metrics_.rollbacks->Add();
-  PublishGaugesLocked();
   return Status::OK();
 }
 
@@ -115,9 +139,11 @@ void TxnManager::EndReadOnly(const Txn& txn) {
   MutexLock lock(mutex_);
   auto h = active_horizons_.find(txn.Horizon());
   if (h != active_horizons_.end()) active_horizons_.erase(h);
+  // Inside the lock: see Commit.
+  if (CheckerHook* hook = GetCheckerHook()) hook->OnFinish(txn, true);
 }
 
-void TxnManager::AugmentDeps(Txn* txn, const EpochSet& remote_pending) {
+bool TxnManager::AugmentDeps(Txn* txn, const EpochSet& remote_pending) {
   MutexLock lock(mutex_);
   auto h = active_horizons_.find(txn->Horizon());
   if (h != active_horizons_.end()) active_horizons_.erase(h);
@@ -125,20 +151,96 @@ void TxnManager::AugmentDeps(Txn* txn, const EpochSet& remote_pending) {
     if (HappensBefore(e, txn->epoch)) txn->deps.Insert(e);
   }
   active_horizons_.insert(txn->Horizon());
+  // A dep learned here can drag the horizon below a local LSE advance that
+  // slipped in between the epoch draw and this augment. Registering the pin
+  // is then too late — purge may already have merged history the snapshot
+  // distinguishes — so the caller must abort the draft and redraw.
+  if (After(lse_, txn->Horizon())) {
+    metrics_.begin_rejects->Add();
+    return false;
+  }
+  return true;
+}
+
+bool TxnManager::RegisterRemoteHorizon(Epoch epoch, Epoch horizon) {
+  MutexLock lock(mutex_);
+  if (After(lse_, horizon)) {
+    // This node's purge may already have destroyed history below its LSE;
+    // accepting the registration would protect nothing. Redraw instead.
+    metrics_.begin_rejects->Add();
+    return false;
+  }
+  const auto [it, inserted] = remote_horizons_.emplace(epoch, horizon);
+  if (inserted) active_horizons_.insert(horizon);
+  return true;
 }
 
 void TxnManager::NoteRemoteBegin(Epoch epoch) {
-  MutexLock lock(mutex_);
-  if (AtOrBefore(epoch, lce_)) return;  // already passed; stale message
-  const auto [it, inserted] = tracked_.emplace(epoch, TrackedTxn{});
-  if (inserted) {
-    ++num_pending_;
-    PublishGaugesLocked();
+  Epoch lce_at_drop = kNoEpoch;
+  bool dropped = false;
+  {
+    MutexLock lock(mutex_);
+    if (AtOrBefore(epoch, lce_)) {
+      // Already passed; stale message. Dropping it silently is the
+      // lost-horizon hazard the online checker flags — the cluster layer
+      // uses RegisterRemoteBegin (reject + coordinator redraw) instead.
+      dropped = true;
+      lce_at_drop = lce_;
+    } else {
+      const auto [it, inserted] = tracked_.emplace(epoch, TrackedTxn{});
+      if (inserted) {
+        ++num_pending_;
+        PublishGaugesLocked();
+      }
+    }
   }
+  if (dropped) {
+    if (CheckerHook* hook = GetCheckerHook()) {
+      hook->OnStaleRemoteBegin(epoch, lce_at_drop, /*rejected=*/false);
+    }
+  }
+}
+
+bool TxnManager::RegisterRemoteBegin(Epoch epoch, EpochSet* pending) {
+  Epoch lce_at_reject = kNoEpoch;
+  {
+    MutexLock lock(mutex_);
+    if (AtOrBefore(epoch, lce_)) {
+      // The LCE walk skips unallocated epoch gaps, so it may already have
+      // passed an epoch whose begin broadcast was still in flight.
+      // Accepting (or silently dropping) the registration now would let
+      // snapshots pinned at this LCE see the transaction's later writes;
+      // refuse instead and make the coordinator redraw.
+      lce_at_reject = lce_;
+      metrics_.begin_rejects->Add();
+    } else {
+      const auto [it, inserted] = tracked_.emplace(epoch, TrackedTxn{});
+      if (inserted) ++num_pending_;
+      for (const auto& [e, info] : tracked_) {
+        if (info.state == TxnState::kPending && !SameEpoch(e, epoch)) {
+          pending->Insert(e);
+        }
+      }
+      PublishGaugesLocked();
+      return true;
+    }
+  }
+  if (CheckerHook* hook = GetCheckerHook()) {
+    hook->OnStaleRemoteBegin(epoch, lce_at_reject, /*rejected=*/true);
+  }
+  return false;
 }
 
 void TxnManager::NoteRemoteFinish(Epoch epoch, bool committed) {
   MutexLock lock(mutex_);
+  // Release the phase-2 horizon pin unconditionally, before any early
+  // return below: a leaked pin would clamp this node's LSE forever.
+  auto rh = remote_horizons_.find(epoch);
+  if (rh != remote_horizons_.end()) {
+    auto pin = active_horizons_.find(rh->second);
+    if (pin != active_horizons_.end()) active_horizons_.erase(pin);
+    remote_horizons_.erase(rh);
+  }
   // Stale message: LCE already walked past this epoch, so it is finished.
   // Re-inserting it would let the walk move LCE backward.
   if (AtOrBefore(epoch, lce_)) return;
@@ -192,14 +294,19 @@ size_t TxnManager::NumTracked() const {
 }
 
 Epoch TxnManager::TryAdvanceLSE(Epoch candidate) {
-  MutexLock lock(mutex_);
-  Epoch effective = MinEpoch(candidate, lce_);
-  if (!active_horizons_.empty()) {
-    effective = MinEpoch(effective, *active_horizons_.begin());
+  Epoch result;
+  {
+    MutexLock lock(mutex_);
+    Epoch effective = MinEpoch(candidate, lce_);
+    if (!active_horizons_.empty()) {
+      effective = MinEpoch(effective, *active_horizons_.begin());
+    }
+    lse_ = MaxEpoch(lse_, effective);
+    PublishGaugesLocked();
+    result = lse_;
   }
-  lse_ = MaxEpoch(lse_, effective);
-  PublishGaugesLocked();
-  return lse_;
+  if (CheckerHook* hook = GetCheckerHook()) hook->OnLseAdvance(result);
+  return result;
 }
 
 void TxnManager::RestoreAfterRecovery(Epoch lce, Epoch lse) {

@@ -18,6 +18,7 @@
 
 #include <map>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "aosi/epoch.h"
@@ -40,8 +41,12 @@ class TxnManager {
   // --- Transaction lifecycle -------------------------------------------
 
   /// Starts a RW transaction: draws a fresh epoch, snapshots pendingTxs into
-  /// deps, and registers the transaction as pending.
-  Txn BeginReadWrite() EXCLUDES(mutex_);
+  /// deps, and registers the transaction as pending. The cluster layer
+  /// passes notify_checker=false and fires the checker's OnBegin itself
+  /// once the begin protocol has fully succeeded — a draft that loses the
+  /// horizon-registration race is aborted without ever reading, so
+  /// reporting it would manufacture averted lost_horizon violations.
+  Txn BeginReadWrite(bool notify_checker = true) EXCLUDES(mutex_);
 
   /// Starts a RO transaction pinned to the current LCE. The returned handle
   /// must be released with EndReadOnly so LSE gating can track it.
@@ -63,7 +68,10 @@ class TxnManager {
   /// transactions learned from remote nodes during the begin broadcast
   /// (§IV-C), re-registering its LSE horizon accordingly. Epochs >= the
   /// transaction's own are ignored (invisible by timestamp order anyway).
-  void AugmentDeps(Txn* txn, const EpochSet& remote_pending)
+  /// Returns false when the local LSE has already passed the augmented
+  /// horizon — the snapshot can no longer be protected and the caller must
+  /// abort the draft and redraw.
+  bool AugmentDeps(Txn* txn, const EpochSet& remote_pending)
       EXCLUDES(mutex_);
 
   // --- Distributed hooks (driven by the cluster layer) ------------------
@@ -73,6 +81,31 @@ class TxnManager {
 
   /// Registers a RW transaction started on a remote node.
   void NoteRemoteBegin(Epoch epoch) EXCLUDES(mutex_);
+
+  /// Atomic begin-broadcast handler: registers the remote RW transaction
+  /// AND snapshots this node's pendingTxs into `pending` under one lock
+  /// acquisition. Returns false — registering nothing, leaving `pending`
+  /// untouched — when the local LCE has already walked past `epoch`: the
+  /// LCE walk skips unallocated epoch gaps, so accepting a begin at or
+  /// below LCE would retroactively grow snapshots already pinned at that
+  /// LCE (the non-repeatable-snapshot race behind the PR-5 check_si
+  /// cluster flake). The coordinator must abort the draft epoch and
+  /// redraw (cluster::Cluster::BeginReadWrite). Increments
+  /// aosi.txn.begin_rejects and fires the stale-begin checker hook on
+  /// rejection.
+  bool RegisterRemoteBegin(Epoch epoch, EpochSet* pending) EXCLUDES(mutex_);
+
+  /// Registers a remote RW transaction's purge horizon so this node's
+  /// TryAdvanceLSE clamps to it (begin-protocol phase 2; see
+  /// cluster::Cluster::BeginReadWrite). A snapshot's final horizon is only
+  /// known on its coordinator after AugmentDeps, but the distributed scan
+  /// path reads *every* node's replicas — so every node must refuse to let
+  /// its LSE (and therefore purge) pass the horizon while the transaction
+  /// lives. Returns false — registering nothing, incrementing
+  /// aosi.txn.begin_rejects — when the local LSE already passed `horizon`;
+  /// the coordinator must abort the draft and redraw. The pin is released
+  /// by NoteRemoteFinish.
+  bool RegisterRemoteHorizon(Epoch epoch, Epoch horizon) EXCLUDES(mutex_);
 
   /// Registers a remote transaction's completion.
   void NoteRemoteFinish(Epoch epoch, bool committed) EXCLUDES(mutex_);
@@ -92,10 +125,11 @@ class TxnManager {
   /// Snapshot of the pending RW transaction set.
   EpochSet PendingTxs() const EXCLUDES(mutex_);
 
-  /// Minimum horizon over this node's active snapshots, or ~0 when none are
-  /// active. A cluster-wide LSE advance must clamp to this bound on *every*
-  /// node: a transaction's horizon is only registered on its coordinator,
-  /// but purge at LSE destructively applies delete markers on all of them.
+  /// Minimum horizon over the snapshots this node knows to be active —
+  /// locally-coordinated ones plus remote horizons registered through
+  /// RegisterRemoteHorizon — or ~0 when none are. A cluster-wide LSE
+  /// advance must clamp to this bound on *every* node: purge at LSE
+  /// destructively applies delete markers on all of them.
   Epoch MinActiveHorizon() const EXCLUDES(mutex_);
 
   /// Number of transactions tracked (pending + committed-but-blocked).
@@ -133,6 +167,7 @@ class TxnManager {
     obs::Counter* begin_ro;
     obs::Counter* commits;
     obs::Counter* rollbacks;
+    obs::Counter* begin_rejects;
     obs::Gauge* ec;
     obs::Gauge* lce;
     obs::Gauge* lse;
@@ -162,8 +197,13 @@ class TxnManager {
   std::set<Epoch> finished_ GUARDED_BY(mutex_);
   Epoch lce_ GUARDED_BY(mutex_) = kNoEpoch;
   Epoch lse_ GUARDED_BY(mutex_) = kNoEpoch;
-  /// Horizons of active snapshots (RO and RW), for LSE gating.
+  /// Horizons of active snapshots (RO and RW), for LSE gating. Holds both
+  /// locally-coordinated snapshots and remote horizons registered through
+  /// RegisterRemoteHorizon.
   std::multiset<Epoch> active_horizons_ GUARDED_BY(mutex_);
+  /// Remote epoch -> registered horizon, so NoteRemoteFinish can release
+  /// exactly the pin RegisterRemoteHorizon took.
+  std::unordered_map<Epoch, Epoch> remote_horizons_ GUARDED_BY(mutex_);
   /// Count of tracked_ entries in state kPending (pendingTxs depth gauge).
   size_t num_pending_ GUARDED_BY(mutex_) = 0;
 

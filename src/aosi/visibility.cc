@@ -1,5 +1,7 @@
 #include "aosi/visibility.h"
 
+#include "aosi/fault_inject.h"
+
 namespace cubrick::aosi {
 
 Bitmap BuildVisibilityBitmap(const EpochVector& history,
@@ -7,9 +9,18 @@ Bitmap BuildVisibilityBitmap(const EpochVector& history,
   Bitmap bitmap(history.num_records(), false);
   const auto runs = history.Decode();
 
+  // Test-only fault (fault_inject.h): pretend the snapshot's first dep is
+  // visible, manufacturing the stale read the online checker must catch.
+  const Epoch faulted_dep = SkipFirstDepFaultEnabled() && !snapshot.deps.empty()
+                                ? snapshot.deps.Min()
+                                : kNoEpoch;
+
   // First pass: set bits for append runs whose transaction is in-snapshot.
   for (const auto& run : runs) {
-    if (!run.is_delete && snapshot.Sees(run.epoch)) {
+    const bool sees =
+        snapshot.Sees(run.epoch) ||
+        (!IsNoEpoch(faulted_dep) && SameEpoch(run.epoch, faulted_dep));
+    if (!run.is_delete && sees) {
       bitmap.SetRange(run.begin, run.end);
     }
   }

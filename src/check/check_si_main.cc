@@ -1,7 +1,7 @@
 // check_si: seeded snapshot-isolation stress runner (see stress.h).
 //
 //   check_si --mode=single|cluster|both --seeds=N --seed0=S --ops=K [-v]
-//            [--parallel=P] [--cache] [--dump-metrics]
+//            [--parallel=P] [--cache] [--online] [--dump-metrics]
 //
 // Runs N seeds starting at S; each seed derives a configuration via
 // MakeSeedConfig and runs the full workload. Exit code 0 when every seed
@@ -20,6 +20,12 @@
 // the oracle comparison is unchanged; the flag exists to drive the cache's
 // atomic publish/lookup/invalidate machinery under the stress mix —
 // combine with --parallel=P so concurrent morsel workers hit the slots.
+//
+// --online additionally installs the online SI checker (online_checker.h)
+// for every seed: sampled transactions and scans are validated against the
+// visibility rules while the workload runs, and any violation the checker
+// records fails the seed exactly like an oracle divergence — each --online
+// run therefore cross-checks the online checker against the offline oracle.
 //
 // --dump-metrics prints the Prometheus exposition of the metrics registry
 // after all seeds finish — the stress harness doubles as a concurrent-writer
@@ -48,6 +54,7 @@ struct Args {
   int ops = 0;  // 0: keep MakeSeedConfig default
   int parallel = 0;  // 0: keep MakeSeedConfig default (serial)
   bool cache = false;  // MakeSeedConfig default stays uncached
+  bool online = false;  // install the online SI checker per seed
   bool verbose = false;
   bool dump_metrics = false;
 };
@@ -77,6 +84,8 @@ Args ParseArgs(int argc, char** argv) {
       args.parallel = std::atoi(value);
     } else if (std::strcmp(argv[i], "--cache") == 0) {
       args.cache = true;
+    } else if (std::strcmp(argv[i], "--online") == 0) {
+      args.online = true;
     } else if (std::strcmp(argv[i], "-v") == 0 ||
                std::strcmp(argv[i], "--verbose") == 0) {
       args.verbose = true;
@@ -86,8 +95,8 @@ Args ParseArgs(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown argument: %s\n"
                    "usage: check_si [--mode=single|cluster|both] [--seeds=N] "
-                   "[--seed0=S] [--ops=K] [--parallel=P] [--cache] [-v] "
-                   "[--dump-metrics]\n",
+                   "[--seed0=S] [--ops=K] [--parallel=P] [--cache] "
+                   "[--online] [-v] [--dump-metrics]\n",
                    argv[i]);
       std::exit(2);
     }
@@ -110,6 +119,7 @@ bool RunOne(const Args& args, uint64_t seed, bool cluster) {
     opt.query_parallelism = static_cast<size_t>(args.parallel);
   }
   if (args.cache) opt.visibility_cache = true;
+  if (args.online) opt.online_check = true;
   const cubrick::check::StressReport report =
       cluster ? cubrick::check::RunClusterStress(opt)
               : cubrick::check::RunSingleNodeStress(opt);

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <thread>
 
+#include "check/online_checker.h"
 #include "check/si_oracle.h"
 #include "cluster/cluster.h"
 #include "common/logging.h"
@@ -185,11 +186,14 @@ struct SutTxn {
   aosi::Snapshot snapshot() const { return txn().snapshot(); }
 };
 
+/// Every choice an adapter used to draw from an RNG is passed in explicitly
+/// (coordinator, checkpoint-vs-purge): adapters are deterministic executors
+/// of a pre-generated plan, never consumers of randomness.
 class SutAdapter {
  public:
   virtual ~SutAdapter() = default;
-  virtual Status BeginRw(Random& rng, SutTxn* out) = 0;
-  virtual void BeginRo(Random& rng, SutTxn* out) = 0;
+  virtual Status BeginRw(uint32_t coordinator, SutTxn* out) = 0;
+  virtual void BeginRo(uint32_t coordinator, SutTxn* out) = 0;
   virtual Status Append(SutTxn* t, const std::vector<Record>& rows) = 0;
   virtual Status Delete(SutTxn* t,
                         const std::vector<FilterClause>& filters) = 0;
@@ -201,8 +205,9 @@ class SutAdapter {
   virtual std::vector<Bid> CoveredBricks(
       const std::vector<FilterClause>& filters) = 0;
   /// Purge / LSE advance / checkpoint step. Caller holds the structure lock
-  /// shared.
-  virtual Status Maintenance(Random& rng, StressReport* counters) = 0;
+  /// shared. `want_checkpoint` is only honored when persistence is on.
+  virtual Status Maintenance(bool want_checkpoint,
+                             StressReport* counters) = 0;
 };
 
 class SingleNodeSut : public SutAdapter {
@@ -210,12 +215,12 @@ class SingleNodeSut : public SutAdapter {
   SingleNodeSut(Database* db, bool with_persistence)
       : db_(db), with_persistence_(with_persistence) {}
 
-  Status BeginRw(Random&, SutTxn* out) override {
+  Status BeginRw(uint32_t /*coordinator*/, SutTxn* out) override {
     out->local = db_->Begin();
     return Status::OK();
   }
 
-  void BeginRo(Random&, SutTxn* out) override {
+  void BeginRo(uint32_t /*coordinator*/, SutTxn* out) override {
     out->local = db_->BeginReadOnly();
   }
 
@@ -243,9 +248,9 @@ class SingleNodeSut : public SutAdapter {
     return {bids.begin(), bids.end()};
   }
 
-  Status Maintenance(Random& rng, StressReport* counters) override {
+  Status Maintenance(bool want_checkpoint, StressReport* counters) override {
     if (with_persistence_) {
-      if (rng.OneIn(2)) {
+      if (want_checkpoint) {
         auto lse = db_->Checkpoint();
         if (!lse.ok()) return lse.status();
         ++counters->checkpoints;
@@ -271,17 +276,17 @@ class ClusterSut : public SutAdapter {
   ClusterSut(cluster::Cluster* cluster, bool with_persistence)
       : cluster_(cluster), with_persistence_(with_persistence) {}
 
-  Status BeginRw(Random& rng, SutTxn* out) override {
+  Status BeginRw(uint32_t coordinator, SutTxn* out) override {
     out->is_cluster = true;
-    auto txn = cluster_->BeginReadWrite(RandomCoordinator(rng));
+    auto txn = cluster_->BeginReadWrite(coordinator);
     if (!txn.ok()) return txn.status();
     out->dist = *txn;
     return Status::OK();
   }
 
-  void BeginRo(Random& rng, SutTxn* out) override {
+  void BeginRo(uint32_t coordinator, SutTxn* out) override {
     out->is_cluster = true;
-    out->dist = cluster_->BeginReadOnly(RandomCoordinator(rng));
+    out->dist = cluster_->BeginReadOnly(coordinator);
   }
 
   Status Append(SutTxn* t, const std::vector<Record>& rows) override {
@@ -313,10 +318,10 @@ class ClusterSut : public SutAdapter {
     return {bids.begin(), bids.end()};
   }
 
-  Status Maintenance(Random& rng, StressReport* counters) override {
+  Status Maintenance(bool want_checkpoint, StressReport* counters) override {
     cluster_->AdvanceClusterLSE();
     cluster_->PurgeAll();
-    if (with_persistence_ && rng.OneIn(2)) {
+    if (with_persistence_ && want_checkpoint) {
       auto lse = cluster_->CheckpointAll();
       if (!lse.ok()) return lse.status();
       ++counters->checkpoints;
@@ -325,13 +330,94 @@ class ClusterSut : public SutAdapter {
   }
 
  private:
-  uint32_t RandomCoordinator(Random& rng) {
-    return 1 + static_cast<uint32_t>(rng.Uniform(cluster_->num_nodes()));
-  }
-
   cluster::Cluster* cluster_;
   const bool with_persistence_;
 };
+
+// --- Pre-generated op plans -----------------------------------------------
+//
+// Every random choice a worker will ever make is drawn here, on the main
+// thread, before any worker launches — a pure function of (seed, tid). The
+// draws inside each op kind are unconditional: runtime state (e.g. whether
+// a delete was rejected) decides only whether a pre-drawn value is *used*,
+// never whether it is *drawn*, so the workload is bit-identical across
+// thread interleavings, sanitizers and machines.
+
+struct OpPlan {
+  enum class Kind : uint8_t {
+    kCommitAppend,
+    kAbort,
+    kDelete,
+    kRoQuery,
+    kMaintenance,
+  };
+
+  Kind kind = Kind::kRoQuery;
+  /// Coordinator node for this op's transaction (1 in single-node mode).
+  uint32_t coordinator = 1;
+  /// Record batches, in append order. kDelete: [0] is the pre-delete batch,
+  /// [1] the post-delete batch (each used only if its dice said so).
+  std::vector<std::vector<Record>> batches;
+  /// Validate a read inside the transaction (ryw / pre-abort / post-delete)?
+  bool do_read = false;
+  Query query;
+  std::vector<FilterClause> delete_filters;
+  bool append_before_delete = false;
+  bool append_after_delete = false;
+  /// Commit the delete txn (vs abort); only honored when the delete stuck.
+  bool commit_delete = false;
+  bool maintenance_checkpoint = false;
+};
+
+uint64_t WorkerSeed(uint64_t seed, int tid) {
+  uint64_t state = seed * 1000003ULL + static_cast<uint64_t>(tid);
+  return SplitMix64(state);
+}
+
+std::vector<OpPlan> GenerateThreadPlan(const StressOptions& opt,
+                                       bool cluster, int tid) {
+  Random rng(WorkerSeed(opt.seed, tid));
+  std::vector<OpPlan> plan;
+  plan.reserve(static_cast<size_t>(opt.ops_per_thread));
+  for (int i = 0; i < opt.ops_per_thread; ++i) {
+    OpPlan op;
+    op.coordinator =
+        cluster ? 1 + static_cast<uint32_t>(rng.Uniform(opt.num_nodes)) : 1;
+    const double dice = rng.NextDouble();
+    if (dice < 0.30) {
+      op.kind = OpPlan::Kind::kCommitAppend;
+      const uint64_t batches = 1 + rng.Uniform(2);
+      for (uint64_t b = 0; b < batches; ++b) {
+        op.batches.push_back(RandomRecords(rng));
+      }
+      op.do_read = rng.OneIn(2);
+      op.query = RandomQuery(rng);
+    } else if (dice < 0.42) {
+      op.kind = OpPlan::Kind::kAbort;
+      op.batches.push_back(RandomRecords(rng));
+      op.do_read = rng.OneIn(3);
+      op.query = RandomQuery(rng);
+    } else if (dice < 0.56) {
+      op.kind = OpPlan::Kind::kDelete;
+      op.append_before_delete = rng.OneIn(2);
+      op.batches.push_back(RandomRecords(rng));
+      op.delete_filters = RandomDeleteFilters(rng);
+      op.append_after_delete = rng.OneIn(3);
+      op.batches.push_back(RandomRecords(rng));
+      op.do_read = rng.OneIn(2);
+      op.query = RandomQuery(rng);
+      op.commit_delete = !rng.OneIn(4);
+    } else if (dice < 0.88) {
+      op.kind = OpPlan::Kind::kRoQuery;
+      op.query = RandomQuery(rng);
+    } else {
+      op.kind = OpPlan::Kind::kMaintenance;
+      op.maintenance_checkpoint = rng.OneIn(2);
+    }
+    plan.push_back(std::move(op));
+  }
+  return plan;
+}
 
 // --- Worker ---------------------------------------------------------------
 
@@ -347,35 +433,38 @@ struct SharedState {
 
 class Worker {
  public:
-  Worker(SharedState* shared, const StressOptions& opt, int tid)
-      : shared_(shared), opt_(opt), tid_(tid), rng_(WorkerSeed(opt.seed, tid)) {}
+  Worker(SharedState* shared, std::vector<OpPlan> plan, int tid)
+      : shared_(shared), plan_(std::move(plan)), tid_(tid) {}
 
   StressReport& counters() { return counters_; }
 
   void Run() {
-    for (int i = 0; i < opt_.ops_per_thread && !shared_->stop.load(std::memory_order_seq_cst); ++i) {
-      op_index_ = i;
-      const double dice = rng_.NextDouble();
-      if (dice < 0.30) {
-        CommitAppendTxn();
-      } else if (dice < 0.42) {
-        AbortTxn();
-      } else if (dice < 0.56) {
-        DeleteTxn();
-      } else if (dice < 0.88) {
-        RoQueryOp();
-      } else {
-        MaintenanceOp();
+    for (size_t i = 0;
+         i < plan_.size() && !shared_->stop.load(std::memory_order_seq_cst);
+         ++i) {
+      op_index_ = static_cast<int>(i);
+      const OpPlan& op = plan_[i];
+      switch (op.kind) {
+        case OpPlan::Kind::kCommitAppend:
+          CommitAppendTxn(op);
+          break;
+        case OpPlan::Kind::kAbort:
+          AbortTxn(op);
+          break;
+        case OpPlan::Kind::kDelete:
+          DeleteTxn(op);
+          break;
+        case OpPlan::Kind::kRoQuery:
+          RoQueryOp(op);
+          break;
+        case OpPlan::Kind::kMaintenance:
+          MaintenanceOp(op);
+          break;
       }
     }
   }
 
  private:
-  static uint64_t WorkerSeed(uint64_t seed, int tid) {
-    uint64_t state = seed * 1000003ULL + static_cast<uint64_t>(tid);
-    return SplitMix64(state);
-  }
-
   void Trace(const std::string& line) {
     std::ostringstream out;
     out << "t" << tid_ << "#" << op_index_ << " " << line;
@@ -420,8 +509,7 @@ class Worker {
 
   /// Appends under the shared structure lock, logging to the oracle inside
   /// the same critical section (ordering contract, see stress.h).
-  bool AppendBatch(SutTxn* t) {
-    const std::vector<Record> rows = RandomRecords(rng_);
+  bool AppendBatch(SutTxn* t, const std::vector<Record>& rows) {
     ReaderMutexLock lock(shared_->structure);
     const Status status = shared_->sut->Append(t, rows);
     if (!status.ok()) {
@@ -433,22 +521,21 @@ class Worker {
     return true;
   }
 
-  void CommitAppendTxn() {
+  void CommitAppendTxn(const OpPlan& op) {
     SutTxn t;
-    Status status = shared_->sut->BeginRw(rng_, &t);
+    Status status = shared_->sut->BeginRw(op.coordinator, &t);
     if (!status.ok()) {
       Fail("begin failed: " + status.ToString());
       return;
     }
     Trace("begin rw epoch=" + std::to_string(t.epoch()) + " deps=" +
           t.txn().deps.ToString());
-    const uint64_t batches = 1 + rng_.Uniform(2);
-    for (uint64_t b = 0; b < batches; ++b) {
-      if (!AppendBatch(&t)) return;
+    for (const auto& batch : op.batches) {
+      if (!AppendBatch(&t, batch)) return;
     }
-    if (rng_.OneIn(2)) {
+    if (op.do_read) {
       ++counters_.ryw_queries;
-      if (!Validate(&t, RandomQuery(rng_), "read-your-writes")) return;
+      if (!Validate(&t, op.query, "read-your-writes")) return;
     }
     status = shared_->sut->Commit(&t);
     if (!status.ok()) {
@@ -459,17 +546,17 @@ class Worker {
     ++counters_.commits;
   }
 
-  void AbortTxn() {
+  void AbortTxn(const OpPlan& op) {
     SutTxn t;
-    Status status = shared_->sut->BeginRw(rng_, &t);
+    Status status = shared_->sut->BeginRw(op.coordinator, &t);
     if (!status.ok()) {
       Fail("begin failed: " + status.ToString());
       return;
     }
-    if (!AppendBatch(&t)) return;
-    if (rng_.OneIn(3)) {
+    if (!AppendBatch(&t, op.batches[0])) return;
+    if (op.do_read) {
       ++counters_.ryw_queries;
-      if (!Validate(&t, RandomQuery(rng_), "pre-abort read")) return;
+      if (!Validate(&t, op.query, "pre-abort read")) return;
     }
     if (!FinishAbort(&t)) return;
     Trace("abort epoch=" + std::to_string(t.epoch()));
@@ -490,17 +577,17 @@ class Worker {
     return true;
   }
 
-  void DeleteTxn() {
+  void DeleteTxn(const OpPlan& op) {
     SutTxn t;
-    Status status = shared_->sut->BeginRw(rng_, &t);
+    Status status = shared_->sut->BeginRw(op.coordinator, &t);
     if (!status.ok()) {
       Fail("begin failed: " + status.ToString());
       return;
     }
     // Sometimes append in the same transaction before the delete point:
     // those records must be cleared by the transaction's own delete.
-    if (rng_.OneIn(2) && !AppendBatch(&t)) return;
-    const std::vector<FilterClause> filters = RandomDeleteFilters(rng_);
+    if (op.append_before_delete && !AppendBatch(&t, op.batches[0])) return;
+    const std::vector<FilterClause>& filters = op.delete_filters;
     bool deleted = false;
     {
       WriterMutexLock lock(shared_->structure);
@@ -520,12 +607,14 @@ class Worker {
       }
     }
     // Records appended after the delete point survive the delete.
-    if (deleted && rng_.OneIn(3) && !AppendBatch(&t)) return;
-    if (rng_.OneIn(2)) {
-      ++counters_.ryw_queries;
-      if (!Validate(&t, RandomQuery(rng_), "post-delete read")) return;
+    if (deleted && op.append_after_delete && !AppendBatch(&t, op.batches[1])) {
+      return;
     }
-    if (deleted && !rng_.OneIn(4)) {
+    if (op.do_read) {
+      ++counters_.ryw_queries;
+      if (!Validate(&t, op.query, "post-delete read")) return;
+    }
+    if (deleted && op.commit_delete) {
       status = shared_->sut->Commit(&t);
       if (!status.ok()) {
         Fail("commit failed: " + status.ToString());
@@ -538,21 +627,21 @@ class Worker {
     }
   }
 
-  void RoQueryOp() {
+  void RoQueryOp(const OpPlan& op) {
     SutTxn t;
-    shared_->sut->BeginRo(rng_, &t);
+    shared_->sut->BeginRo(op.coordinator, &t);
     ++counters_.queries;
-    const Query q = RandomQuery(rng_);
-    const bool ok = Validate(&t, q, "read-only snapshot");
+    const bool ok = Validate(&t, op.query, "read-only snapshot");
     shared_->sut->EndRo(&t);
     if (ok) {
       Trace("ro query epoch=" + std::to_string(t.epoch()) + " ok");
     }
   }
 
-  void MaintenanceOp() {
+  void MaintenanceOp(const OpPlan& op) {
     ReaderMutexLock lock(shared_->structure);
-    const Status status = shared_->sut->Maintenance(rng_, &counters_);
+    const Status status =
+        shared_->sut->Maintenance(op.maintenance_checkpoint, &counters_);
     if (!status.ok()) {
       Fail("maintenance failed: " + status.ToString());
       return;
@@ -562,9 +651,8 @@ class Worker {
   }
 
   SharedState* shared_;
-  const StressOptions& opt_;
+  const std::vector<OpPlan> plan_;
   const int tid_;
-  Random rng_;
   int op_index_ = 0;
   StressReport counters_;
   std::vector<std::string> trace_;
@@ -577,7 +665,8 @@ std::string ConfigLine(const StressOptions& opt, bool cluster) {
       << " ops=" << opt.ops_per_thread << " shards=" << opt.shards_per_cube
       << " threaded=" << opt.threaded_shards
       << " rollback_index=" << opt.rollback_index
-      << " persist=" << opt.with_persistence;
+      << " persist=" << opt.with_persistence
+      << " online=" << opt.online_check;
   if (!cluster) {
     out << " parallel=" << opt.query_parallelism
         << " cache=" << opt.visibility_cache;
@@ -595,7 +684,26 @@ std::string ConfigLine(const StressOptions& opt, bool cluster) {
   if (!cluster && opt.visibility_cache) {
     out << " --cache";
   }
+  if (opt.online_check) {
+    out << " --online";
+  }
   return out.str();
+}
+
+/// Drains the online checker and surfaces its violations as failures.
+void AppendCheckerFailures(OnlineChecker* checker, const std::string& config,
+                           StressReport* report) {
+  if (checker == nullptr) return;
+  checker->DrainForTest();
+  if (checker->ViolationCount() == 0) return;
+  std::ostringstream out;
+  out << config << "\nONLINE CHECKER: " << checker->ViolationCount()
+      << " violation(s), " << checker->ActiveHorizonCountForTest()
+      << " unfinished sampled txn(s) at shutdown";
+  for (const auto& v : checker->Violations()) {
+    out << "\n  [" << ViolationKindName(v.kind) << "] " << v.detail;
+  }
+  report->failures.push_back(out.str());
 }
 
 Query FullScanQuery() {
@@ -608,12 +716,14 @@ Query FullScanQuery() {
   return q;
 }
 
-/// Runs the worker pool and merges counters/failures into `report`.
-void RunWorkers(SharedState* shared, const StressOptions& opt,
+/// Pre-generates every thread's plan, then runs the worker pool and merges
+/// counters/failures into `report`.
+void RunWorkers(SharedState* shared, const StressOptions& opt, bool cluster,
                 StressReport* report) {
   std::vector<std::unique_ptr<Worker>> workers;
   for (int t = 0; t < opt.threads; ++t) {
-    workers.push_back(std::make_unique<Worker>(shared, opt, t));
+    workers.push_back(std::make_unique<Worker>(
+        shared, GenerateThreadPlan(opt, cluster, t), t));
   }
   std::vector<std::thread> threads;
   threads.reserve(workers.size());
@@ -706,6 +816,7 @@ StressReport RunSingleNodeStress(const StressOptions& opt) {
   db_options.rollback_index = opt.rollback_index;
   db_options.query_parallelism = opt.query_parallelism;
   db_options.query_visibility_cache = opt.visibility_cache;
+  db_options.online_check = opt.online_check;
   if (opt.with_persistence) {
     fs::remove_all(dir);
     fs::create_directories(dir);
@@ -724,7 +835,7 @@ StressReport RunSingleNodeStress(const StressOptions& opt) {
   shared.oracle = &oracle;
   shared.failures = &report.failures;
   shared.config = config;
-  RunWorkers(&shared, opt, &report);
+  RunWorkers(&shared, opt, /*cluster=*/false, &report);
 
   // Epilogue 1: quiescent full-cube validation at the final LCE.
   const Query q = FullScanQuery();
@@ -735,6 +846,9 @@ StressReport RunSingleNodeStress(const StressOptions& opt) {
                        "final read", &report);
     db->txns().EndReadOnly(ro);
   }
+  // The checker dies with the Database in the crash epilogue below, so
+  // collect its verdict now (the recovered instance gets a fresh one).
+  AppendCheckerFailures(db->online_checker(), config, &report);
 
   // Epilogue 2: crash (destroy the Database; segments survive on disk),
   // recover, and verify the recovered state equals the oracle at the
@@ -760,6 +874,7 @@ StressReport RunSingleNodeStress(const StressOptions& opt) {
         ValidateSequential(oracle, ro.snapshot(), q, actual, config,
                            "post-recovery read", &report);
         db->txns().EndReadOnly(ro);
+        AppendCheckerFailures(db->online_checker(), config, &report);
       }
     }
   }
@@ -790,13 +905,22 @@ StressReport RunClusterStress(const StressOptions& opt) {
   CUBRICK_CHECK(created.ok());
   SiOracle oracle(cluster.FindSchema(kCube));
 
+  // The cluster has no DatabaseOptions knob (nodes share one process-wide
+  // hook anyway), so the harness installs one checker over the whole run,
+  // epilogues included.
+  std::unique_ptr<OnlineChecker> checker;
+  if (opt.online_check) {
+    checker = std::make_unique<OnlineChecker>();
+    checker->Install();
+  }
+
   ClusterSut sut(&cluster, opt.with_persistence);
   SharedState shared;
   shared.sut = &sut;
   shared.oracle = &oracle;
   shared.failures = &report.failures;
   shared.config = config;
-  RunWorkers(&shared, opt, &report);
+  RunWorkers(&shared, opt, /*cluster=*/true, &report);
 
   // Epilogue 1: quiescent validation from every coordinator.
   const Query q = FullScanQuery();
@@ -843,6 +967,10 @@ StressReport RunClusterStress(const StressOptions& opt) {
     }
   }
 
+  if (checker != nullptr) {
+    checker->Uninstall();
+    AppendCheckerFailures(checker.get(), config, &report);
+  }
   if (opt.with_persistence) fs::remove_all(dir);
   return report;
 }

@@ -10,11 +10,17 @@
 // report: the seed, the derived configuration, and the interleaved per-thread
 // operation trace.
 //
-// Determinism: each worker's operation stream is a pure function of
-// (seed, thread id), so a failing seed re-runs the identical workload. The
-// thread interleaving itself is scheduler-dependent — that is the point: the
-// oracle comparison is interleaving-independent because visibility under
-// AOSI is a pure function of (epoch, deps) and the per-epoch operation sets.
+// Determinism: each worker's full operation plan — op kinds, record
+// batches, queries, delete predicates, coordinator choices, commit/abort
+// coin flips — is pre-generated from (seed, thread id) on the main thread
+// before any worker launches. No RNG is consulted while threads run, and no
+// draw is conditional on runtime state (a rejected delete decides whether a
+// pre-drawn batch is *used*, never whether it was *drawn*), so a failing
+// seed re-runs the bit-identical workload regardless of scheduler, sanitizer
+// or machine. The thread interleaving itself remains scheduler-dependent —
+// that is the point: the oracle comparison is interleaving-independent
+// because visibility under AOSI is a pure function of (epoch, deps) and the
+// per-epoch operation sets.
 //
 // Oracle/engine ordering contract (what makes the comparison race-free):
 //   * a transaction's operations are logged to the oracle before it commits
@@ -59,6 +65,12 @@ struct StressOptions {
   /// is unchanged; what the flag adds is coverage of the cache's
   /// lookup/publish/invalidate machinery under a concurrent workload.
   bool visibility_cache = false;
+  /// Installs the online SI checker (online_checker.h) for the duration of
+  /// the run — single-node via DatabaseOptions::online_check, cluster via a
+  /// harness-owned checker spanning workload and epilogues. Any violation
+  /// the checker records becomes a report failure, so the online checker is
+  /// itself cross-checked against the offline oracle on every --online run.
+  bool online_check = false;
   /// Cluster mode only.
   uint32_t num_nodes = 3;
   size_t replication_factor = 2;

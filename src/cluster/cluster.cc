@@ -1,5 +1,6 @@
 #include "cluster/cluster.h"
 
+#include "aosi/checker_hook.h"
 #include "cubrick/ddl.h"
 #include "obs/metrics.h"
 
@@ -13,6 +14,7 @@ namespace {
 /// RPC fan-out instrumentation (docs/OBSERVABILITY.md, "cluster.rpc.*").
 struct RpcInstruments {
   obs::Counter* begin_broadcasts;
+  obs::Counter* horizon_registrations;
   obs::Counter* finish_broadcasts;
   obs::Counter* append_forwards;
   obs::Counter* redeliveries_queued;
@@ -25,6 +27,7 @@ const RpcInstruments& Rpc() {
     auto& reg = obs::MetricsRegistry::Global();
     return RpcInstruments{
         reg.GetCounter("cluster.rpc.begin_broadcasts"),
+        reg.GetCounter("cluster.rpc.horizon_registrations"),
         reg.GetCounter("cluster.rpc.finish_broadcasts"),
         reg.GetCounter("cluster.rpc.append_forwards"),
         reg.GetCounter("cluster.rpc.redeliveries_queued"),
@@ -139,20 +142,84 @@ Result<DistTxn> Cluster::BeginReadWrite(uint32_t coordinator) {
                                  " is offline; cannot begin RW transaction");
     }
   }
-  DistTxn dist;
-  dist.coordinator = coordinator;
-  dist.txn = node(coordinator).txns().BeginReadWrite();
+  // The coordinator draws the epoch before the begin broadcast lands, so a
+  // peer's LCE may already have walked past it (the walk skips unallocated
+  // epoch gaps). Such a peer rejects the registration — accepting it would
+  // retroactively grow snapshots pinned at its LCE — and the coordinator
+  // aborts the draft epoch and redraws. The clock carries of the failed
+  // round made the coordinator observe the rejecting peer's EC (> its LCE),
+  // so every retry draws a strictly larger epoch; more than a handful of
+  // rounds means LCEs are advancing faster than a broadcast completes.
+  constexpr int kMaxBeginAttempts = 16;
+  for (int attempt = 0; attempt < kMaxBeginAttempts; ++attempt) {
+    DistTxn dist;
+    dist.coordinator = coordinator;
+    // The checker's OnBegin is deferred to the end of this round: a draft
+    // that loses a race below aborts without ever reading, and reporting
+    // its horizon would turn averted hazards into false lost_horizon
+    // violations.
+    dist.txn = node(coordinator).txns().BeginReadWrite(
+        /*notify_checker=*/false);
 
-  aosi::EpochSet remote_pending;
-  for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
-    if (o == coordinator) continue;
-    Rpc().begin_broadcasts->Add();
-    CarryClocksForward(coordinator, o);
-    remote_pending.UnionWith(node(o).HandleBeginBroadcast(dist.txn.epoch));
-    CarryClocksBack(coordinator, o);
+    aosi::EpochSet remote_pending;
+    std::vector<uint32_t> accepted_peers;
+    bool rejected = false;
+    for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
+      if (o == coordinator) continue;
+      Rpc().begin_broadcasts->Add();
+      CarryClocksForward(coordinator, o);
+      auto result = node(o).HandleBeginBroadcast(dist.txn.epoch);
+      CarryClocksBack(coordinator, o);
+      if (!result.accepted) {
+        rejected = true;
+        break;
+      }
+      accepted_peers.push_back(o);
+      remote_pending.UnionWith(result.pending);
+    }
+    if (!rejected) {
+      // Phase 2: the final dependency set — and with it the snapshot's
+      // purge horizon — is only known after augmenting with every peer's
+      // pending list, but TryAdvanceLSE clamps against *local*
+      // registrations only, and the distributed scan path reads every
+      // node's replicas. Register the final horizon on every node before
+      // the transaction reads anything; a node whose LSE already passed it
+      // (an AdvanceClusterLSE sweep that read this node before the dep
+      // existed) refuses, and the draft is aborted and redrawn exactly as
+      // for a stale begin. Peer pins are released by the HandleFinish
+      // broadcast, which the abort path below also sends.
+      bool horizon_ok =
+          node(coordinator).txns().AugmentDeps(&dist.txn, remote_pending);
+      const aosi::Epoch horizon = dist.txn.Horizon();
+      for (uint32_t o : accepted_peers) {
+        if (!horizon_ok) break;
+        Rpc().horizon_registrations->Add();
+        CarryClocksForward(coordinator, o);
+        horizon_ok = node(o).HandleRegisterHorizon(dist.txn.epoch, horizon);
+        CarryClocksBack(coordinator, o);
+      }
+      if (horizon_ok) {
+        if (auto* hook = aosi::GetCheckerHook()) hook->OnBegin(dist.txn);
+        return dist;
+      }
+      rejected = true;
+    }
+    // Abort the draft epoch: peers that registered it learn it finished
+    // (nothing was written at this epoch, so there is no data to remove),
+    // then the coordinator finalizes locally and the loop redraws.
+    const aosi::Epoch draft = dist.txn.epoch;
+    for (uint32_t o : accepted_peers) {
+      Rpc().finish_broadcasts->Add();
+      DeliverOrQueue(coordinator, o, [draft](ClusterNode& n) {
+        return n.HandleFinish(draft, aosi::EpochSet{}, /*committed=*/false);
+      });
+    }
+    const Status rollback = node(coordinator).txns().Rollback(dist.txn);
+    CUBRICK_CHECK(rollback.ok());
   }
-  node(coordinator).txns().AugmentDeps(&dist.txn, remote_pending);
-  return dist;
+  return Status::Unavailable(
+      "begin broadcast lost the race against LCE advancement " +
+      std::to_string(kMaxBeginAttempts) + " times; cluster is overloaded");
 }
 
 DistTxn Cluster::BeginReadOnly(uint32_t coordinator) {
@@ -188,6 +255,12 @@ Status Cluster::Commit(DistTxn* dist) {
   // Single broadcast, no consensus: commits are deterministic (§IV).
   const aosi::Epoch epoch = dist->txn.epoch;
   const aosi::EpochSet deps = dist->txn.deps;
+  // The snapshot's reads are over once commit starts, and a peer that
+  // receives the finish below releases its phase-2 horizon pin — so its
+  // LSE may legitimately pass the horizon before the local commit at the
+  // bottom runs. Retire the snapshot with the checker first, or it judges
+  // those advances against a transaction that already stopped reading.
+  if (auto* hook = aosi::GetCheckerHook()) hook->OnFinish(dist->txn, true);
   for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
     if (o == dist->coordinator) continue;
     Rpc().finish_broadcasts->Add();
@@ -217,6 +290,9 @@ Status Cluster::Rollback(DistTxn* dist) {
     });
   }
   node(dist->coordinator).RollbackData(epoch);
+  // Same as Commit: peers receiving the finish release their horizon pins,
+  // so retire the snapshot with the checker before the broadcast.
+  if (auto* hook = aosi::GetCheckerHook()) hook->OnFinish(dist->txn, false);
   for (uint32_t o = 1; o <= options_.num_nodes; ++o) {
     if (o == dist->coordinator) continue;
     Rpc().finish_broadcasts->Add();
@@ -365,9 +441,13 @@ aosi::Epoch Cluster::AdvanceClusterLSE() {
     // §III-B condition (c): LSE may not pass data that is not yet durable
     // on every replica. Diskless clusters return "unbounded" here.
     candidate = aosi::MinEpoch(candidate, n->MinFlushedLse());
-    // A snapshot's horizon is registered only on its coordinator, but purge
-    // at LSE applies delete markers destructively on every node — so every
-    // node's LSE must respect the cluster-wide minimum horizon.
+    // Purge at LSE applies delete markers destructively on every node, so
+    // every node's LSE must respect the cluster-wide minimum horizon.
+    // These reads are not atomic across nodes; the per-node TryAdvanceLSE
+    // clamp below, together with the phase-2 horizon registration in
+    // BeginReadWrite (which puts every live snapshot's horizon in every
+    // node's local clamp), is what makes the advance sound against begins
+    // that race this sweep.
     candidate = aosi::MinEpoch(candidate, n->txns().MinActiveHorizon());
   }
   aosi::Epoch cluster_lse = aosi::kEpochMax;

@@ -40,10 +40,19 @@ Table* ClusterNode::FindTable(const std::string& name) {
   return it == cubes_.end() ? nullptr : it->second.table.get();
 }
 
-aosi::EpochSet ClusterNode::HandleBeginBroadcast(aosi::Epoch epoch) {
-  aosi::EpochSet pending = txns_.PendingTxs();
-  txns_.NoteRemoteBegin(epoch);
-  return pending;
+ClusterNode::BeginBroadcastResult ClusterNode::HandleBeginBroadcast(
+    aosi::Epoch epoch) {
+  // Registration and the pendingTxs snapshot must be one atomic step: a
+  // separate PendingTxs() + NoteRemoteBegin() pair leaves a window where
+  // the local LCE walks past `epoch` between the two calls.
+  BeginBroadcastResult result;
+  result.accepted = txns_.RegisterRemoteBegin(epoch, &result.pending);
+  return result;
+}
+
+bool ClusterNode::HandleRegisterHorizon(aosi::Epoch epoch,
+                                        aosi::Epoch horizon) {
+  return txns_.RegisterRemoteHorizon(epoch, horizon);
 }
 
 Status ClusterNode::HandleAppend(aosi::Epoch epoch, const std::string& cube,

@@ -50,9 +50,24 @@ class ClusterNode {
 
   // --- RPC surface ---------------------------------------------------------
 
-  /// Begin broadcast (§IV-C): registers a remote RW transaction and returns
-  /// this node's pendingTxs set.
-  aosi::EpochSet HandleBeginBroadcast(aosi::Epoch epoch);
+  /// Outcome of a begin broadcast. `accepted == false` means this node's
+  /// LCE had already walked past the proposed epoch (the registration was
+  /// refused, `pending` is empty) and the coordinator must abort the draft
+  /// epoch and redraw — see TxnManager::RegisterRemoteBegin.
+  struct BeginBroadcastResult {
+    bool accepted = false;
+    aosi::EpochSet pending;
+  };
+
+  /// Begin broadcast (§IV-C): atomically registers a remote RW transaction
+  /// and snapshots this node's pendingTxs set.
+  BeginBroadcastResult HandleBeginBroadcast(aosi::Epoch epoch);
+
+  /// Begin-protocol phase 2: pins the transaction's final (post-augment)
+  /// purge horizon so this node's LSE cannot pass it while the transaction
+  /// lives. Returns false when the local LSE already has — the coordinator
+  /// must abort the draft and redraw (TxnManager::RegisterRemoteHorizon).
+  bool HandleRegisterHorizon(aosi::Epoch epoch, aosi::Epoch horizon);
 
   /// Appends forwarded, already-parsed batches.
   Status HandleAppend(aosi::Epoch epoch, const std::string& cube,

@@ -9,6 +9,13 @@
 namespace cubrick {
 
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {
+  if (options_.online_check) {
+    check::OnlineCheckerOptions checker_options;
+    checker_options.sample_permille = options_.online_check_sample_permille;
+    online_checker_ =
+        std::make_unique<check::OnlineChecker>(checker_options);
+    online_checker_->Install();
+  }
   if (options_.auto_checkpoint_interval_ms > 0) {
     CUBRICK_CHECK(!options_.data_dir.empty());
     flusher_thread_ = std::thread([this] { CheckpointLoop(); });
@@ -24,6 +31,9 @@ Database::~Database() {
     flusher_cv_.NotifyAll();
     flusher_thread_.join();
   }
+  // After the flusher is gone no thread of this database is scanning, so
+  // the hook can be removed and the ring drained.
+  if (online_checker_ != nullptr) online_checker_->Uninstall();
 }
 
 void Database::CheckpointLoop() {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "aosi/txn_manager.h"
+#include "check/online_checker.h"
 #include "common/mutex.h"
 #include "cubrick/ddl.h"
 #include "engine/table.h"
@@ -51,6 +52,16 @@ struct DatabaseOptions {
   /// Period of the background flush/purge thread; 0 disables it. Requires
   /// data_dir.
   int64_t auto_checkpoint_interval_ms = 0;
+  /// Installs the online SI checker (src/check/online_checker.h) for this
+  /// database's lifetime: sampled transactions and scans are validated
+  /// against the §III-B/C visibility rules while the system runs, with
+  /// violations and health published as check.online.* metrics. Process-
+  /// global hook — at most one Database (or manually installed checker)
+  /// may enable it at a time.
+  bool online_check = false;
+  /// Sampling rate out of 1000 for the online checker (1000 = check every
+  /// transaction). Ignored unless online_check is set.
+  uint32_t online_check_sample_permille = 1000;
 };
 
 /// Per-load timing breakdown (single-node flavor of cluster::LoadStats).
@@ -158,6 +169,8 @@ class Database {
   // --- Introspection -------------------------------------------------------
 
   aosi::TxnManager& txns() { return txns_; }
+  /// The online checker, or nullptr when options.online_check is off.
+  check::OnlineChecker* online_checker() { return online_checker_.get(); }
   uint64_t TotalRecords();
   size_t DataMemoryUsage();
   size_t HistoryMemoryUsage();
@@ -174,6 +187,7 @@ class Database {
   void CheckpointLoop();
 
   DatabaseOptions options_;
+  std::unique_ptr<check::OnlineChecker> online_checker_;
   aosi::TxnManager txns_;
   mutable Mutex mutex_;
   std::unordered_map<std::string, CubeState> cubes_ GUARDED_BY(mutex_);

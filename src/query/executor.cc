@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <utility>
+#include <vector>
 
+#include "aosi/checker_hook.h"
 #include "aosi/vis_cache.h"
 #include "aosi/visibility.h"
 #include "common/thread_pool.h"
@@ -207,6 +209,44 @@ void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
   VisibilityRef visible = VisibilityForScan(brick, snapshot, mode, use_cache);
   cc_span.Finish();
   const Bitmap* mask = &visible.bitmap();
+
+  // Online-checker observation point (docs/CHECKING.md): report what this
+  // SI scan's visibility mask admitted per epoch run, BEFORE the filter
+  // pass narrows it and before the None() fast path skips empty bricks.
+  // Cost when no hook is installed: one relaxed load.
+  if (mode == ScanMode::kSnapshotIsolation) {
+    if (aosi::CheckerHook* hook = aosi::GetCheckerHook();
+        hook != nullptr && hook->ShouldSample(snapshot.epoch)) {
+      // Bounded on purpose: the checker keeps at most kMaxObservedRuns
+      // runs per sample, so decoding and popcounting a long history past
+      // that bound would make sampled scans O(history) instead of O(1).
+      bool truncated = false;
+      const auto decoded =
+          brick.history().DecodePrefix(aosi::kMaxObservedRuns, &truncated);
+      std::vector<aosi::ObservedRun> observed;
+      observed.reserve(decoded.size());
+      for (const auto& run : decoded) {
+        aosi::ObservedRun o;
+        o.epoch = run.epoch;
+        o.begin = run.begin;
+        o.end = run.end;
+        o.is_delete = run.is_delete;
+        o.visible_rows =
+            run.is_delete ? 0 : mask->CountSetInRange(run.begin, run.end);
+        observed.push_back(o);
+      }
+      aosi::ScanObservation obs;
+      obs.snapshot_epoch = snapshot.epoch;
+      obs.deps = &snapshot.deps;
+      obs.bid = brick.bid();
+      obs.history_version = brick.history().version();
+      obs.runs = observed.data();
+      obs.num_runs = observed.size();
+      obs.runs_truncated = truncated;
+      obs.visible_total = mask->CountSet();
+      hook->OnScanObservation(obs);
+    }
+  }
   if (mask->None()) return;
 
   // Filter pass: clear bits that fail a dimension predicate. Filters whose

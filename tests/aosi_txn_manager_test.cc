@@ -190,6 +190,54 @@ TEST(TxnManagerTest, LseNeverRetreats) {
   tm.EndReadOnly(ro);
 }
 
+TEST(TxnManagerTest, RemoteHorizonPinsLse) {
+  // Begin-protocol phase 2: a horizon registered for a remote transaction
+  // clamps this node's LSE exactly like a local snapshot's would, and
+  // NoteRemoteFinish releases the pin.
+  TxnManager tm(1, 2);
+  Txn t1 = tm.BeginReadWrite();  // epoch 1
+  ASSERT_TRUE(tm.Commit(t1).ok());
+  tm.ObserveClock(8);
+  Txn t9 = tm.BeginReadWrite();
+  ASSERT_TRUE(tm.Commit(t9).ok());
+  ASSERT_TRUE(tm.RegisterRemoteHorizon(/*epoch=*/12, /*horizon=*/t1.epoch));
+  EXPECT_EQ(tm.TryAdvanceLSE(100), t1.epoch);
+  tm.NoteRemoteFinish(12, /*committed=*/true);
+  // The pin is gone and epoch 12 committed, so LCE (and LSE) pass it.
+  EXPECT_EQ(tm.TryAdvanceLSE(100), 12u);
+}
+
+TEST(TxnManagerTest, RemoteHorizonRejectedWhenLsePassedIt) {
+  // A registration that arrives after LSE already passed the horizon can
+  // protect nothing (purge may have run); the coordinator must redraw.
+  TxnManager tm(1, 2);
+  Txn t1 = tm.BeginReadWrite();
+  ASSERT_TRUE(tm.Commit(t1).ok());
+  Txn t3 = tm.BeginReadWrite();
+  ASSERT_TRUE(tm.Commit(t3).ok());
+  EXPECT_EQ(tm.TryAdvanceLSE(100), t3.epoch);
+  EXPECT_FALSE(tm.RegisterRemoteHorizon(/*epoch=*/10, /*horizon=*/t1.epoch));
+  // The refused registration left no pin behind.
+  EXPECT_EQ(tm.TryAdvanceLSE(100), t3.epoch);
+}
+
+TEST(TxnManagerTest, AugmentDepsFailsWhenLsePassedTheNewHorizon) {
+  // The dep learned from a peer drags the horizon below an LSE advance
+  // that slipped in after the epoch draw; AugmentDeps must report it so
+  // the cluster layer aborts the draft.
+  TxnManager tm(1, 2);
+  Txn t1 = tm.BeginReadWrite();
+  ASSERT_TRUE(tm.Commit(t1).ok());
+  Txn t3 = tm.BeginReadWrite();
+  ASSERT_TRUE(tm.Commit(t3).ok());
+  EXPECT_EQ(tm.TryAdvanceLSE(100), t3.epoch);
+  Txn t5 = tm.BeginReadWrite();
+  // Peer reports epoch 2 (a remote transaction) as still pending: t5's
+  // horizon would fall to 1, below the standing LSE.
+  EXPECT_FALSE(tm.AugmentDeps(&t5, EpochSet({2})));
+  ASSERT_TRUE(tm.Rollback(t5).ok());
+}
+
 TEST(TxnManagerTest, RemoteBeginBlocksLce) {
   TxnManager tm(1, 2);  // node 1 of 2: local epochs 1, 3, 5, ...
   Txn t1 = tm.BeginReadWrite();

@@ -1,0 +1,20 @@
+// aosi-lint-fixture: epoch-compare
+// aosi-lint-as: src/check/bad_validator.cc
+//
+// Validation code in src/check re-derives visibility from epoch metadata;
+// a raw integer comparison there silently encodes the wrong order the
+// moment epochs become node-strided. The epoch-compare rule covers
+// src/check like any other non-epoch-zone src/ directory.
+#include <cstdint>
+
+namespace cubrick::check {
+
+using Epoch = uint64_t;
+
+bool BadRunVisible(Epoch run_epoch, Epoch snapshot_epoch) {
+  return run_epoch <= snapshot_epoch;
+}
+
+bool BadHorizonViolated(Epoch lse, Epoch horizon) { return lse > horizon; }
+
+}  // namespace cubrick::check

@@ -1,0 +1,26 @@
+// aosi-lint-fixture: checker-hook
+// aosi-lint-as: src/query/bad_hook_access.cc
+//
+// Reaching into the process-global hook slot directly bypasses the
+// acquire/release discipline GetCheckerHook()/SetCheckerHook() encode: a
+// plain (or relaxed) slot read could observe a checker object whose
+// constructor writes have not been published yet.
+#include <atomic>
+
+namespace cubrick::aosi {
+
+class CheckerHook;
+
+namespace internal {
+std::atomic<CheckerHook*>& CheckerHookSlot();
+}  // namespace internal
+
+CheckerHook* BadDirectRead() {
+  return internal::CheckerHookSlot().load(std::memory_order_relaxed);
+}
+
+void BadDirectInstall(CheckerHook* hook) {
+  internal::CheckerHookSlot().store(hook, std::memory_order_relaxed);
+}
+
+}  // namespace cubrick::aosi

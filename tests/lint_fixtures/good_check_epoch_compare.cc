@@ -1,0 +1,28 @@
+// aosi-lint-fixture: epoch-compare
+// aosi-lint-as: src/check/good_validator.cc
+//
+// src/check validation logic expressed through the src/aosi/epoch.h
+// helpers: AtOrBefore for snapshot membership, After for the LSE-vs-horizon
+// cross-check. Raw comparisons only touch non-epoch identifiers (counts).
+#include <cstdint>
+
+namespace cubrick::check {
+
+using Epoch = uint64_t;
+
+constexpr bool AtOrBefore(Epoch a, Epoch b) { return a <= b; }  // aosi-lint: allow(epoch-compare)
+constexpr bool After(Epoch a, Epoch b) { return a > b; }  // aosi-lint: allow(epoch-compare)
+
+bool GoodRunVisible(Epoch run_epoch, Epoch snapshot_epoch) {
+  return AtOrBefore(run_epoch, snapshot_epoch);
+}
+
+bool GoodHorizonViolated(Epoch lse, Epoch horizon) {
+  return After(lse, horizon);
+}
+
+bool UnrelatedCompare(uint64_t observed, uint64_t expected) {
+  return observed != expected;
+}
+
+}  // namespace cubrick::check

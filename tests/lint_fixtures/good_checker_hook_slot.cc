@@ -1,0 +1,24 @@
+// aosi-lint-fixture: checker-hook
+// aosi-lint-as: src/query/good_hook_access.cc
+//
+// The sanctioned pattern: hook lookups go through GetCheckerHook() (acquire
+// load under the hood) and installs through SetCheckerHook() (release
+// store), so hook object construction happens-before any sampled call.
+namespace cubrick::aosi {
+
+class CheckerHook {
+ public:
+  virtual ~CheckerHook() = default;
+  virtual void OnLseAdvance(unsigned long long lse) = 0;
+};
+
+CheckerHook* GetCheckerHook();
+void SetCheckerHook(CheckerHook* hook);
+
+void GoodSampledCall(unsigned long long lse) {
+  if (CheckerHook* hook = GetCheckerHook()) hook->OnLseAdvance(lse);
+}
+
+void GoodInstall(CheckerHook* hook) { SetCheckerHook(hook); }
+
+}  // namespace cubrick::aosi

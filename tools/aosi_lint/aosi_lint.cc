@@ -70,6 +70,12 @@ const RuleInfo kRules[] = {
     {"mutex-across-rpc",
      "cluster code must not hold a MutexLock across a Node RPC/broadcast "
      "call (Handle*, DeliverOrQueue)"},
+    {"checker-hook",
+     "the process-global checker-hook slot (internal::CheckerHookSlot) may "
+     "only be touched inside src/aosi/checker_hook.h; install/read hooks via "
+     "SetCheckerHook()/GetCheckerHook(), which carry the release/acquire "
+     "orders the hook protocol requires (raw slot access would let an "
+     "unordered read observe a half-constructed checker)"},
 };
 
 struct Finding {
@@ -351,6 +357,7 @@ struct FileClass {
   bool mutex_header = false;  // src/common/mutex.h / thread_annotations.h
   bool in_cluster = false;    // src/cluster/
   bool in_obs = false;        // src/obs/ (relaxed instrument writes allowed)
+  bool checker_hook_header = false;  // src/aosi/checker_hook.h
 };
 
 FileClass Classify(std::string rel) {
@@ -363,6 +370,7 @@ FileClass Classify(std::string rel) {
                     rel == "src/common/thread_annotations.h";
   fc.in_cluster = rel.rfind("src/cluster/", 0) == 0;
   fc.in_obs = rel.rfind("src/obs/", 0) == 0;
+  fc.checker_hook_header = rel == "src/aosi/checker_hook.h";
   return fc;
 }
 
@@ -752,6 +760,23 @@ void CheckMutexAcrossRpc(const SourceFile& f, std::vector<Finding>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: checker-hook
+// ---------------------------------------------------------------------------
+
+void CheckCheckerHookSlot(const SourceFile& f, std::vector<Finding>* out) {
+  const auto& toks = f.toks;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdent && t.text == "CheckerHookSlot") {
+      out->push_back(
+          {f.display_path, t.line, "checker-hook",
+           "direct access to the checker-hook slot outside "
+           "src/aosi/checker_hook.h; use GetCheckerHook()/SetCheckerHook(), "
+           "which carry the acquire/release memory orders"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -781,6 +806,7 @@ void LintFile(const SourceFile& f, const std::set<std::string>& atomic_names,
   if (f.cls.in_src && !f.cls.epoch_zone) CheckEpochCompare(f, &raw);
   if (f.cls.in_src && !f.cls.mutex_header) CheckNakedMutex(f, &raw);
   if (f.cls.in_cluster) CheckMutexAcrossRpc(f, &raw);
+  if (!f.cls.checker_hook_header) CheckCheckerHookSlot(f, &raw);
   for (auto& finding : raw) {
     auto it = f.waivers.find(finding.line);
     if (it != f.waivers.end() &&
