@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Waiver-debt gate: fail CI when lint waivers exceed the agreed budget.
+
+Usage: check_waiver_budget.py WAIVER_REPORT_JSON [BUDGET_FILE]
+
+WAIVER_REPORT_JSON is produced by `aosi_lint --waiver-report` (via
+scripts/lint.sh). BUDGET_FILE (default: LINT_WAIVER_BUDGET at the repo
+root) holds one integer on the first non-comment line.
+
+The gate is bidirectional on purpose:
+  - count > budget  -> FAIL: a new waiver needs an explicit budget bump in
+    the same PR, so waiver growth is reviewed like any other debt.
+  - count < budget  -> FAIL: a retired waiver must lower the budget, so the
+    headroom cannot be silently consumed by the next waiver.
+"""
+
+import json
+import os
+import sys
+
+
+def read_budget(path: str) -> int:
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            return int(line)
+    raise ValueError(f"{path}: no budget line found")
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    report_path = argv[1]
+    budget_path = (
+        argv[2]
+        if len(argv) == 3
+        else os.path.join(os.path.dirname(__file__), "..", "LINT_WAIVER_BUDGET")
+    )
+
+    with open(report_path, encoding="utf-8") as f:
+        report = json.load(f)
+    count = report["waiver_count"]
+    sites = report.get("sites", [])
+    budget = read_budget(budget_path)
+
+    print(f"waiver debt: {count} waiver(s), budget {budget}")
+    for site in sites:
+        rules = ", ".join(site.get("rules", []))
+        print(f"  {site['file']}:{site['line']}  [{rules}]")
+
+    if count > budget:
+        print(
+            f"FAIL: waiver count {count} exceeds budget {budget}. Fix the "
+            "finding instead, or justify the waiver and bump "
+            "LINT_WAIVER_BUDGET in this PR (docs/STATIC_ANALYSIS.md).",
+            file=sys.stderr,
+        )
+        return 1
+    if count < budget:
+        print(
+            f"FAIL: waiver count {count} is below budget {budget}. A waiver "
+            "was retired — lower LINT_WAIVER_BUDGET to match so the headroom "
+            "is not silently reused.",
+            file=sys.stderr,
+        )
+        return 1
+    print("waiver budget: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,16 +2,37 @@
 # Static-analysis driver: aosi_lint (always) + clang-tidy (when available).
 # See docs/STATIC_ANALYSIS.md. Usage:
 #
-#   scripts/lint.sh [BUILD_DIR]
+#   scripts/lint.sh [--changed-only] [BUILD_DIR]
 #
 # BUILD_DIR defaults to `build`; it provides compile_commands.json and, if
 # already configured, the aosi_lint binary. The script builds aosi_lint
 # standalone when the build dir does not have it — the linter has no
 # dependencies beyond a C++20 compiler.
+#
+# --changed-only scopes the per-file rules to files changed relative to the
+# merge base with origin/main (fast pre-commit loop). The whole-program
+# passes always run over the full tree: lock-order cycles and
+# hold-across-blocking chains routinely span files the diff never touched,
+# so a diff-scoped program pass would be wrong, not just incomplete.
+#
+# Artifacts (written into BUILD_DIR when it exists, else the repo root):
+#   aosi_lint.sarif      SARIF 2.1.0 for CI upload / code-scanning ingestion
+#   waiver_report.json   waiver-debt ledger, gated by check_waiver_budget.py
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${1:-$ROOT/build}"
+CHANGED_ONLY=0
+BUILD_DIR=""
+for arg in "$@"; do
+  case "$arg" in
+    --changed-only) CHANGED_ONLY=1 ;;
+    -*) echo "unknown flag: $arg" >&2; exit 2 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+ARTIFACT_DIR="$BUILD_DIR"
+[[ -d "$ARTIFACT_DIR" ]] || ARTIFACT_DIR="$ROOT"
 FAILED=0
 
 # --- aosi_lint -------------------------------------------------------------
@@ -23,19 +44,50 @@ else
   CXX_BIN="${CXX:-c++}"
   AOSI_LINT="$(mktemp -d)/aosi_lint"
   echo "== building aosi_lint standalone ($CXX_BIN)"
-  "$CXX_BIN" -std=c++20 -O2 -Wall -Wextra \
-    -o "$AOSI_LINT" "$ROOT/tools/aosi_lint/aosi_lint.cc"
+  "$CXX_BIN" -std=c++20 -O2 -Wall -Wextra -I "$ROOT/tools" \
+    -o "$AOSI_LINT" "$ROOT"/tools/aosi_lint/*.cc
 fi
 
 echo "== aosi_lint --selftest"
 "$AOSI_LINT" --selftest "$ROOT/tests/lint_fixtures" || FAILED=1
 
-echo "== aosi_lint --root"
-"$AOSI_LINT" --root "$ROOT" || FAILED=1
+if [[ "$CHANGED_ONLY" -eq 1 ]]; then
+  # Per-file rules over the diff only. The merge base against origin/main
+  # falls back to HEAD~1 (shallow clones, detached heads).
+  BASE="$(git -C "$ROOT" merge-base HEAD origin/main 2>/dev/null ||
+          git -C "$ROOT" rev-parse HEAD~1 2>/dev/null || true)"
+  CHANGED=()
+  if [[ -n "$BASE" ]]; then
+    while IFS= read -r f; do
+      case "$f" in
+        tests/lint_fixtures/*) continue ;;
+        *.cc|*.h|*.hpp|*.cpp) CHANGED+=("$ROOT/$f") ;;
+      esac
+    done < <(git -C "$ROOT" diff --name-only --diff-filter=ACMR "$BASE")
+  fi
+  if [[ "${#CHANGED[@]}" -gt 0 ]]; then
+    echo "== aosi_lint (per-file rules, ${#CHANGED[@]} changed file(s))"
+    "$AOSI_LINT" --root "$ROOT" "${CHANGED[@]}" || FAILED=1
+  else
+    echo "== aosi_lint: no changed sources vs ${BASE:-<unknown base>}"
+  fi
+  echo "== aosi_lint --program (whole tree; cross-TU passes cannot be" \
+       "diff-scoped)"
+  "$AOSI_LINT" --root "$ROOT" --program || FAILED=1
+else
+  echo "== aosi_lint --program (full tree scan + whole-program passes)"
+  "$AOSI_LINT" --root "$ROOT" --program \
+    --sarif "$ARTIFACT_DIR/aosi_lint.sarif" \
+    --waiver-report "$ARTIFACT_DIR/waiver_report.json" || FAILED=1
+
+  echo "== waiver budget"
+  python3 "$ROOT/scripts/check_waiver_budget.py" \
+    "$ARTIFACT_DIR/waiver_report.json" "$ROOT/LINT_WAIVER_BUDGET" || FAILED=1
+fi
 
 # --- clang-tidy ------------------------------------------------------------
 
-if command -v clang-tidy >/dev/null 2>&1; then
+if [[ "$CHANGED_ONLY" -eq 0 ]] && command -v clang-tidy >/dev/null 2>&1; then
   if [[ -f "$BUILD_DIR/compile_commands.json" ]]; then
     echo "== clang-tidy (profile: .clang-tidy)"
     # Lint the first-party sources only; headers are covered through
@@ -49,7 +101,7 @@ if command -v clang-tidy >/dev/null 2>&1; then
          "by default)"
   fi
 else
-  echo "== clang-tidy skipped: not installed"
+  [[ "$CHANGED_ONLY" -eq 1 ]] || echo "== clang-tidy skipped: not installed"
 fi
 
 if [[ "$FAILED" -ne 0 ]]; then

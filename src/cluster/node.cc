@@ -93,10 +93,21 @@ Status ClusterNode::HandleDeleteMark(aosi::Epoch epoch,
   return Status::OK();
 }
 
-void ClusterNode::RollbackData(aosi::Epoch victim) {
+std::vector<ClusterNode::CubeRef> ClusterNode::SnapshotCubes() {
   MutexLock lock(cubes_mutex_);
-  for (auto& [name, state] : cubes_) {
-    state.table->Rollback(victim);
+  std::vector<CubeRef> cubes;
+  cubes.reserve(cubes_.size());
+  for (const auto& [name, state] : cubes_) {
+    cubes.push_back({state.table.get(), state.flusher.get()});
+  }
+  return cubes;
+}
+
+void ClusterNode::RollbackData(aosi::Epoch victim) {
+  // Snapshot-then-release (see SnapshotCubes): Table::Rollback blocks on
+  // shard-queue backpressure and must not run under cubes_mutex_.
+  for (const CubeRef& cube : SnapshotCubes()) {
+    cube.table->Rollback(victim);
   }
 }
 
@@ -127,9 +138,10 @@ Result<QueryResult> ClusterNode::HandleScan(
 PurgeStats ClusterNode::HandlePurge() {
   const aosi::Epoch lse = txns_.LSE();
   PurgeStats total;
-  MutexLock lock(cubes_mutex_);
-  for (auto& [name, state] : cubes_) {
-    const PurgeStats stats = state.table->Purge(lse);
+  // Purge outside cubes_mutex_ (see SnapshotCubes): brick rewrites run on
+  // the shard queues and can block on backpressure.
+  for (const CubeRef& cube : SnapshotCubes()) {
+    const PurgeStats stats = cube.table->Purge(lse);
     total.bricks_examined += stats.bricks_examined;
     total.bricks_rewritten += stats.bricks_rewritten;
     total.bricks_erased += stats.bricks_erased;
@@ -142,11 +154,12 @@ Status ClusterNode::Checkpoint(aosi::Epoch to) {
   if (options_.data_dir.empty()) {
     return Status::FailedPrecondition("node has no data_dir");
   }
-  MutexLock lock(cubes_mutex_);
-  for (auto& [name, state] : cubes_) {
-    const aosi::Epoch from = state.flusher->ManifestLse();
+  // Flush outside cubes_mutex_ (see SnapshotCubes): a flush round walks
+  // every brick through the shard queues and can block on backpressure.
+  for (const CubeRef& cube : SnapshotCubes()) {
+    const aosi::Epoch from = cube.flusher->ManifestLse();
     if (aosi::AtOrBefore(to, from)) continue;
-    auto stats = state.flusher->FlushRound(state.table.get(), from, to);
+    auto stats = cube.flusher->FlushRound(cube.table, from, to);
     if (!stats.ok()) return stats.status();
   }
   return Status::OK();
@@ -156,18 +169,21 @@ Result<aosi::Epoch> ClusterNode::RecoverLocal() {
   if (options_.data_dir.empty()) {
     return Status::FailedPrecondition("node has no data_dir");
   }
-  MutexLock lock(cubes_mutex_);
+  // Replay outside cubes_mutex_ (see SnapshotCubes): segment replay and
+  // truncation push work through the shard queues and can block on
+  // backpressure.
+  const std::vector<CubeRef> cubes = SnapshotCubes();
   aosi::Epoch min_lse = aosi::kEpochMax;
   bool any = false;
-  for (auto& [name, state] : cubes_) {
-    auto result = state.flusher->Recover(state.table.get());
+  for (const CubeRef& cube : cubes) {
+    auto result = cube.flusher->Recover(cube.table);
     if (!result.ok()) return result.status();
     any = true;
     min_lse = aosi::MinEpoch(min_lse, result->lse);
   }
   if (!any || aosi::SameEpoch(min_lse, aosi::kEpochMax)) return aosi::kNoEpoch;
-  for (auto& [name, state] : cubes_) {
-    state.table->TruncateAfter(min_lse);
+  for (const CubeRef& cube : cubes) {
+    cube.table->TruncateAfter(min_lse);
   }
   return min_lse;
 }

@@ -137,6 +137,19 @@ class ClusterNode {
     std::unique_ptr<persist::FlushManager> flusher;
   };
 
+  /// Per-cube engine pointers snapshotted under cubes_mutex_. Bulk
+  /// operations (rollback, purge, checkpoint, recovery) iterate the
+  /// snapshot with the lock released: table operations fan out to bounded
+  /// shard queues, and a backpressure wait under the registry lock would
+  /// stall every cube lookup (including the RPC handlers). Lifetime
+  /// follows the FindTable() convention — DDL is serialized against data
+  /// operations by the caller; cubes_mutex_ guards only the map.
+  struct CubeRef {
+    Table* table;
+    persist::FlushManager* flusher;
+  };
+  std::vector<CubeRef> SnapshotCubes();
+
   Mutex cubes_mutex_;
   std::unordered_map<std::string, CubeState> cubes_ GUARDED_BY(cubes_mutex_);
 };

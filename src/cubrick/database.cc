@@ -165,12 +165,24 @@ Status Database::Commit(const aosi::Txn& txn) { return txns_.Commit(txn); }
 
 Status Database::Rollback(const aosi::Txn& txn) {
   if (!txn.read_only()) {
-    MutexLock lock(mutex_);
-    for (auto& [name, state] : cubes_) {
-      state.table->Rollback(txn.epoch);
+    // Snapshot the cube set and release mutex_ before the per-table
+    // rollback: Table::Rollback enqueues onto bounded shard queues, and a
+    // backpressure wait under the registry lock would stall every lookup.
+    for (const CubeRef& cube : SnapshotCubes()) {
+      cube.table->Rollback(txn.epoch);
     }
   }
   return txns_.Rollback(txn);
+}
+
+std::vector<Database::CubeRef> Database::SnapshotCubes() const {
+  MutexLock lock(mutex_);
+  std::vector<CubeRef> cubes;
+  cubes.reserve(cubes_.size());
+  for (const auto& [name, state] : cubes_) {
+    cubes.push_back({state.table.get(), state.flusher.get()});
+  }
+  return cubes;
 }
 
 Status Database::LoadIn(const aosi::Txn& txn, const std::string& cube,
@@ -326,17 +338,16 @@ Result<aosi::Epoch> Database::Checkpoint() {
     return Status::FailedPrecondition("no data_dir configured");
   }
   const aosi::Epoch to = txns_.LCE();
-  {
-    MutexLock lock(mutex_);
-    for (auto& [name, state] : cubes_) {
-      // Resume from what this cube has durably flushed, NOT from LSE: LSE
-      // can be clamped below the manifest by an active snapshot, and
-      // re-flushing that range would duplicate rows on recovery.
-      const aosi::Epoch from = state.flusher->ManifestLse();
-      if (aosi::AtOrBefore(to, from)) continue;
-      auto stats = state.flusher->FlushRound(state.table.get(), from, to);
-      if (!stats.ok()) return stats.status();
-    }
+  // Flush outside mutex_ (see SnapshotCubes): a flush round walks every
+  // brick through the shard queues and can block on backpressure.
+  for (const CubeRef& cube : SnapshotCubes()) {
+    // Resume from what this cube has durably flushed, NOT from LSE: LSE
+    // can be clamped below the manifest by an active snapshot, and
+    // re-flushing that range would duplicate rows on recovery.
+    const aosi::Epoch from = cube.flusher->ManifestLse();
+    if (aosi::AtOrBefore(to, from)) continue;
+    auto stats = cube.flusher->FlushRound(cube.table, from, to);
+    if (!stats.ok()) return stats.status();
   }
   const aosi::Epoch lse = txns_.TryAdvanceLSE(to);
   PurgeAll();
@@ -346,9 +357,10 @@ Result<aosi::Epoch> Database::Checkpoint() {
 PurgeStats Database::PurgeAll() {
   const aosi::Epoch lse = txns_.LSE();
   PurgeStats total;
-  MutexLock lock(mutex_);
-  for (auto& [name, state] : cubes_) {
-    const PurgeStats stats = state.table->Purge(lse);
+  // Purge outside mutex_ (see SnapshotCubes): brick rewrites run on the
+  // shard queues and can block on backpressure.
+  for (const CubeRef& cube : SnapshotCubes()) {
+    const PurgeStats stats = cube.table->Purge(lse);
     total.bricks_examined += stats.bricks_examined;
     total.bricks_rewritten += stats.bricks_rewritten;
     total.bricks_erased += stats.bricks_erased;
@@ -361,21 +373,23 @@ Status Database::Recover() {
   if (options_.data_dir.empty()) {
     return Status::FailedPrecondition("no data_dir configured");
   }
-  MutexLock lock(mutex_);
   // Replay every cube, then truncate to the minimum recovered LSE so a
   // checkpoint that crashed between cubes cannot surface a half-flushed
-  // transaction.
+  // transaction. Runs on the startup path, but still off mutex_ (see
+  // SnapshotCubes): replay and truncation push work through the shard
+  // queues and can block on backpressure.
+  const std::vector<CubeRef> cubes = SnapshotCubes();
   aosi::Epoch min_lse = aosi::kEpochMax;
   bool any = false;
-  for (auto& [name, state] : cubes_) {
-    auto result = state.flusher->Recover(state.table.get());
+  for (const CubeRef& cube : cubes) {
+    auto result = cube.flusher->Recover(cube.table);
     if (!result.ok()) return result.status();
     any = true;
     min_lse = aosi::MinEpoch(min_lse, result->lse);
   }
   if (!any) return Status::OK();
-  for (auto& [name, state] : cubes_) {
-    state.table->TruncateAfter(min_lse);
+  for (const CubeRef& cube : cubes) {
+    cube.table->TruncateAfter(min_lse);
   }
   txns_.RestoreAfterRecovery(
       aosi::SameEpoch(min_lse, aosi::kEpochMax) ? aosi::kNoEpoch : min_lse);

@@ -182,6 +182,19 @@ class Database {
     std::unique_ptr<persist::FlushManager> flusher;
   };
 
+  /// Per-cube engine pointers snapshotted under mutex_. Bulk operations
+  /// (rollback, purge, checkpoint, recovery) iterate this snapshot with the
+  /// lock released: table operations fan work out to shard queues that
+  /// apply backpressure, and holding mutex_ across that wait would stall
+  /// every registry lookup behind a full queue. Pointer lifetime follows
+  /// the FindTable() convention — DDL is serialized against data
+  /// operations by the caller, mutex_ guards only the map itself.
+  struct CubeRef {
+    Table* table;
+    persist::FlushManager* flusher;
+  };
+  std::vector<CubeRef> SnapshotCubes() const;
+
   /// Body of the background checkpoint thread (§III-D: "disk flushes are
   /// constantly being executed in the background").
   void CheckpointLoop();

@@ -123,6 +123,13 @@ Result<FlushRoundStats> FlushManager::FlushRound(Table* table,
                                                  aosi::Epoch from_lse,
                                                  aosi::Epoch to_lse) {
   CUBRICK_CHECK(aosi::AtOrBefore(from_lse, to_lse));
+  MutexLock lock(io_mu_);
+  // Re-resolve the resume point under the lock: a concurrent round may have
+  // advanced the manifest past the caller's snapshot of ManifestLse(), and
+  // re-flushing that range would duplicate rows on recovery.
+  const aosi::Epoch manifest_lse = ManifestLse();
+  if (aosi::AtOrBefore(from_lse, manifest_lse)) from_lse = manifest_lse;
+  if (aosi::AtOrBefore(to_lse, from_lse)) return FlushRoundStats{};
   obs::ObsSpan span(
       "persist.flush",
       obs::MetricsRegistry::Global().GetHistogram("persist.flush_us"));
@@ -137,8 +144,11 @@ Result<FlushRoundStats> FlushManager::FlushRound(Table* table,
   writer.WriteU64(to_lse);
 
   // Bricks are written as they are visited; the count is unknown upfront,
-  // so each brick block is prefixed with a has-more flag.
-  table->VisitBricks([&](const Brick& brick) {
+  // so each brick block is prefixed with a has-more flag. io_mu_ is held
+  // across the shard-queue round on purpose: it serializes whole flush
+  // rounds against each other and is never taken on a lookup or query path,
+  // so a blocked holder stalls only other maintenance.
+  table->VisitBricks([&](const Brick& brick) {  // aosi-lint: allow(hold-across-blocking)
     // Select runs in (from_lse, to_lse], preserving physical order.
     std::vector<aosi::EpochRun> selected;
     for (const auto& run : brick.history().Decode()) {
@@ -197,6 +207,7 @@ Result<FlushRoundStats> FlushManager::FlushRound(Table* table,
 }
 
 Result<RecoveryResult> FlushManager::Recover(Table* table) {
+  MutexLock lock(io_mu_);
   obs::ObsSpan span("persist.recover");
   RecoveryResult result;
   const uint64_t rounds = ManifestRounds();
@@ -234,8 +245,11 @@ Result<RecoveryResult> FlushManager::Recover(Table* table) {
         }
         if (*is_delete != 0) {
           const aosi::Epoch e = *epoch;
-          table->ApplyToBrick(*bid,
-                              [e](Brick& brick) { brick.MarkDeleted(e); });
+          // io_mu_ across the shard queues is by design here too: Recover
+          // runs on the startup path before any other maintenance, and the
+          // lock guards only flush/recover, never lookups.
+          table->ApplyToBrick(  // aosi-lint: allow(hold-across-blocking)
+              *bid, [e](Brick& brick) { brick.MarkDeleted(e); });
           continue;
         }
         auto n = reader.ReadU64();
@@ -260,7 +274,8 @@ Result<RecoveryResult> FlushManager::Recover(Table* table) {
         }
         PerBrickBatches one;
         one.emplace(*bid, std::move(batch));
-        CUBRICK_RETURN_IF_ERROR(table->Append(*epoch, one));
+        CUBRICK_RETURN_IF_ERROR(
+            table->Append(*epoch, one));  // aosi-lint: allow(hold-across-blocking)
         result.rows_recovered += *n;
       }
     }

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "aosi/epoch.h"
+#include "common/mutex.h"
 #include "engine/table.h"
 #include "storage/schema.h"
 
@@ -53,7 +54,12 @@ class FlushManager {
 
   /// Writes one flush round covering epochs in (from_lse, to_lse]. The
   /// caller picks to_lse (typically the node's LCE) and, on success,
-  /// advances the transaction manager's LSE to it.
+  /// advances the transaction manager's LSE to it. Safe to call from
+  /// concurrent maintenance threads: rounds are serialized internally, and
+  /// from_lse is re-clamped to the manifest LSE under the lock so a range a
+  /// concurrent round already made durable is never flushed twice (which
+  /// would duplicate rows on recovery). A round whose range is already
+  /// covered returns empty stats.
   Result<FlushRoundStats> FlushRound(Table* table, aosi::Epoch from_lse,
                                      aosi::Epoch to_lse);
 
@@ -82,6 +88,11 @@ class FlushManager {
 
   std::string dir_;
   std::string cube_name_;
+
+  /// Serializes FlushRound/Recover. The round counter and manifest are a
+  /// disk-side read-modify-write; callers (Database/ClusterNode maintenance)
+  /// run outside their registry locks and may overlap.
+  mutable Mutex io_mu_;
 };
 
 }  // namespace cubrick::persist

@@ -1,0 +1,25 @@
+// aosi-lint-fixture: checker-hook-gate
+// aosi-lint-as: src/engine/commit_path.cc
+//
+// Invokes a checker hook through a cached pointer without the dominating
+// GetCheckerHook() enabled-load: the hooks-off fast path must stay a
+// single relaxed load, and a cached pointer can outlive the checker.
+
+namespace cubrick {
+
+class CheckerHook;
+
+class CommitPath {
+ public:
+  void Finish();
+
+ private:
+  CheckerHook* hook_;
+  int epoch_ = 0;
+};
+
+void CommitPath::Finish() {
+  hook_->OnFinish(epoch_, true);
+}
+
+}  // namespace cubrick

@@ -1,0 +1,29 @@
+// aosi-lint-as: src/engine/flow_controller.cc
+//
+// Transitive violation: Submit holds flow_mu_ across WorkPool::Flush,
+// which blocks in group_.Wait() — only visible once both TUs are merged
+// into the whole-program call graph.
+
+#include "common/mutex.h"
+
+namespace cubrick {
+
+class WorkPool;
+
+class FlowController {
+ public:
+  void Submit();
+
+ private:
+  WorkPool* pool_;
+  Mutex flow_mu_;
+  int submitted_ = 0;
+};
+
+void FlowController::Submit() {
+  MutexLock lock(flow_mu_);
+  submitted_++;
+  pool_->Flush();
+}
+
+}  // namespace cubrick

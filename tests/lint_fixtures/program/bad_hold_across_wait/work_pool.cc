@@ -1,0 +1,35 @@
+// aosi-lint-fixture: hold-across-blocking
+// aosi-lint-as: src/engine/work_pool.cc
+//
+// Direct violation: Flush holds pool_mu_ across a TaskGroup-style Wait()
+// (no arguments — releases nothing while blocked). The transitive flavor
+// lives in flow_controller.cc, which calls Flush under its own lock.
+
+#include "common/mutex.h"
+#include "common/task_group.h"
+
+namespace cubrick {
+
+class WorkPool {
+ public:
+  void Flush();
+  void Enqueue();
+
+ private:
+  TaskGroup group_;
+  Mutex pool_mu_;
+  int pending_ = 0;
+};
+
+void WorkPool::Flush() {
+  MutexLock lock(pool_mu_);
+  pending_ = 0;
+  group_.Wait();
+}
+
+void WorkPool::Enqueue() {
+  MutexLock lock(pool_mu_);
+  pending_++;
+}
+
+}  // namespace cubrick

@@ -1,0 +1,36 @@
+// aosi-lint-as: src/engine/alpha_service.cc
+//
+// Half of a seeded two-TU lock inversion: AlphaService::Tick acquires
+// alpha_mu_ and then calls into BetaService, which acquires beta_mu_ —
+// the alpha -> beta ordering. The reverse ordering lives in
+// beta_service.cc; only the whole-program pass can see the cycle.
+
+#include "common/mutex.h"
+
+namespace cubrick {
+
+class BetaService;
+
+class AlphaService {
+ public:
+  void Tick();
+  void Bump();
+
+ private:
+  BetaService* beta_;
+  Mutex alpha_mu_;
+  int ticks_ = 0;
+};
+
+void AlphaService::Tick() {
+  MutexLock lock(alpha_mu_);
+  ticks_++;
+  beta_->Poke();
+}
+
+void AlphaService::Bump() {
+  MutexLock lock(alpha_mu_);
+  ticks_++;
+}
+
+}  // namespace cubrick

@@ -1,0 +1,36 @@
+// aosi-lint-fixture: lock-cycle
+// aosi-lint-as: src/engine/beta_service.cc
+//
+// The other half of the inversion: BetaService::Refresh acquires beta_mu_
+// and then calls AlphaService::Tick, which acquires alpha_mu_ — the
+// beta -> alpha ordering, closing the cycle against alpha_service.cc.
+
+#include "common/mutex.h"
+
+namespace cubrick {
+
+class AlphaService;
+
+class BetaService {
+ public:
+  void Poke();
+  void Refresh();
+
+ private:
+  AlphaService* alpha_;
+  Mutex beta_mu_;
+  int pokes_ = 0;
+};
+
+void BetaService::Poke() {
+  MutexLock lock(beta_mu_);
+  pokes_++;
+}
+
+void BetaService::Refresh() {
+  MutexLock lock(beta_mu_);
+  pokes_ = 0;
+  alpha_->Tick();
+}
+
+}  // namespace cubrick

@@ -1,0 +1,28 @@
+// aosi-lint-fixture: vis-cache-protocol
+// aosi-lint-as: src/storage/brick_mutate.cc
+//
+// Mutates the epoch history without clearing the brick's visibility cache:
+// bitmaps memoized against the old history version would keep serving
+// stale row visibility.
+
+namespace cubrick {
+
+class EpochHistory;
+class VisibilityCache;
+
+class BrickState {
+ public:
+  void ApplyAppend();
+
+ private:
+  EpochHistory* history_;
+  VisibilityCache* vis_cache_;
+  int epoch_ = 0;
+  int count_ = 0;
+};
+
+void BrickState::ApplyAppend() {
+  history_->RecordAppend(epoch_, count_);
+}
+
+}  // namespace cubrick

@@ -1,0 +1,26 @@
+// aosi-lint-fixture: vis-cache-protocol
+// aosi-lint-as: src/query/scan_exec.cc
+//
+// Publishes a visibility bitmap without building a versioned VisKey first:
+// the key the bitmap is stored under may describe a different history
+// version than the one the bitmap was computed against.
+
+namespace cubrick {
+
+class VisibilityCache;
+
+class ScanExec {
+ public:
+  void CacheBitmap();
+
+ private:
+  VisibilityCache* cache_;
+  unsigned long long bits_ = 0;
+  int brick_id_ = 0;
+};
+
+void ScanExec::CacheBitmap() {
+  cache_->Publish(brick_id_, bits_);
+}
+
+}  // namespace cubrick

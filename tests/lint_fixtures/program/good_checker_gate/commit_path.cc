@@ -1,0 +1,25 @@
+// aosi-lint-fixture: checker-hook-gate
+// aosi-lint-as: src/engine/commit_path.cc
+//
+// The hook call sits behind the GetCheckerHook() enabled-load in the same
+// function — the sanctioned pattern.
+
+namespace cubrick {
+
+class CheckerHook;
+
+class CommitPath {
+ public:
+  void Finish();
+
+ private:
+  int epoch_ = 0;
+};
+
+void CommitPath::Finish() {
+  if (CheckerHook* hook = GetCheckerHook()) {
+    hook->OnFinish(epoch_, true);
+  }
+}
+
+}  // namespace cubrick

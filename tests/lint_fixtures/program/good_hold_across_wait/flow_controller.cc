@@ -1,0 +1,31 @@
+// aosi-lint-as: src/engine/flow_controller.cc
+//
+// Snapshot-then-release: Submit updates its own state under flow_mu_,
+// drops the lock at the end of the scope, and only then calls into the
+// pool's blocking Await — no lock held across the wait.
+
+#include "common/mutex.h"
+
+namespace cubrick {
+
+class WorkPool;
+
+class FlowController {
+ public:
+  void Submit();
+
+ private:
+  WorkPool* pool_;
+  Mutex flow_mu_;
+  int submitted_ = 0;
+};
+
+void FlowController::Submit() {
+  {
+    MutexLock lock(flow_mu_);
+    submitted_++;
+  }
+  pool_->Await();
+}
+
+}  // namespace cubrick

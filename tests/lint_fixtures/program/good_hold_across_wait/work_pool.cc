@@ -1,0 +1,36 @@
+// aosi-lint-fixture: hold-across-blocking
+// aosi-lint-as: src/engine/work_pool.cc
+//
+// The canonical CondVar pattern: Await holds only pool_mu_ and waits on
+// ready_cv_.Wait(lock), which releases that (innermost and only) lock for
+// the duration of the wait — not a hold-across-blocking violation.
+
+#include "common/mutex.h"
+
+namespace cubrick {
+
+class WorkPool {
+ public:
+  void Await();
+  void Signal();
+
+ private:
+  Mutex pool_mu_;
+  CondVar ready_cv_;
+  bool ready_ = false;
+};
+
+void WorkPool::Await() {
+  MutexLock lock(pool_mu_);
+  while (!ready_) {
+    ready_cv_.Wait(lock);
+  }
+}
+
+void WorkPool::Signal() {
+  MutexLock lock(pool_mu_);
+  ready_ = true;
+  ready_cv_.SignalAll();
+}
+
+}  // namespace cubrick

@@ -1,0 +1,34 @@
+// aosi-lint-as: src/engine/alpha_service.cc
+//
+// Consistent-ordering counterpart of bad_lock_cycle: alpha -> beta is the
+// only ordering anywhere in the program, so no cycle exists.
+
+#include "common/mutex.h"
+
+namespace cubrick {
+
+class BetaService;
+
+class AlphaService {
+ public:
+  void Tick();
+  void Bump();
+
+ private:
+  BetaService* beta_;
+  Mutex alpha_mu_;
+  int ticks_ = 0;
+};
+
+void AlphaService::Tick() {
+  MutexLock lock(alpha_mu_);
+  ticks_++;
+  beta_->Poke();
+}
+
+void AlphaService::Bump() {
+  MutexLock lock(alpha_mu_);
+  ticks_++;
+}
+
+}  // namespace cubrick

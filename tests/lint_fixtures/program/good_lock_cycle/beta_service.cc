@@ -1,0 +1,35 @@
+// aosi-lint-fixture: lock-cycle
+// aosi-lint-as: src/engine/beta_service.cc
+//
+// Refresh calls back into AlphaService *before* taking its own lock, so
+// the beta -> alpha ordering never forms and the program stays acyclic.
+
+#include "common/mutex.h"
+
+namespace cubrick {
+
+class AlphaService;
+
+class BetaService {
+ public:
+  void Poke();
+  void Refresh();
+
+ private:
+  AlphaService* alpha_;
+  Mutex beta_mu_;
+  int pokes_ = 0;
+};
+
+void BetaService::Poke() {
+  MutexLock lock(beta_mu_);
+  pokes_++;
+}
+
+void BetaService::Refresh() {
+  alpha_->Tick();
+  MutexLock lock(beta_mu_);
+  pokes_ = 0;
+}
+
+}  // namespace cubrick

@@ -1,0 +1,28 @@
+// aosi-lint-fixture: vis-cache-protocol
+// aosi-lint-as: src/storage/brick_mutate.cc
+//
+// The history mutation is paired with a vis-cache Clear before returning,
+// invalidating any bitmap memoized against the previous history version.
+
+namespace cubrick {
+
+class EpochHistory;
+class VisibilityCache;
+
+class BrickState {
+ public:
+  void ApplyAppend();
+
+ private:
+  EpochHistory* history_;
+  VisibilityCache* vis_cache_;
+  int epoch_ = 0;
+  int count_ = 0;
+};
+
+void BrickState::ApplyAppend() {
+  history_->RecordAppend(epoch_, count_);
+  vis_cache_->Clear();
+}
+
+}  // namespace cubrick

@@ -1,0 +1,28 @@
+// aosi-lint-fixture: vis-cache-protocol
+// aosi-lint-as: src/query/scan_exec.cc
+//
+// The publish is dominated by a MakeKey build in the same function, so the
+// cache entry's key and the bitmap were derived from the same history
+// version.
+
+namespace cubrick {
+
+class VisibilityCache;
+
+class ScanExec {
+ public:
+  void CacheBitmap();
+
+ private:
+  VisibilityCache* cache_;
+  unsigned long long bits_ = 0;
+  int brick_id_ = 0;
+  int horizon_ = 0;
+};
+
+void ScanExec::CacheBitmap() {
+  const auto key = cache_->MakeKey(brick_id_, horizon_);
+  cache_->Publish(key, bits_);
+}
+
+}  // namespace cubrick

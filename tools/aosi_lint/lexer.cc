@@ -1,0 +1,239 @@
+#include "aosi_lint/lexer.h"
+
+#include <cctype>
+
+namespace aosilint {
+
+std::string StripCommentsAndStrings(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw string literal? The '"' follows an R (possibly with an
+          // encoding prefix, e.g. u8R"(...)").
+          bool raw = false;
+          if (i > 0 && in[i - 1] == 'R') {
+            size_t b = i - 1;
+            while (b > 0 && std::isalnum(static_cast<unsigned char>(in[b - 1])))
+              --b;
+            // Reject identifiers that merely end in R (e.g. `fooR"x"` cannot
+            // appear in valid code anyway).
+            raw = (i - b) <= 3;
+          }
+          if (raw) {
+            // R"delim( ... )delim"
+            size_t p = i + 1;
+            std::string delim;
+            while (p < in.size() && in[p] != '(') delim += in[p++];
+            const std::string close = ")" + delim + "\"";
+            size_t end = in.find(close, p);
+            if (end == std::string::npos) end = in.size();
+            else end += close.size();
+            for (size_t k = i; k < end; ++k)
+              out += (in[k] == '\n') ? '\n' : ' ';
+            i = end - 1;
+          } else {
+            state = State::kString;
+            out += ' ';
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+          if (next == '\n') out.back() = '\n';
+        } else if (c == '"') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Token> Lex(const std::string& code) {
+  static const char* kPuncts3[] = {"<<=", ">>=", "->*", "...", "<=>"};
+  static const char* kPuncts2[] = {"::", "->", "++", "--", "<<", ">>", "<=",
+                                   ">=", "==", "!=", "&&", "||", "+=", "-=",
+                                   "*=", "/=", "%=", "&=", "|=", "^=", "##"};
+  std::vector<Token> toks;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = code.size();
+  while (i < n) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(code[j])) ||
+                       code[j] == '_'))
+        ++j;
+      toks.push_back({TokKind::kIdent, code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(code[j])) ||
+                       code[j] == '_' || code[j] == '\'' ||
+                       (code[j] == '.' ) ||
+                       ((code[j] == '+' || code[j] == '-') &&
+                        (code[j - 1] == 'e' || code[j - 1] == 'E' ||
+                         code[j - 1] == 'p' || code[j - 1] == 'P'))))
+        ++j;
+      toks.push_back({TokKind::kNumber, code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    bool matched = false;
+    if (i + 3 <= n) {
+      const std::string three = code.substr(i, 3);
+      for (const char* p : kPuncts3) {
+        if (three == p) {
+          toks.push_back({TokKind::kPunct, three, line});
+          i += 3;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (matched) continue;
+    if (i + 2 <= n) {
+      const std::string two = code.substr(i, 2);
+      for (const char* p : kPuncts2) {
+        if (two == p) {
+          toks.push_back({TokKind::kPunct, two, line});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (matched) continue;
+    toks.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return toks;
+}
+
+std::vector<bool> MarkTemplateAngles(const std::vector<Token>& toks) {
+  std::vector<bool> is_template(toks.size(), false);
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].text != "<" || i == 0) continue;
+    if (toks[i - 1].kind != TokKind::kIdent) continue;
+    int depth = 1;
+    int paren = 0;
+    bool ok = false;
+    size_t j = i + 1;
+    std::vector<size_t> opens = {i};
+    std::vector<size_t> closes;
+    for (int steps = 0; j < toks.size() && steps < 64; ++j, ++steps) {
+      const Token& t = toks[j];
+      if (paren > 0) {
+        if (t.text == "(") ++paren;
+        else if (t.text == ")") --paren;
+        else if (t.text == ";" || t.text == "{" || t.text == "}") break;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent || t.kind == TokKind::kNumber ||
+          t.text == "::" || t.text == "," || t.text == "*" || t.text == "&" ||
+          t.text == "...") {
+        continue;
+      }
+      if (t.text == "(") {
+        ++paren;
+        continue;
+      }
+      if (t.text == "<") {
+        ++depth;
+        opens.push_back(j);
+        continue;
+      }
+      if (t.text == ">") {
+        --depth;
+        closes.push_back(j);
+        if (depth == 0) {
+          ok = true;
+          break;
+        }
+        continue;
+      }
+      if (t.text == ">>") {
+        depth -= 2;
+        closes.push_back(j);
+        if (depth <= 0) {
+          ok = true;
+          break;
+        }
+        continue;
+      }
+      break;  // anything else (operators, ;, braces) => not a template list
+    }
+    if (ok) {
+      for (size_t k : opens) is_template[k] = true;
+      for (size_t k : closes) is_template[k] = true;
+    }
+  }
+  return is_template;
+}
+
+}  // namespace aosilint

@@ -1,0 +1,40 @@
+// aosi_lint lexer: comment/string stripping and tokenization shared by the
+// per-file rules (rules.h) and the whole-program model extraction (model.h).
+//
+// The lexer is deliberately dumb — no preprocessor, no type system — but it
+// preserves line numbers exactly, which is all the downstream analyses need
+// to anchor findings and waivers.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aosilint {
+
+// Replaces comments and string/character literals (including raw strings)
+// with spaces so the lexer never sees their contents; newlines are kept so
+// token line numbers match the original file.
+std::string StripCommentsAndStrings(const std::string& in);
+
+enum class TokKind { kIdent, kNumber, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+// Tokenizes stripped source. Identifiers, numbers (incl. digit separators
+// and exponent signs) and maximal-munch punctuators up to 3 chars.
+std::vector<Token> Lex(const std::string& code);
+
+// Marks '<' / '>' tokens that open/close a template argument list so the
+// epoch-compare rule does not mistake `std::map<Epoch, X>` for comparisons.
+// Heuristic: a '<' directly after an identifier opens a template list if a
+// matching close is reachable through tokens that can only appear in a type
+// list (identifiers, ::, commas, *, &, nested angles, balanced parens for
+// function types, numbers for non-type args).
+std::vector<bool> MarkTemplateAngles(const std::vector<Token>& toks);
+
+}  // namespace aosilint

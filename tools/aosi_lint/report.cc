@@ -1,0 +1,167 @@
+#include "aosi_lint/report.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "aosi_lint/rules.h"
+
+namespace aosilint {
+
+namespace {
+
+// Assembled at runtime so the reporter's own source never registers as a
+// waiver site when the linter runs over its own tree.
+std::string WaiverNeedle() {
+  return std::string("aosi-lint: ") + "allow(";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string LocationJson(const std::string& file, int line) {
+  std::ostringstream os;
+  os << "{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+     << JsonEscape(file) << "\"}, \"region\": {\"startLine\": "
+     << (line > 0 ? line : 1) << "}}";
+  return os.str();  // caller appends optional message and the closing '}'
+}
+
+}  // namespace
+
+std::vector<WaiverSite> CollectWaiverSites(const std::string& raw,
+                                           const std::string& display_path) {
+  const std::string needle = WaiverNeedle();
+  std::vector<WaiverSite> sites;
+  std::istringstream in(raw);
+  std::string line_text;
+  int line = 0;
+  while (std::getline(in, line_text)) {
+    ++line;
+    const size_t pos = line_text.find(needle);
+    if (pos == std::string::npos) continue;
+    const size_t open = line_text.find('(', pos);
+    const size_t close = line_text.find(')', open);
+    if (open == std::string::npos || close == std::string::npos) continue;
+    WaiverSite site;
+    site.file = display_path;
+    site.line = line;
+    std::string cur;
+    for (char c : line_text.substr(open + 1, close - open - 1) + ",") {
+      if (c == ',') {
+        if (!cur.empty()) site.rules.push_back(cur);
+        cur.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        cur += c;
+      }
+    }
+    sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+void PrintText(const std::vector<Finding>& findings, std::ostream& os) {
+  for (const Finding& f : findings) {
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+       << "\n";
+    for (const Finding::Site& s : f.related) {
+      os << "    " << s.file << ":" << s.line;
+      if (!s.note.empty()) os << ": " << s.note;
+      os << "\n";
+    }
+  }
+}
+
+std::string ToSarif(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"aosi_lint\",\n"
+     << "          \"version\": \"2.0.0\",\n"
+     << "          \"informationUri\": "
+        "\"https://example.invalid/cubrick/docs/STATIC_ANALYSIS.md\",\n"
+     << "          \"rules\": [\n";
+  const auto& rules = Rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    os << "            {\"id\": \"" << JsonEscape(rules[i].name)
+       << "\", \"shortDescription\": {\"text\": \""
+       << JsonEscape(rules[i].description) << "\"}}"
+       << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "        {\n"
+       << "          \"ruleId\": \"" << JsonEscape(f.rule) << "\",\n"
+       << "          \"level\": \"warning\",\n"
+       << "          \"message\": {\"text\": \"" << JsonEscape(f.message)
+       << "\"},\n"
+       << "          \"locations\": [" << LocationJson(f.file, f.line)
+       << "}]";
+    if (!f.related.empty()) {
+      os << ",\n          \"relatedLocations\": [\n";
+      for (size_t j = 0; j < f.related.size(); ++j) {
+        const Finding::Site& s = f.related[j];
+        os << "            " << LocationJson(s.file, s.line);
+        if (!s.note.empty())
+          os << ", \"message\": {\"text\": \"" << JsonEscape(s.note) << "\"}";
+        os << "}" << (j + 1 < f.related.size() ? "," : "") << "\n";
+      }
+      os << "          ]";
+    }
+    os << "\n        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+std::string WaiverReportJson(const std::vector<WaiverSite>& sites) {
+  std::ostringstream os;
+  os << "{\n  \"waiver_count\": " << sites.size() << ",\n  \"sites\": [\n";
+  for (size_t i = 0; i < sites.size(); ++i) {
+    const WaiverSite& s = sites[i];
+    os << "    {\"file\": \"" << JsonEscape(s.file)
+       << "\", \"line\": " << s.line << ", \"rules\": [";
+    for (size_t j = 0; j < s.rules.size(); ++j) {
+      os << "\"" << JsonEscape(s.rules[j]) << "\""
+         << (j + 1 < s.rules.size() ? ", " : "");
+    }
+    os << "]}" << (i + 1 < sites.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace aosilint

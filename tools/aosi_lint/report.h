@@ -1,0 +1,38 @@
+// aosi_lint reporters: plain text, SARIF 2.1.0 (for CI artifact upload /
+// code-scanning ingestion), and the waiver-debt report consumed by
+// scripts/check_waiver_budget.py.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "aosi_lint/model.h"
+
+namespace aosilint {
+
+// One allow-comment waiver in the tree (the debt ledger entry).
+struct WaiverSite {
+  std::string file;
+  int line = 0;
+  std::vector<std::string> rules;
+};
+
+// Scans raw (pre-strip) file content for waiver comments, one site per
+// comment (unlike CollectWaivers, which expands a comment-only line to also
+// cover the next line).
+std::vector<WaiverSite> CollectWaiverSites(const std::string& raw,
+                                           const std::string& display_path);
+
+// `file:line: [rule] message` plus indented witness steps.
+void PrintText(const std::vector<Finding>& findings, std::ostream& os);
+
+// SARIF 2.1.0 document: one run, driver "aosi_lint", rules from Rules(),
+// one result per finding with witness steps as relatedLocations.
+std::string ToSarif(const std::vector<Finding>& findings);
+
+// JSON: {"waiver_count": N, "sites": [{"file", "line", "rules": [...]}]}.
+std::string WaiverReportJson(const std::vector<WaiverSite>& sites);
+
+}  // namespace aosilint

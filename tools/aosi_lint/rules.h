@@ -1,0 +1,37 @@
+// aosi_lint per-file rules: the original single-TU checks (atomic memory
+// orders, epoch comparisons, naked std:: primitives, locks across RPC in one
+// body, checker-hook slot access). Whole-program rules live in program.h.
+
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "aosi_lint/model.h"
+
+namespace aosilint {
+
+struct RuleInfo {
+  const char* name;
+  const char* description;
+  bool program = false;  // true for whole-program passes (need --program)
+};
+
+// All rules, per-file first, then program-level.
+const std::vector<RuleInfo>& Rules();
+
+// First pass for the atomic operator-form check: record names declared as
+// std::atomic<...>. Names are scoped by the caller (usually per path stem so
+// x.h and x.cc share a bucket); decl_sites lets the checker skip the
+// declaration token itself.
+void CollectAtomicNames(const SourceFile& f, std::set<std::string>* names,
+                        std::set<const Token*>* decl_sites);
+
+// Runs every per-file rule applicable to f's FileClass; waived findings are
+// filtered out before being appended to *findings.
+void LintFile(const SourceFile& f, const std::set<std::string>& atomic_names,
+              const std::set<const Token*>& decl_sites,
+              std::vector<Finding>* findings);
+
+}  // namespace aosilint
