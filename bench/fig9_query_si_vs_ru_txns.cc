@@ -9,8 +9,10 @@
 // stays a small fraction of total scan time; after purge recycles entries,
 // SI converges back to RU.
 
+#include <atomic>
 #include <cinttypes>
 #include <memory>
+#include <thread>
 
 #include "bench_common.h"
 #include "check/online_checker.h"
@@ -353,6 +355,82 @@ int main() {
                   {{"checker_off_p50_us", off_p50},
                    {"checker_on_p50_us", on_p50},
                    {"overhead_pct", overhead_pct}});
+  }
+
+  // Purge-pause sweep: the §III-C4 compaction pause, quiescent vs concurrent,
+  // with a scan thread live the whole time. Quiescent mode occupies every
+  // shard for the full round, so `aosi.purge.pause_us` records one pause the
+  // length of the round; the phased concurrent pipeline does its O(bytes)
+  // copy and plan off-shard and records only the short shard-occupancy
+  // slices scans actually wait behind. The headline is the p99 of that
+  // histogram per mode — the flattening scripts/check_bench_baseline.py
+  // gates on (skipped on single-core / sanitizer builds, like the morsel
+  // scaling floor).
+  {
+    const uint64_t kTxns = 512;
+    const int kPurgeRounds = 8;
+    struct ModeResult {
+      double pause_p50_us = 0.0;
+      double pause_p99_us = 0.0;
+      double scan_p99_us = 0.0;
+    };
+    const auto run_mode = [&](PurgeMode mode) {
+      Database db;
+      CUBRICK_CHECK(CreateSingleColumnCube(&db, "t").ok());
+      Random rng(7);
+      for (uint64_t t = 0; t < kTxns; ++t) {
+        CUBRICK_CHECK(db.Load("t", SingleColumnBatch(&rng, kRows / kTxns)).ok());
+      }
+      obs::Histogram* pause =
+          obs::MetricsRegistry::Global().GetHistogram("aosi.purge.pause_us");
+      pause->ResetForTest();
+      std::atomic<bool> stop{false};
+      obs::LatencyRecorder scan_rec;
+      std::thread scanner([&db, &stop, &scan_rec] {
+        const cubrick::Query q = AggregationQuery();
+        while (!stop.load(std::memory_order_acquire)) {
+          Stopwatch timer;
+          CUBRICK_CHECK(db.Query("t", q, ScanMode::kSnapshotIsolation).ok());
+          scan_rec.Record(timer.ElapsedMicros());
+        }
+      });
+      // Each round reloads a slice of fresh history so every purge has real
+      // compaction to do (round 1 reclaims the deep initial history; later
+      // rounds the reload's worth).
+      for (int r = 0; r < kPurgeRounds; ++r) {
+        CUBRICK_CHECK(db.Load("t", SingleColumnBatch(&rng, kRows / kTxns)).ok());
+        db.txns().TryAdvanceLSE(db.txns().LCE());
+        db.PurgeAll(mode);
+      }
+      stop.store(true, std::memory_order_release);
+      scanner.join();
+      const obs::HistogramSnapshot snap = pause->Read();
+      ModeResult out;
+      out.pause_p50_us = static_cast<double>(snap.Percentile(50));
+      out.pause_p99_us = static_cast<double>(snap.Percentile(99));
+      out.scan_p99_us = static_cast<double>(scan_rec.Percentile(99));
+      return out;
+    };
+    const ModeResult quiescent = run_mode(PurgeMode::kQuiescent);
+    const ModeResult concurrent = run_mode(PurgeMode::kConcurrent);
+    std::printf(
+        "\nPurge pause with scans live (%d rounds): quiescent pause p99 "
+        "%.0f us (scan p99 %.0f us), concurrent pause p99 %.0f us "
+        "(scan p99 %.0f us)\n",
+        kPurgeRounds, quiescent.pause_p99_us, quiescent.scan_p99_us,
+        concurrent.pause_p99_us, concurrent.scan_p99_us);
+    EmitBenchJson(
+        "fig9_purge_pause",
+        {{"quiescent_pause_p50_us", quiescent.pause_p50_us},
+         {"quiescent_pause_p99_us", quiescent.pause_p99_us},
+         {"quiescent_scan_p99_us", quiescent.scan_p99_us},
+         {"concurrent_pause_p50_us", concurrent.pause_p50_us},
+         {"concurrent_pause_p99_us", concurrent.pause_p99_us},
+         {"concurrent_scan_p99_us", concurrent.scan_p99_us},
+         {"pause_p99_ratio",
+          quiescent.pause_p99_us == 0
+              ? 0.0
+              : concurrent.pause_p99_us / quiescent.pause_p99_us}});
   }
   return 0;
 }

@@ -18,7 +18,11 @@ Checks (stdlib only, no third-party deps):
     an uninstrumented build on a box with >= 4 cores (a 1-core container
     reports ~1.0x by construction, and sanitizers distort the ratio);
   * for the online-checker sweep (bench == "fig9_online_check"), the
-    checker-on overhead stays <= 5% and the checker actually sampled.
+    checker-on overhead stays <= 5% and the checker actually sampled;
+  * for the purge-pause sweep (bench == "fig9_purge_pause"), the phased
+    concurrent purge's pause p99 is no worse than the quiescent baseline
+    measured with scans live — asserted under the same machine-capability
+    gate as the scaling floor (>= 2 cores, uninstrumented build).
 
 Exit codes: 0 ok, 1 validation failure, 2 usage/IO error.
 """
@@ -57,6 +61,20 @@ REQUIRED_ONLINE_METRICS = [
 # machines (see skip logic below).
 MIN_SPEEDUP_4T = 1.1
 MIN_SCALING_CORES = 4
+
+# The purge-pause sweep (bench == "fig9_purge_pause") must prove purge
+# actually ran and was timed in both modes.
+REQUIRED_PURGE_METRICS = [
+    ("histograms", "aosi.purge.pause_us"),
+    ("histograms", "aosi.purge.round_us"),
+    ("counters", "aosi.purge.rounds_total"),
+]
+
+# Pause-flattening gate: the concurrent pipeline's shard-occupancy slices
+# must not be longer than the quiescent full-round pause. Needs a second
+# core for the scan thread to actually contend, and sanitizer builds
+# distort the ratio, so the capability gate mirrors fig9_parallel's.
+MIN_PURGE_CORES = 2
 
 # Ceiling for the online checker's query-latency overhead (ISSUE: the
 # checker must ride the epoch metadata "near-free").
@@ -176,6 +194,41 @@ def check_file(path):
                 f"online-checker overhead {overhead:.2f}% exceeds the "
                 f"{MAX_ONLINE_OVERHEAD_PCT}% ceiling",
             )
+
+    if doc["bench"] == "fig9_purge_pause":
+        for section, name in REQUIRED_PURGE_METRICS:
+            if name not in metrics[section]:
+                return fail(path, f'required metric "{name}" missing from {section}')
+        if metrics["counters"].get("aosi.purge.rounds_total", 0) <= 0:
+            return fail(path, "purge sweep recorded zero aosi.purge.rounds_total")
+        quiescent = doc["headline"].get("quiescent_pause_p99_us")
+        concurrent = doc["headline"].get("concurrent_pause_p99_us")
+        if quiescent is None or concurrent is None:
+            return fail(
+                path,
+                "fig9_purge_pause headline missing "
+                '"quiescent_pause_p99_us"/"concurrent_pause_p99_us"',
+            )
+        capable = (
+            machine is not None
+            and machine["cores"] >= MIN_PURGE_CORES
+            and machine["sanitizer"] == "none"
+        )
+        if capable:
+            if concurrent > quiescent:
+                return fail(
+                    path,
+                    f"concurrent purge pause p99 {concurrent:.0f}us exceeds "
+                    f"the quiescent baseline {quiescent:.0f}us — the phased "
+                    "pipeline is not flattening the pause",
+                )
+        else:
+            why = (
+                "no machine stamp"
+                if machine is None
+                else f'{machine["cores"]} cores, sanitizer "{machine["sanitizer"]}"'
+            )
+            print(f"{path}: pause-flattening assertion skipped ({why})")
 
     n_metrics = sum(len(metrics[s]) for s in ("counters", "gauges", "histograms"))
     print(

@@ -9,8 +9,7 @@ namespace {
 /// Rebuilds a history from the runs that survive, renumbering record ranges
 /// to be dense, and merging adjacent append runs with epoch < merge_below
 /// (pass kNoEpoch to disable merging, e.g. for rollback).
-CompactionPlan BuildPlan(const EpochVector& history,
-                         const std::vector<EpochRun>& runs,
+CompactionPlan BuildPlan(const std::vector<EpochRun>& runs,
                          const Bitmap& keep, Epoch merge_below) {
   CompactionPlan plan;
   plan.needed = true;
@@ -57,10 +56,10 @@ CompactionPlan BuildPlan(const EpochVector& history,
   return plan;
 }
 
-}  // namespace
-
-CompactionPlan PlanPurge(const EpochVector& history, Epoch lse) {
-  const auto runs = history.Decode();
+/// The purge rules over already-decoded runs; shared by the live-vector and
+/// snapshot-view entry points so the two can never diverge.
+CompactionPlan PlanPurgeRuns(const std::vector<EpochRun>& runs,
+                             uint64_t num_records, Epoch lse) {
 
   // Decide whether any work is needed: an applicable delete (epoch < lse) or
   // recyclable history (two adjacent mergeable append runs < lse).
@@ -90,7 +89,7 @@ CompactionPlan PlanPurge(const EpochVector& history, Epoch lse) {
   // marker with epoch < lse using exactly the visibility cleanup rule —
   // literally the same code (visibility.cc's ApplyDeleteCleanup), so purge
   // and scan can never disagree about what a delete covers.
-  Bitmap keep(history.num_records(), true);
+  Bitmap keep(num_records, true);
   std::vector<EpochRun> working = runs;
   for (auto& del : working) {
     if (!del.is_delete || AtOrAfter(del.epoch, lse)) continue;
@@ -98,7 +97,17 @@ CompactionPlan PlanPurge(const EpochVector& history, Epoch lse) {
     del.epoch = kNoEpoch;  // mark the marker itself as dropped
   }
 
-  return BuildPlan(history, working, keep, /*merge_below=*/lse);
+  return BuildPlan(working, keep, /*merge_below=*/lse);
+}
+
+}  // namespace
+
+CompactionPlan PlanPurge(const EpochVector& history, Epoch lse) {
+  return PlanPurgeRuns(history.Decode(), history.num_records(), lse);
+}
+
+CompactionPlan PlanPurge(const HistoryView& view, Epoch lse) {
+  return PlanPurgeRuns(EpochVector::DecodeView(view), view.num_records, lse);
 }
 
 CompactionPlan PlanRollback(const EpochVector& history, Epoch victim) {
@@ -120,7 +129,7 @@ CompactionPlan PlanRollback(const EpochVector& history, Epoch victim) {
     plan.needed = false;
     return plan;
   }
-  return BuildPlan(history, working, keep, /*merge_below=*/kNoEpoch);
+  return BuildPlan(working, keep, /*merge_below=*/kNoEpoch);
 }
 
 CompactionPlan PlanRetainUpTo(const EpochVector& history, Epoch lse) {
@@ -142,7 +151,7 @@ CompactionPlan PlanRetainUpTo(const EpochVector& history, Epoch lse) {
     plan.needed = false;
     return plan;
   }
-  return BuildPlan(history, working, keep, /*merge_below=*/kNoEpoch);
+  return BuildPlan(working, keep, /*merge_below=*/kNoEpoch);
 }
 
 }  // namespace cubrick::aosi

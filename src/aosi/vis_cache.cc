@@ -37,10 +37,6 @@ const Bitmap* VisibilityCache::Lookup(const VisKey& key) const {
 
 VisibilityCache::PublishResult VisibilityCache::Publish(const VisKey& key,
                                                         Bitmap* bitmap) {
-  {
-    MutexLock lock(retired_mu_);
-    if (retired_.size() >= kMaxRetired) return {};
-  }
   const Entry* entry = new Entry{key, std::move(*bitmap)};
   // relaxed: the cursor only spreads victims across slots; no data rides on it
   const uint64_t cursor = next_victim_.fetch_add(1, std::memory_order_relaxed);
@@ -51,25 +47,22 @@ VisibilityCache::PublishResult VisibilityCache::Publish(const VisKey& key,
   result.published = &entry->bitmap;
   if (old != nullptr) {
     result.evicted = true;
-    MutexLock lock(retired_mu_);
-    retired_.push_back(old);
+    // The victim is unlinked but a concurrent scan that Looked it up under
+    // its Guard may still read the bitmap; the collector frees it after
+    // every such pin has drained.
+    Retire(old);
   }
   return result;
 }
 
 void VisibilityCache::Clear() {
   for (auto& slot : slots_) {
-    // acq_rel: acquire the retiring entry's contents before deleting it;
-    // release so a republished slot never appears to hold stale data.
+    // acq_rel: acquire the retiring entry's contents before handing it to
+    // the collector; release so a republished slot never appears to hold
+    // stale data.
     const Entry* entry = slot.exchange(nullptr, std::memory_order_acq_rel);
-    delete entry;
+    if (entry != nullptr) Retire(entry);
   }
-  std::vector<const Entry*> retired;
-  {
-    MutexLock lock(retired_mu_);
-    retired.swap(retired_);
-  }
-  for (const Entry* entry : retired) delete entry;
 }
 
 }  // namespace cubrick::aosi

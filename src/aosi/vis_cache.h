@@ -23,27 +23,29 @@
 //   - read_uncommitted: RU scans cache the all-ones mask under the version
 //     tag alone.
 //
-// Concurrency. Bricks are single-writer (paper §V-B): mutations happen on
-// the owning shard thread with no scan in flight, and each scan assigns a
-// brick to exactly one morsel worker. Lookups may therefore race only with
-// publishes of *other* bricks' workers on the shared pool, but the slots are
-// still accessed from different threads across scans, so entries are
+// Concurrency (PR 8: EBR retirement). Bricks are single-writer (paper
+// §V-B), and each scan assigns a brick to exactly one morsel worker, but
+// slots are accessed from different threads across scans, so entries are
 // published with release stores of immutable heap entries and read with
-// acquire loads — TSan-clean with no locks on the hit path. Entries evicted
-// by Publish are retired, not freed: a pointer returned by Lookup stays
-// valid until the next quiescent point (a brick mutation, which calls
-// Clear() on the shard thread while no scan holds the brick).
+// acquire loads — TSan-clean with no locks on the hit path. Entries
+// displaced by Publish or Clear are retired through ebr::Collector instead
+// of waiting for a quiescent point: a pointer returned by Lookup stays
+// valid for as long as the caller's ebr::Guard is alive (every scan entry
+// point pins one), and the old kMaxRetired backlog — which made Publish
+// silently decline under pure-read snapshot churn — is gone. Publish now
+// always publishes (`query.vis_cache_publish_declined` asserts this stays
+// true), and Clear() no longer needs scan quiescence, which is what lets
+// purge compact bricks while scans are in flight.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <vector>
 
 #include "aosi/epoch.h"
 #include "aosi/epoch_vector.h"
 #include "common/bitmap.h"
-#include "common/mutex.h"
+#include "common/ebr.h"
 
 namespace cubrick::aosi {
 
@@ -71,11 +73,6 @@ class VisibilityCache {
   /// are active, in which case the version tag churns anyway.
   static constexpr size_t kSlots = 8;
 
-  /// Publish stops storing new entries once this many evicted entries are
-  /// awaiting a quiescent point, bounding memory on pure-read workloads
-  /// whose snapshots never repeat (every miss would otherwise retire one).
-  static constexpr size_t kMaxRetired = 64;
-
   VisibilityCache() {
     for (auto& slot : slots_) {
       slot.store(nullptr, std::memory_order_relaxed);
@@ -91,31 +88,26 @@ class VisibilityCache {
                         bool read_uncommitted);
 
   /// The cached bitmap for `key`, or nullptr on miss. The pointer stays
-  /// valid until the brick's next mutation (see file comment).
+  /// valid while the caller's ebr::Guard is alive (see file comment).
   const Bitmap* Lookup(const VisKey& key) const;
 
   struct PublishResult {
-    /// The published (now cache-owned) bitmap, or nullptr when the cache
-    /// declined (retired backlog at kMaxRetired) and left *bitmap untouched.
+    /// The published (now cache-owned) bitmap. Never nullptr: with EBR
+    /// retirement there is no backlog bound, so Publish cannot decline.
     const Bitmap* published = nullptr;
-    /// True when storing displaced an older entry.
+    /// True when storing displaced an older entry (now EBR-retired).
     bool evicted = false;
   };
 
-  /// Stores `*bitmap` (moved from on success) under `key`, displacing the
-  /// round-robin victim slot. Safe to call while other threads Lookup.
+  /// Stores `*bitmap` (moved from) under `key`, displacing the round-robin
+  /// victim slot; the victim is EBR-retired. Safe to call while other
+  /// threads Lookup under their own Guards.
   PublishResult Publish(const VisKey& key, Bitmap* bitmap);
 
-  /// Drops every entry, published and retired. Must only be called at a
-  /// quiescent point for the owning brick: on the shard thread, with no
-  /// scan in flight (every brick mutation qualifies).
+  /// Unlinks and EBR-retires every entry. Callable from the shard thread
+  /// even while off-thread scans hold Lookup pointers under live Guards —
+  /// retirement defers the frees past their critical sections.
   void Clear();
-
-  /// Entries awaiting reclamation (white-box tests).
-  size_t num_retired() const {
-    MutexLock lock(retired_mu_);
-    return retired_.size();
-  }
 
  private:
   struct Entry {
@@ -123,14 +115,15 @@ class VisibilityCache {
     Bitmap bitmap;
   };
 
+  /// Unlinked entries go through the shared collector; charge the bitmap's
+  /// heap to the limbo accounting.
+  static void Retire(const Entry* entry) {
+    ebr::RetireDelete(entry, entry->bitmap.MemoryUsage());
+  }
+
   std::array<std::atomic<const Entry*>, kSlots> slots_;
   /// relaxed round-robin victim cursor; see Publish.
   std::atomic<uint64_t> next_victim_{0};
-
-  /// Entries swapped out of a slot while a concurrent scan of another
-  /// publish round may still dereference them; freed in Clear().
-  mutable Mutex retired_mu_;
-  std::vector<const Entry*> retired_ GUARDED_BY(retired_mu_);
 };
 
 }  // namespace cubrick::aosi

@@ -1,7 +1,8 @@
 // check_si: seeded snapshot-isolation stress runner (see stress.h).
 //
 //   check_si --mode=single|cluster|both --seeds=N --seed0=S --ops=K [-v]
-//            [--parallel=P] [--cache] [--online] [--dump-metrics]
+//            [--parallel=P] [--cache] [--online] [--purge-stress]
+//            [--dump-metrics]
 //
 // Runs N seeds starting at S; each seed derives a configuration via
 // MakeSeedConfig and runs the full workload. Exit code 0 when every seed
@@ -20,6 +21,14 @@
 // the oracle comparison is unchanged; the flag exists to drive the cache's
 // atomic publish/lookup/invalidate machinery under the stress mix —
 // combine with --parallel=P so concurrent morsel workers hit the slots.
+//
+// --purge-stress runs single-node seeds with a dedicated purge thread
+// looping the concurrent phased purge pipeline (engine/table.cc) for the
+// whole workload, so compaction installs, vis-cache invalidations and EBR
+// retirement race live scans continuously instead of only at maintenance
+// ops. Purge never touches history above the LSE, so the oracle comparison
+// is unchanged. Combine with --cache --parallel=P --online for the full
+// reclamation surface. Cluster seeds ignore it.
 //
 // --online additionally installs the online SI checker (online_checker.h)
 // for every seed: sampled transactions and scans are validated against the
@@ -55,6 +64,7 @@ struct Args {
   int parallel = 0;  // 0: keep MakeSeedConfig default (serial)
   bool cache = false;  // MakeSeedConfig default stays uncached
   bool online = false;  // install the online SI checker per seed
+  bool purge_stress = false;  // dedicated concurrent-purge thread per seed
   bool verbose = false;
   bool dump_metrics = false;
 };
@@ -86,6 +96,8 @@ Args ParseArgs(int argc, char** argv) {
       args.cache = true;
     } else if (std::strcmp(argv[i], "--online") == 0) {
       args.online = true;
+    } else if (std::strcmp(argv[i], "--purge-stress") == 0) {
+      args.purge_stress = true;
     } else if (std::strcmp(argv[i], "-v") == 0 ||
                std::strcmp(argv[i], "--verbose") == 0) {
       args.verbose = true;
@@ -96,7 +108,7 @@ Args ParseArgs(int argc, char** argv) {
                    "unknown argument: %s\n"
                    "usage: check_si [--mode=single|cluster|both] [--seeds=N] "
                    "[--seed0=S] [--ops=K] [--parallel=P] [--cache] "
-                   "[--online] [-v] [--dump-metrics]\n",
+                   "[--online] [--purge-stress] [-v] [--dump-metrics]\n",
                    argv[i]);
       std::exit(2);
     }
@@ -120,6 +132,7 @@ bool RunOne(const Args& args, uint64_t seed, bool cluster) {
   }
   if (args.cache) opt.visibility_cache = true;
   if (args.online) opt.online_check = true;
+  if (args.purge_stress && !cluster) opt.purge_stress = true;
   const cubrick::check::StressReport report =
       cluster ? cubrick::check::RunClusterStress(opt)
               : cubrick::check::RunSingleNodeStress(opt);

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <set>
@@ -16,6 +17,7 @@
 #include "common/mutex.h"
 #include "common/random.h"
 #include "cubrick/database.h"
+#include "obs/metrics.h"
 #include "query/executor.h"
 
 namespace cubrick::check {
@@ -669,7 +671,8 @@ std::string ConfigLine(const StressOptions& opt, bool cluster) {
       << " online=" << opt.online_check;
   if (!cluster) {
     out << " parallel=" << opt.query_parallelism
-        << " cache=" << opt.visibility_cache;
+        << " cache=" << opt.visibility_cache
+        << " purge_stress=" << opt.purge_stress;
   }
   if (cluster) {
     out << " nodes=" << opt.num_nodes << " rf=" << opt.replication_factor
@@ -683,6 +686,9 @@ std::string ConfigLine(const StressOptions& opt, bool cluster) {
   }
   if (!cluster && opt.visibility_cache) {
     out << " --cache";
+  }
+  if (!cluster && opt.purge_stress) {
+    out << " --purge-stress";
   }
   if (opt.online_check) {
     out << " --online";
@@ -777,6 +783,7 @@ void StressReport::MergeCounters(const StressReport& other) {
   ryw_queries += other.ryw_queries;
   maintenance += other.maintenance;
   checkpoints += other.checkpoints;
+  purge_rounds += other.purge_rounds;
   records_appended += other.records_appended;
 }
 
@@ -786,7 +793,7 @@ std::string StressReport::Summary() const {
       << " deletes=" << deletes << " delete_rejects=" << delete_rejects
       << " queries=" << queries << " ryw=" << ryw_queries
       << " maintenance=" << maintenance << " checkpoints=" << checkpoints
-      << " rows=" << records_appended;
+      << " purge_rounds=" << purge_rounds << " rows=" << records_appended;
   return out.str();
 }
 
@@ -835,7 +842,53 @@ StressReport RunSingleNodeStress(const StressOptions& opt) {
   shared.oracle = &oracle;
   shared.failures = &report.failures;
   shared.config = config;
+
+  // Dedicated purge churn (--purge-stress): loop the concurrent phased
+  // purge while the workers scan, append and delete. Shared structure lock
+  // only — same locking as MaintenanceOp, so deletes still serialize
+  // against it — and LSE chases LCE only in the diskless case (with
+  // persistence the LSE must stay checkpoint-bounded for the crash
+  // epilogue). The short sleep keeps the shard queues from being purge-only.
+  std::atomic<bool> stop_purge{false};
+  std::thread purge_thread;
+  // Tallied thread-locally: RunWorkers merges worker reports into `report`
+  // while the purge thread is still running, so the shared report is only
+  // touched after the join.
+  uint64_t purge_rounds_run = 0;
+  if (opt.purge_stress) {
+    purge_thread = std::thread([&] {
+      while (!stop_purge.load(std::memory_order_acquire)) {
+        {
+          ReaderMutexLock lock(shared.structure);
+          if (!opt.with_persistence) {
+            db->txns().TryAdvanceLSE(db->txns().LCE());
+          }
+          db->PurgeAll();
+        }
+        ++purge_rounds_run;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
   RunWorkers(&shared, opt, /*cluster=*/false, &report);
+  if (purge_thread.joinable()) {
+    stop_purge.store(true, std::memory_order_release);
+    purge_thread.join();
+    report.purge_rounds += purge_rounds_run;
+  }
+
+  // PR 8 acceptance: with EBR retirement the vis cache has no retired
+  // backlog, so Publish can never have declined, in this or any prior
+  // seed (the registry is process-global and the counter only ever moves
+  // if the decline path resurfaces).
+  const uint64_t declined = obs::MetricsRegistry::Global()
+                                .GetCounter("query.vis_cache_publish_declined")
+                                ->Value();
+  if (declined != 0) {
+    report.failures.push_back(
+        config + "\nvis-cache Publish declined " + std::to_string(declined) +
+        " time(s); EBR retirement must make Publish unconditional");
+  }
 
   // Epilogue 1: quiescent full-cube validation at the final LCE.
   const Query q = FullScanQuery();

@@ -71,6 +71,16 @@ struct StressOptions {
   /// the checker records becomes a report failure, so the online checker is
   /// itself cross-checked against the offline oracle on every --online run.
   bool online_check = false;
+  /// Runs a dedicated purge thread for the whole workload (single-node
+  /// mode): it loops LSE advance + Database::PurgeAll() — the concurrent
+  /// phased pipeline (engine/table.cc) — under the shared structure lock
+  /// while workers append, delete and scan. Off by default; check_si
+  /// --purge-stress opts in. Purge only compacts history at or below the
+  /// LSE, which every live snapshot is at or past, so the oracle
+  /// comparison is unchanged; what the flag adds is scans racing
+  /// compaction installs, vis-cache invalidation and EBR retirement of
+  /// displaced history vectors (ctest check_si_single_purge_concurrent).
+  bool purge_stress = false;
   /// Cluster mode only.
   uint32_t num_nodes = 3;
   size_t replication_factor = 2;
@@ -89,6 +99,8 @@ struct StressReport {
   uint64_t ryw_queries = 0;
   uint64_t maintenance = 0;
   uint64_t checkpoints = 0;
+  /// Rounds completed by the dedicated purge thread (purge_stress only).
+  uint64_t purge_rounds = 0;
   uint64_t records_appended = 0;
   /// Empty on success; each entry is a full replayable diagnostic.
   std::vector<std::string> failures;

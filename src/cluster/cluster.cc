@@ -457,10 +457,10 @@ aosi::Epoch Cluster::AdvanceClusterLSE() {
   return cluster_lse;
 }
 
-PurgeStats Cluster::PurgeAll() {
+PurgeStats Cluster::PurgeAll(PurgeMode mode) {
   PurgeStats total;
   for (auto& n : nodes_) {
-    const PurgeStats stats = n->HandlePurge();
+    const PurgeStats stats = n->HandlePurge(mode);
     total.bricks_examined += stats.bricks_examined;
     total.bricks_rewritten += stats.bricks_rewritten;
     total.bricks_erased += stats.bricks_erased;

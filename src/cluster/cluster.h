@@ -149,7 +149,7 @@ class Cluster {
   aosi::Epoch AdvanceClusterLSE();
 
   /// Runs purge on every node at its local LSE.
-  PurgeStats PurgeAll();
+  PurgeStats PurgeAll(PurgeMode mode = PurgeMode::kConcurrent);
 
   /// Takes a node offline / brings it back (redelivering missed traffic).
   Status SetNodeOnline(uint32_t idx, bool online);

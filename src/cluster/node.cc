@@ -135,13 +135,13 @@ Result<QueryResult> ClusterNode::HandleScan(
   return table->Scan(snapshot, mode, query, brick_filter);
 }
 
-PurgeStats ClusterNode::HandlePurge() {
+PurgeStats ClusterNode::HandlePurge(PurgeMode mode) {
   const aosi::Epoch lse = txns_.LSE();
   PurgeStats total;
   // Purge outside cubes_mutex_ (see SnapshotCubes): brick rewrites run on
   // the shard queues and can block on backpressure.
   for (const CubeRef& cube : SnapshotCubes()) {
-    const PurgeStats stats = cube.table->Purge(lse);
+    const PurgeStats stats = cube.table->Purge(lse, mode);
     total.bricks_examined += stats.bricks_examined;
     total.bricks_rewritten += stats.bricks_rewritten;
     total.bricks_erased += stats.bricks_erased;

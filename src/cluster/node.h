@@ -100,7 +100,7 @@ class ClusterNode {
                                  const std::function<bool(Bid)>& brick_filter);
 
   /// Runs the purge procedure on every local cube at this node's LSE.
-  PurgeStats HandlePurge();
+  PurgeStats HandlePurge(PurgeMode mode = PurgeMode::kConcurrent);
 
   // --- Persistence (§III-D) -----------------------------------------------
 

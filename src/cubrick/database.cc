@@ -354,13 +354,13 @@ Result<aosi::Epoch> Database::Checkpoint() {
   return lse;
 }
 
-PurgeStats Database::PurgeAll() {
+PurgeStats Database::PurgeAll(PurgeMode mode) {
   const aosi::Epoch lse = txns_.LSE();
   PurgeStats total;
   // Purge outside mutex_ (see SnapshotCubes): brick rewrites run on the
   // shard queues and can block on backpressure.
   for (const CubeRef& cube : SnapshotCubes()) {
-    const PurgeStats stats = cube.table->Purge(lse);
+    const PurgeStats stats = cube.table->Purge(lse, mode);
     total.bricks_examined += stats.bricks_examined;
     total.bricks_rewritten += stats.bricks_rewritten;
     total.bricks_erased += stats.bricks_erased;

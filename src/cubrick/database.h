@@ -157,8 +157,9 @@ class Database {
   /// Returns the new LSE. Requires a data_dir.
   Result<aosi::Epoch> Checkpoint();
 
-  /// Runs the purge procedure on every cube at the current LSE.
-  PurgeStats PurgeAll();
+  /// Runs the purge procedure on every cube at the current LSE. See
+  /// PurgeMode: the default phased pipeline runs concurrently with scans.
+  PurgeStats PurgeAll(PurgeMode mode = PurgeMode::kConcurrent);
 
   /// Replays flush segments from data_dir into the (freshly created) cubes
   /// and restores the epoch counters. Call after recreating schemas via

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "aosi/purge.h"
+#include "common/ebr.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -195,18 +196,28 @@ std::vector<MaterializedRow> Table::Materialize(
   return rows;
 }
 
-PurgeStats Table::Purge(aosi::Epoch lse) {
-  // The purge "pause" is the wall time the shards spend compacting instead
-  // of serving operations — the §III-C4 cost Figure 9's convergence section
-  // exercises.
-  obs::ObsSpan span(
-      "aosi.purge",
-      obs::MetricsRegistry::Global().GetHistogram("aosi.purge.pause_us"));
+PurgeStats Table::Purge(aosi::Epoch lse, PurgeMode mode) {
+  // Either mode also records its wall time: pause_us measures shard
+  // occupancy (what scans wait behind), round_us the end-to-end round.
+  obs::ObsSpan round_span(
+      "aosi.purge.round",
+      obs::MetricsRegistry::Global().GetHistogram("aosi.purge.round_us"));
   if (rollback_index_) {
     // Transactions at or before LSE are finished: their index entries can
     // never be used and would otherwise grow without bound.
     rollback_index_->DiscardUpTo(lse);
   }
+  return mode == PurgeMode::kQuiescent ? QuiescentPurge(lse)
+                                       : ConcurrentPurge(lse);
+}
+
+PurgeStats Table::QuiescentPurge(aosi::Epoch lse) {
+  // The purge "pause" is the wall time the shards spend compacting instead
+  // of serving operations — the §III-C4 cost Figure 9's convergence section
+  // exercises. In quiescent mode the whole round is one pause.
+  obs::ObsSpan span(
+      "aosi.purge",
+      obs::MetricsRegistry::Global().GetHistogram("aosi.purge.pause_us"));
   std::vector<PurgeStats> partials(shards_.size());
   std::vector<uint64_t> history_entries(shards_.size(), 0);
   std::vector<std::future<void>> done;
@@ -248,6 +259,131 @@ PurgeStats Table::Purge(aosi::Epoch lse) {
     total.records_removed += p.records_removed;
     total_entries += history_entries[s];
   }
+  FinishPurgeRound(total, total_entries);
+  return total;
+}
+
+PurgeStats Table::ConcurrentPurge(aosi::Epoch lse) {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Histogram* pause = reg.GetHistogram("aosi.purge.pause_us");
+  obs::Counter* conflicts = reg.GetCounter("aosi.purge.conflicts");
+
+  // Each shard op of the pipeline is timed individually: pause_us now
+  // records the slices scans actually wait behind, not the whole round —
+  // the flattening BENCH_fig9_purge_pause.json gates on.
+  const auto timed = [pause](Shard& shard,
+                             std::function<void(BrickMap&)> op) {
+    shard
+        .Enqueue([pause, op = std::move(op)](BrickMap& bricks) {
+          obs::ObsSpan span("aosi.purge.op", pause);
+          op(bricks);
+        })
+        .get();
+  };
+
+  // One reclamation pin across the whole pipeline. Brick pointers collected
+  // by the phase-1 op below stay dereferenceable for the guard's lifetime
+  // even if a concurrent maintenance op erases them: BrickMap::Erase
+  // retires bricks through the collector, and every retire after this pin
+  // waits out the guard. History Reps displaced by concurrent appends
+  // likewise stay readable for PinnedSnapshot's borrowed views.
+  const ebr::Guard guard;
+
+  PurgeStats total;
+  uint64_t total_entries = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+
+    // Phase 1 (shard op, O(bricks)): collect the shard's brick pointers.
+    std::vector<Brick*> shard_bricks;
+    timed(shard, [&shard_bricks](BrickMap& bricks) {
+      bricks.ForEach([&](Brick& brick) { shard_bricks.push_back(&brick); });
+    });
+
+    for (Brick* brick : shard_bricks) {
+      ++total.bricks_examined;
+      // Bounded replan loop: a concurrent mutation between snapshot and
+      // install invalidates the plan; purge is periodic, so after a few
+      // conflicts the brick simply waits for the next round.
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        // Phase 2 (off-shard): consistent history snapshot + purge plan,
+        // while the shard keeps serving scans and appends.
+        aosi::HistoryView view;
+        if (!brick->history().PinnedSnapshot(&view)) break;
+        const auto plan = aosi::PlanPurge(view, lse);
+        if (!plan.needed) break;
+
+        // Phase 3 (shard op, O(bytes) memcpy): version-validated raw
+        // column copy.
+        std::optional<BessColumn> bess_copy;
+        std::vector<MetricColumn> metric_copies;
+        bool copied = false;
+        timed(shard, [&](BrickMap&) {
+          copied = brick->SnapshotColumnsForCompaction(view.version,
+                                                       &bess_copy,
+                                                       &metric_copies);
+        });
+        if (!copied) {
+          conflicts->Add();
+          continue;
+        }
+
+        // Phase 4 (off-shard): the expensive part — filter every column
+        // down to the plan's keep rows, against the copies.
+        const auto keep = [&plan](uint64_t row) {
+          return plan.keep.Get(row);
+        };
+        BessColumn new_bess = bess_copy->CompactedCopy(keep);
+        std::vector<MetricColumn> new_metrics;
+        new_metrics.reserve(metric_copies.size());
+        for (const auto& m : metric_copies) {
+          new_metrics.push_back(m.CompactedCopy(keep));
+        }
+
+        // Phase 5 (shard op, O(history entries)): version-validated
+        // install of the rebuilt columns.
+        bool installed = false;
+        uint64_t removed = 0;
+        timed(shard, [&](BrickMap&) {
+          const uint64_t before = brick->num_records();
+          installed = brick->InstallCompaction(view.version, plan,
+                                               std::move(new_bess),
+                                               std::move(new_metrics));
+          if (installed) removed = before - brick->num_records();
+        });
+        if (!installed) {
+          conflicts->Add();
+          continue;
+        }
+        ++total.bricks_rewritten;
+        total.records_removed += removed;
+        break;
+      }
+    }
+
+    // Phase 6 (shard op, O(bricks)): count surviving history entries and
+    // erase bricks the round left fully dead (Erase EBR-retires them; the
+    // pointers in shard_bricks stay valid under our guard).
+    timed(shard, [&](BrickMap& bricks) {
+      std::vector<Bid> dead;
+      bricks.ForEach([&](Brick& brick) {
+        total_entries += brick.history().num_entries();
+        if (brick.num_records() == 0 && brick.history().num_entries() == 0) {
+          dead.push_back(brick.bid());
+        }
+      });
+      for (Bid bid : dead) {
+        bricks.Erase(bid);
+        ++total.bricks_erased;
+      }
+    });
+  }
+  FinishPurgeRound(total, total_entries);
+  return total;
+}
+
+void Table::FinishPurgeRound(const PurgeStats& total,
+                             uint64_t total_entries) {
   auto& reg = obs::MetricsRegistry::Global();
   reg.GetCounter("aosi.purge.rounds_total")->Add();
   // Post-purge epochs-vector footprint: how much §III-C history the table
@@ -255,7 +391,6 @@ PurgeStats Table::Purge(aosi::Epoch lse) {
   reg.GetGauge("aosi.epochs_vector_entries")
       ->Set(static_cast<int64_t>(total_entries));
   total.PublishTo(reg);
-  return total;
 }
 
 void Table::Rollback(aosi::Epoch victim) {

@@ -30,6 +30,19 @@ namespace cubrick {
 /// Parser output: records grouped and encoded per target brick.
 using PerBrickBatches = std::map<Bid, EncodedBatch>;
 
+/// How Table::Purge occupies the shards (§III-C4 + PR 8).
+enum class PurgeMode {
+  /// Phased pipeline: planning and row filtering run off the shard threads
+  /// against EBR-pinned snapshots and version-validated column copies, so
+  /// scans interleave with the purge and `aosi.purge.pause_us` records only
+  /// the short copy/install shard ops. The default.
+  kConcurrent,
+  /// Legacy stop-the-shard round: each shard plans and rewrites all of its
+  /// bricks in one monolithic op. Kept as the bench baseline for
+  /// BENCH_fig9_purge_pause.json and as the semantics reference.
+  kQuiescent,
+};
+
 /// Statistics returned by Table::Purge.
 struct PurgeStats {
   uint64_t bricks_examined = 0;
@@ -116,8 +129,9 @@ class Table {
       const aosi::Snapshot& snapshot, ScanMode mode, const Query& query,
       const MaterializeOptions& options = {}, bool visibility_cache = true);
 
-  /// Runs the purge procedure (§III-C4) over every brick at `lse`.
-  PurgeStats Purge(aosi::Epoch lse);
+  /// Runs the purge procedure (§III-C4) over every brick at `lse`. See
+  /// PurgeMode for how the shards are occupied; results are identical.
+  PurgeStats Purge(aosi::Epoch lse, PurgeMode mode = PurgeMode::kConcurrent);
 
   /// Physically removes every append/delete made by `victim` (§III-C5).
   void Rollback(aosi::Epoch victim);
@@ -152,6 +166,14 @@ class Table {
   }
 
  private:
+  PurgeStats QuiescentPurge(aosi::Epoch lse);
+  PurgeStats ConcurrentPurge(aosi::Epoch lse);
+
+  /// Merged-total bookkeeping shared by both purge modes: round counter,
+  /// post-purge epochs-vector footprint gauge, aosi.purge.* counters.
+  static void FinishPurgeRound(const PurgeStats& total,
+                               uint64_t total_entries);
+
   std::shared_ptr<const CubeSchema> schema_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::optional<RollbackIndex> rollback_index_;

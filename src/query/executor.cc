@@ -7,6 +7,7 @@
 #include "aosi/checker_hook.h"
 #include "aosi/vis_cache.h"
 #include "aosi/visibility.h"
+#include "common/ebr.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -33,6 +34,7 @@ struct ScanInstruments {
   obs::Counter* vis_cache_misses;
   obs::Counter* vis_cache_evictions;
   obs::Counter* vis_cache_bypass;
+  obs::Counter* vis_cache_publish_declined;
   obs::Counter* kernel_words_scanned;
   obs::Counter* kernel_words_skipped;
   obs::Counter* kernel_words_dense;
@@ -57,6 +59,7 @@ const ScanInstruments& Instruments() {
         reg.GetCounter("query.vis_cache_misses"),
         reg.GetCounter("query.vis_cache_evictions"),
         reg.GetCounter("query.vis_cache_bypass"),
+        reg.GetCounter("query.vis_cache_publish_declined"),
         reg.GetCounter("query.kernel_words_scanned"),
         reg.GetCounter("query.kernel_words_skipped"),
         reg.GetCounter("query.kernel_words_dense"),
@@ -166,6 +169,9 @@ void ExplainBrick(const Brick& brick, const Query& query,
 VisibilityRef VisibilityForScan(const Brick& brick,
                                 const aosi::Snapshot& snapshot, ScanMode mode,
                                 bool use_cache) {
+  // Defensive pin: scan entry points hold their own Guard, but helpers and
+  // tests call this directly; nesting is a thread-local counter bump.
+  const ebr::Guard guard;
   const bool ru = mode == ScanMode::kReadUncommitted;
   if (!use_cache) {
     return VisibilityRef(
@@ -186,8 +192,10 @@ VisibilityRef VisibilityForScan(const Brick& brick,
   const auto outcome = cache.Publish(key, &built);
   if (outcome.evicted) ins.vis_cache_evictions->Add();
   if (outcome.published != nullptr) return VisibilityRef(outcome.published);
-  // Retired backlog full: serve the bitmap privately rather than grow the
-  // cache without bound before the next quiescent point.
+  // Decline path. With EBR retirement Publish never declines — this branch
+  // is kept (and counted) so check_si can assert the backlog cliff stayed
+  // gone rather than silently reappearing.
+  ins.vis_cache_publish_declined->Add();
   ins.vis_cache_bypass->Add();
   return VisibilityRef(std::move(built));
 }
@@ -195,6 +203,10 @@ VisibilityRef VisibilityForScan(const Brick& brick,
 void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
                ScanMode mode, const Query& query, QueryResult* result,
                bool use_cache) {
+  // Reclamation pin for the whole brick scan: the visibility bitmap served
+  // from the cache — and any history Rep a concurrent compaction displaces —
+  // stays readable until this guard dies.
+  const ebr::Guard guard;
   const ScanInstruments& ins = Instruments();
   if (brick.num_records() == 0 || !BrickIntersectsFilters(brick, query)) {
     ins.bricks_pruned->Add();

@@ -1,5 +1,6 @@
 #include "query/materialize.h"
 
+#include "common/ebr.h"
 #include "query/executor.h"
 
 namespace cubrick {
@@ -13,6 +14,10 @@ uint64_t MaterializeBrick(const Brick& brick, const aosi::Snapshot& snapshot,
   if (!BrickIntersectsFilters(brick, query)) return 0;
 
   const CubeSchema& schema = brick.schema();
+  // Reclamation pin for the whole materialization: the cached bitmap (and,
+  // under concurrent purge, the brick's history snapshot) stay valid until
+  // the guard dies.
+  const ebr::Guard guard;
   // Same visibility entry point (and cache) as the aggregation executor.
   const VisibilityRef ref = VisibilityForScan(brick, snapshot, mode, use_cache);
   const Bitmap& visible = ref.bitmap();

@@ -61,6 +61,27 @@ void Brick::ApplyCompaction(const aosi::CompactionPlan& plan) {
   for (const auto& m : metrics_) {
     new_metrics.push_back(m.CompactedCopy(keep));
   }
+  const bool installed = InstallCompaction(
+      history_.version(), plan, std::move(new_bess), std::move(new_metrics));
+  CUBRICK_CHECK(installed);  // same-thread: the version cannot have moved
+}
+
+bool Brick::SnapshotColumnsForCompaction(
+    uint64_t expected_version, std::optional<BessColumn>* bess,
+    std::vector<MetricColumn>* metrics) const {
+  if (history_.version() != expected_version) return false;
+  bess->emplace(bess_);
+  *metrics = metrics_;
+  return true;
+}
+
+bool Brick::InstallCompaction(uint64_t expected_version,
+                              const aosi::CompactionPlan& plan,
+                              BessColumn new_bess,
+                              std::vector<MetricColumn> new_metrics) {
+  if (history_.version() != expected_version) return false;
+  CUBRICK_CHECK(plan.needed);
+  CUBRICK_CHECK(plan.keep.size() == history_.num_records());
   CUBRICK_CHECK(new_bess.num_records() == plan.new_history.num_records());
   bess_ = std::move(new_bess);
   metrics_ = std::move(new_metrics);
@@ -72,6 +93,7 @@ void Brick::ApplyCompaction(const aosi::CompactionPlan& plan) {
   // capacity so the memory actually returns (Fig 6's post-purge drop).
   history_.ShrinkToFit();
   vis_cache_.Clear();
+  return true;
 }
 
 size_t Brick::DataMemoryUsage() const {

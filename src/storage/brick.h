@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "aosi/epoch_vector.h"
@@ -80,6 +81,30 @@ class Brick {
   /// into fresh vectors which then replace the old ones, mirroring the
   /// paper's new-partition-then-atomic-swap scheme.
   void ApplyCompaction(const aosi::CompactionPlan& plan);
+
+  // --- Phased compaction (PR 8: purge concurrent with scans) --------------
+  //
+  // Concurrent purge splits ApplyCompaction so only two cheap steps occupy
+  // the shard thread: copying the raw columns out and installing the
+  // rebuilt ones back in. The expensive keep-bitmap row filtering runs
+  // off-thread in between, against the copies. Both steps validate the
+  // history version the plan was built from, so a mutation that slips
+  // between phases makes the round replan instead of installing stale data.
+
+  /// Phase 3 (shard op): copies the raw columns out iff the history is
+  /// still at `expected_version`. Returns false — leaving the outputs
+  /// untouched — when a mutation invalidated the caller's plan.
+  bool SnapshotColumnsForCompaction(uint64_t expected_version,
+                                    std::optional<BessColumn>* bess,
+                                    std::vector<MetricColumn>* metrics) const;
+
+  /// Phase 5 (shard op): installs off-thread-rebuilt columns and the plan's
+  /// history iff the history is still at `expected_version` (no mutation
+  /// since the columns were copied). O(history entries), not O(rows).
+  bool InstallCompaction(uint64_t expected_version,
+                         const aosi::CompactionPlan& plan,
+                         BessColumn new_bess,
+                         std::vector<MetricColumn> new_metrics);
 
   /// Data bytes (bess + metrics). Excludes the epochs vector.
   size_t DataMemoryUsage() const;

@@ -9,6 +9,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/ebr.h"
 #include "storage/brick.h"
 
 namespace cubrick {
@@ -37,8 +38,18 @@ class BrickMap {
     return it == bricks_.end() ? nullptr : it->second.get();
   }
 
-  /// Removes a brick entirely (after purge found it fully dead).
-  void Erase(Bid bid) { bricks_.erase(bid); }
+  /// Removes a brick entirely (after purge found it fully dead). The Brick
+  /// is EBR-retired, not freed: concurrent purge pipelines hold Brick*
+  /// collected in an earlier shard op under an ebr::Guard, and those stay
+  /// dereferenceable until every such pin drains.
+  void Erase(Bid bid) {
+    auto it = bricks_.find(bid);
+    if (it == bricks_.end()) return;
+    const Brick* brick = it->second.release();
+    bricks_.erase(it);
+    ebr::RetireDelete(brick,
+                      brick->DataMemoryUsage() + brick->HistoryMemoryUsage());
+  }
 
   size_t size() const { return bricks_.size(); }
 

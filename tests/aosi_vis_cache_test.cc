@@ -1,7 +1,8 @@
 // Visibility-bitmap cache tests: key normalization (horizon clamping, deps
-// filtering, RU collapsing), slot publish/lookup/eviction mechanics, the
-// retired-entry backlog cap, and a multi-threaded lookup/publish hammer
-// (named *VisCache* so the TSan CI job picks it up).
+// filtering, RU collapsing), slot publish/lookup/eviction mechanics, EBR
+// retirement of displaced entries (no decline backlog — Publish always
+// stores), and a multi-threaded lookup/publish hammer (named *VisCache* so
+// the TSan CI job picks it up).
 
 #include "aosi/vis_cache.h"
 
@@ -13,6 +14,7 @@
 
 #include "aosi/epoch_vector.h"
 #include "aosi/visibility.h"
+#include "common/ebr.h"
 
 namespace cubrick::aosi {
 namespace {
@@ -113,6 +115,9 @@ TEST(VisCacheTest, MissThenPublishThenHit) {
 
 TEST(VisCacheTest, PublishBeyondSlotsEvictsAndRetires) {
   VisibilityCache cache;
+  // Pin before touching the cache: the evicted entry below must stay
+  // dereferenceable for the lifetime of this guard, per the EBR contract.
+  const ebr::Guard guard;
   // Fill every slot: no evictions yet.
   for (uint64_t i = 0; i < VisibilityCache::kSlots; ++i) {
     Bitmap bm(4, true);
@@ -120,49 +125,40 @@ TEST(VisCacheTest, PublishBeyondSlotsEvictsAndRetires) {
     ASSERT_NE(r.published, nullptr);
     EXPECT_FALSE(r.evicted);
   }
-  EXPECT_EQ(cache.num_retired(), 0u);
 
   // One more displaces the round-robin victim (the oldest entry) and
-  // retires it — the evicted bitmap must stay dereferenceable.
+  // retires it — the evicted bitmap must stay dereferenceable while this
+  // thread's guard is alive.
   const Bitmap* oldest = cache.Lookup(KeyFor(1, 1));
   ASSERT_NE(oldest, nullptr);
   Bitmap bm(4, true);
   const auto r = cache.Publish(KeyFor(1, 100), &bm);
   ASSERT_NE(r.published, nullptr);
   EXPECT_TRUE(r.evicted);
-  EXPECT_EQ(cache.num_retired(), 1u);
   EXPECT_EQ(cache.Lookup(KeyFor(1, 1)), nullptr);
   EXPECT_EQ(oldest->ToString(), "1111");  // retired, not freed
 
   cache.Clear();
-  EXPECT_EQ(cache.num_retired(), 0u);
   EXPECT_EQ(cache.Lookup(KeyFor(1, 100)), nullptr);
 }
 
-TEST(VisCacheTest, PublishBypassesOnceRetiredBacklogIsFull) {
+TEST(VisCacheTest, PublishNeverDeclinesUnderUnboundedChurn) {
+  // The pre-EBR cache declined once 64 evicted entries awaited a quiescent
+  // point; with EBR retirement every publish must succeed no matter how
+  // long the churn runs, and the collector must be able to reclaim all of
+  // it once no guard is pinned.
   VisibilityCache cache;
-  // kSlots publishes fill the slots; kMaxRetired more each retire one.
-  const uint64_t to_fill = VisibilityCache::kSlots + VisibilityCache::kMaxRetired;
-  for (uint64_t i = 0; i < to_fill; ++i) {
+  const uint64_t churn = VisibilityCache::kSlots + 200;
+  for (uint64_t i = 0; i < churn; ++i) {
     Bitmap bm(4, true);
-    ASSERT_NE(cache.Publish(KeyFor(1, static_cast<Epoch>(i + 1)), &bm).published,
-              nullptr);
+    const auto r = cache.Publish(KeyFor(1, static_cast<Epoch>(i + 1)), &bm);
+    ASSERT_NE(r.published, nullptr);
+    EXPECT_EQ(r.evicted, i >= VisibilityCache::kSlots);
   }
-  ASSERT_EQ(cache.num_retired(), VisibilityCache::kMaxRetired);
-
-  // The cache now declines: the caller keeps ownership of its bitmap.
-  Bitmap bm(6, true);
-  const auto r = cache.Publish(KeyFor(1, 999), &bm);
-  EXPECT_EQ(r.published, nullptr);
-  EXPECT_FALSE(r.evicted);
-  EXPECT_EQ(bm.ToString(), "111111");  // untouched
-  EXPECT_EQ(cache.num_retired(), VisibilityCache::kMaxRetired);
-
-  // Clear (the quiescent point) restores publishing.
   cache.Clear();
-  EXPECT_EQ(cache.num_retired(), 0u);
-  Bitmap again(6, true);
-  EXPECT_NE(cache.Publish(KeyFor(2, 1), &again).published, nullptr);
+  // No guard is live on any thread here, so limbo must drain completely.
+  EXPECT_TRUE(ebr::Collector::Global().DrainForTest());
+  EXPECT_EQ(ebr::Collector::Global().LimboObjectsForTest(), 0u);
 }
 
 TEST(VisCacheTest, CachedBitmapMatchesDirectBuild) {
@@ -199,8 +195,9 @@ TEST(VisCacheConcurrencyTest, ConcurrentLookupAndPublishAreRaceFree) {
   // Hammer a single cache from several threads mixing lookups and publishes
   // over a small key set, dereferencing every pointer the cache hands back.
   // With 12 keys over 8 slots the threads continuously evict each other, so
-  // the retire path runs concurrently with hits. No Clear() runs — that is
-  // the quiescent-point contract this test relies on.
+  // the EBR retire/reclaim path runs concurrently with hits: a premature
+  // free of an evicted entry a guard still protects is a use-after-free
+  // ASan/TSan will catch.
   VisibilityCache cache;
   constexpr int kThreads = 4;
   constexpr int kIters = 3000;
@@ -214,6 +211,9 @@ TEST(VisCacheConcurrencyTest, ConcurrentLookupAndPublishAreRaceFree) {
     threads.emplace_back([&cache, &checksum, t] {
       uint64_t local = 0;
       for (int i = 0; i < kIters; ++i) {
+        // Per-iteration pin, exactly like a scan: the pointer handed back
+        // below is only dereferenced inside the guard's critical section.
+        const ebr::Guard guard;
         const Epoch horizon = static_cast<Epoch>((t + i) % kKeys + 1);
         const VisKey key = KeyFor(1, horizon);
         const Bitmap* bm = cache.Lookup(key);
@@ -222,7 +222,7 @@ TEST(VisCacheConcurrencyTest, ConcurrentLookupAndPublishAreRaceFree) {
           built.SetRange(0, static_cast<size_t>(horizon) * 10);
           const auto r = cache.Publish(key, &built);
           bm = r.published;
-          if (bm == nullptr) continue;  // backlog full: cache declined
+          ASSERT_NE(bm, nullptr);  // EBR cache never declines
         }
         // Every published bitmap for `horizon` has horizon*10 set bits;
         // a torn read or premature free breaks this invariant (and TSan).

@@ -1,0 +1,19 @@
+// aosi-lint-as: src/engine/purge_free.cc
+//
+// Raw delete of a retire-managed type (the vis-cache Entry) with no EBR
+// deleter marker: a concurrent scan pinned before the unlink may still be
+// reading the entry's bitmap, so this free must go through
+// ebr::Retire/RetireDelete instead.
+
+namespace cubrick {
+
+struct Entry {
+  unsigned long long key;
+};
+
+void DropDisplacedEntry(void* slot) {
+  Entry* victim = static_cast<Entry*>(slot);
+  delete victim;
+}
+
+}  // namespace cubrick

@@ -1,0 +1,33 @@
+// aosi-lint-fixture: ebr-guard
+// aosi-lint-as: src/query/scan_path.cc
+//
+// Dereference-without-pin: calls VisibilityCache::Lookup and
+// EpochVector::PinnedSnapshot with no ebr::Guard declared anywhere in the
+// function. The returned pointers are EBR-protected — the collector may
+// free them the moment no pin covers the reading thread — so both calls
+// must trip the ebr-guard pass.
+
+namespace cubrick {
+
+class VisibilityCache;
+class EpochVector;
+struct HistoryView;
+
+class ScanPath {
+ public:
+  void ScanBrick();
+
+ private:
+  VisibilityCache* cache_;
+  EpochVector* history_;
+  unsigned long long key_ = 0;
+};
+
+void ScanPath::ScanBrick() {
+  const void* bitmap = cache_->Lookup(key_);
+  HistoryView* view = nullptr;
+  history_->PinnedSnapshot(view);
+  (void)bitmap;
+}
+
+}  // namespace cubrick

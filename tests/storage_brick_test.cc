@@ -274,7 +274,6 @@ TEST(BrickTest, MutationsInvalidateVisibilityCache) {
   brick.ApplyCompaction(purge);
   EXPECT_GT(brick.history().version(), version);
   EXPECT_EQ(brick.vis_cache().Lookup(key), nullptr);
-  EXPECT_EQ(brick.vis_cache().num_retired(), 0u);
 
   // Rollback compaction.
   brick.AppendBatch(6, MakeBatch(*schema, 3));

@@ -55,6 +55,15 @@ const std::vector<RuleInfo>& Rules() {
        "RecordDelete/InstallRebuilt) clears the brick's visibility cache "
        "before returning",
        true},
+      {"ebr-guard",
+       "EBR reclamation discipline (common/ebr.h): calls returning "
+       "EBR-protected pointers (VisibilityCache::Lookup, "
+       "EpochVector::PinnedSnapshot) must be dominated by an ebr::Guard "
+       "declaration in the same function, and delete/free of a "
+       "retire-managed type (vis-cache Entry, EpochVector Rep, Brick) is "
+       "only legal on a line marked as an EBR deleter — anything else can "
+       "free memory a pinned reader still holds",
+       true},
       {"checker-hook-gate",
        "checker-hook methods (OnBegin, OnFinish, OnScanObservation, ...) may "
        "only be invoked behind a dominating GetCheckerHook() enabled-load in "
