@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/simd.h"
 #include "cubrick/database.h"
 #include "ingest/parser.h"
 #include "obs/export.h"
@@ -29,12 +30,23 @@ inline void InitBenchObs() {
   if (env != nullptr && env[0] == '1') obs::SetEnabled(false);
 }
 
-/// Scale multiplier from the environment (default 1.0).
+/// Scale multiplier from the environment (default 1.0). A malformed or
+/// non-positive CUBRICK_BENCH_SCALE aborts the run instead of silently
+/// falling back to 1.0 — a typo'd scale in CI would otherwise run the
+/// seed-size workload and quietly pass the baseline gate at the wrong scale.
 inline double ScaleFactor() {
   const char* env = std::getenv("CUBRICK_BENCH_SCALE");
-  if (env == nullptr) return 1.0;
-  const double v = std::atof(env);
-  return v > 0 ? v : 1.0;
+  if (env == nullptr || env[0] == '\0') return 1.0;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !(v > 0)) {
+    std::fprintf(stderr,
+                 "bench: CUBRICK_BENCH_SCALE=\"%s\" is not a positive "
+                 "number; refusing to guess a scale\n",
+                 env);
+    std::exit(2);
+  }
+  return v;
 }
 
 inline uint64_t Scaled(uint64_t base) {
@@ -184,8 +196,10 @@ inline void EmitBenchJson(const std::string& name,
   std::fprintf(f,
                "{\n  \"bench\": \"%s\",\n  \"scale\": %g,\n"
                "  \"machine\": {\n    \"cores\": %u,\n"
-               "    \"sanitizer\": \"%s\"\n  },\n  \"headline\": {",
-               name.c_str(), ScaleFactor(), cores, SanitizerFlavor());
+               "    \"sanitizer\": \"%s\",\n"
+               "    \"simd_backend\": \"%s\"\n  },\n  \"headline\": {",
+               name.c_str(), ScaleFactor(), cores, SanitizerFlavor(),
+               simd::ActiveBackendName());
   bool first = true;
   for (const auto& [key, value] : headline) {
     std::fprintf(f, "%s\n    \"%s\": %g", first ? "" : ",", key.c_str(),

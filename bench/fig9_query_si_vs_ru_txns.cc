@@ -16,6 +16,7 @@
 
 #include "bench_common.h"
 #include "check/online_checker.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "engine/table.h"
@@ -431,6 +432,119 @@ int main() {
           quiescent.pause_p99_us == 0
               ? 0.0
               : concurrent.pause_p99_us / quiescent.pause_p99_us}});
+  }
+
+  // SIMD kernel sweep (DESIGN.md §4e): the same scans with the scalar
+  // backend vs the best backend this CPU supports, interleaved rep by rep
+  // (like the online-check sweep: back-to-back halves would let container
+  // drift masquerade as speedup; the backend toggle happens outside the
+  // timed region). Two query shapes: an ungrouped multi-agg fold over the
+  // wide cube (the per-word typed fold kernels) and the same with a
+  // partial-coverage range filter (the compare-to-bitmask filter kernel).
+  // Every rep asserts the two backends' results are identical — the
+  // fold-order contract at bench scale. scripts/check_bench_baseline.py
+  // gates simd_speedup >= 1.3x behind the machine stamp (>= 2 cores, no
+  // sanitizer, simd_backend != scalar).
+  {
+    const simd::Backend native = simd::Detect();
+    Database db;
+    CUBRICK_CHECK(CreateWideCube(&db, "w").ok());
+    Random rng(7);
+    for (int t = 0; t < 8; ++t) {
+      CUBRICK_CHECK(db.Load("w", WideBatch(&rng, kRows / 8)).ok());
+    }
+    cubrick::Query fold_q;
+    fold_q.aggs = {{AggSpec::Fn::kSum, 0},  {AggSpec::Fn::kMin, 0},
+                   {AggSpec::Fn::kMax, 0},  {AggSpec::Fn::kSum, 30},
+                   {AggSpec::Fn::kMin, 30}, {AggSpec::Fn::kMax, 30},
+                   {AggSpec::Fn::kCount, 0}};
+    cubrick::Query filter_q = fold_q;
+    FilterClause channel;
+    channel.dim = 2;  // card 8, one range: never covered, never pruned
+    channel.op = FilterClause::Op::kRange;
+    channel.range_lo = 1;
+    channel.range_hi = 6;
+    filter_q.filters = {channel};
+
+    const auto run = [&db](const cubrick::Query& q) {
+      auto result = db.Query("w", q, ScanMode::kSnapshotIsolation);
+      CUBRICK_CHECK(result.ok());
+      return std::move(result).value();
+    };
+    const auto expect_same = [](const QueryResult& a, const QueryResult& b) {
+      CUBRICK_CHECK(a.num_groups() == b.num_groups());
+      for (const auto& [key, states] : a.groups()) {
+        const auto& other = b.groups().at(key);
+        for (size_t i = 0; i < states.size(); ++i) {
+          CUBRICK_CHECK(states[i].sum == other[i].sum);
+          CUBRICK_CHECK(states[i].count == other[i].count);
+          CUBRICK_CHECK(states[i].min == other[i].min);
+          CUBRICK_CHECK(states[i].max == other[i].max);
+        }
+      }
+    };
+
+    CUBRICK_CHECK(simd::SetBackend(simd::Backend::kScalar));
+    const QueryResult ref_fold = run(fold_q);  // warm-up + reference
+    const QueryResult ref_filter = run(filter_q);
+    CUBRICK_CHECK(simd::SetBackend(native));
+    expect_same(ref_fold, run(fold_q));  // warm-up + cross-backend identity
+    expect_same(ref_filter, run(filter_q));
+
+    obs::LatencyRecorder scalar_fold, simd_fold, scalar_filter, simd_filter;
+    for (int i = 0; i < kReps; ++i) {
+      CUBRICK_CHECK(simd::SetBackend(simd::Backend::kScalar));
+      {
+        Stopwatch timer;
+        const QueryResult r = run(fold_q);
+        scalar_fold.Record(timer.ElapsedMicros());
+        expect_same(ref_fold, r);
+      }
+      {
+        Stopwatch timer;
+        const QueryResult r = run(filter_q);
+        scalar_filter.Record(timer.ElapsedMicros());
+        expect_same(ref_filter, r);
+      }
+      CUBRICK_CHECK(simd::SetBackend(native));
+      {
+        Stopwatch timer;
+        const QueryResult r = run(fold_q);
+        simd_fold.Record(timer.ElapsedMicros());
+        expect_same(ref_fold, r);
+      }
+      {
+        Stopwatch timer;
+        const QueryResult r = run(filter_q);
+        simd_filter.Record(timer.ElapsedMicros());
+        expect_same(ref_filter, r);
+      }
+    }
+    const double scalar_p50 = static_cast<double>(scalar_fold.Percentile(50));
+    const double simd_p50 = static_cast<double>(simd_fold.Percentile(50));
+    const double scalar_filter_p50 =
+        static_cast<double>(scalar_filter.Percentile(50));
+    const double simd_filter_p50 =
+        static_cast<double>(simd_filter.Percentile(50));
+    std::printf(
+        "\nSIMD kernels (%s vs scalar, %" PRIu64 " rows): fold p50 "
+        "%.0f -> %.0f us (%.2fx), filtered fold p50 %.0f -> %.0f us "
+        "(%.2fx)\n",
+        simd::BackendName(native), kRows, scalar_p50, simd_p50,
+        simd_p50 == 0 ? 0.0 : scalar_p50 / simd_p50, scalar_filter_p50,
+        simd_filter_p50,
+        simd_filter_p50 == 0 ? 0.0 : scalar_filter_p50 / simd_filter_p50);
+    // Emitted with the native backend active, so the machine stamp's
+    // simd_backend field records what "simd" meant on this runner.
+    EmitBenchJson(
+        "fig9_simd",
+        {{"scalar_p50_us", scalar_p50},
+         {"simd_p50_us", simd_p50},
+         {"simd_speedup", simd_p50 == 0 ? 0.0 : scalar_p50 / simd_p50},
+         {"scalar_filter_p50_us", scalar_filter_p50},
+         {"simd_filter_p50_us", simd_filter_p50},
+         {"filter_speedup",
+          simd_filter_p50 == 0 ? 0.0 : scalar_filter_p50 / simd_filter_p50}});
   }
   return 0;
 }

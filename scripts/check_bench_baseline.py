@@ -22,7 +22,12 @@ Checks (stdlib only, no third-party deps):
   * for the purge-pause sweep (bench == "fig9_purge_pause"), the phased
     concurrent purge's pause p99 is no worse than the quiescent baseline
     measured with scans live — asserted under the same machine-capability
-    gate as the scaling floor (>= 2 cores, uninstrumented build).
+    gate as the scaling floor (>= 2 cores, uninstrumented build);
+  * for the SIMD kernel sweep (bench == "fig9_simd"), the SIMD fold is
+    >= 1.3x faster than the scalar backend — asserted only when the stamp
+    shows >= 2 cores, no sanitizer, AND a non-scalar simd_backend (a runner
+    without AVX2/NEON resolves to scalar and reports ~1.0x by construction;
+    it skips with a printed reason, never silently passes).
 
 Exit codes: 0 ok, 1 validation failure, 2 usage/IO error.
 """
@@ -80,6 +85,21 @@ MIN_PURGE_CORES = 2
 # checker must ride the epoch metadata "near-free").
 MAX_ONLINE_OVERHEAD_PCT = 5.0
 
+# The SIMD sweep (bench == "fig9_simd") must prove the vector kernels
+# actually ran: the dispatch counters have to be present, and
+# query.kernel_simd_words must be non-zero whenever the stamp says a
+# non-scalar backend was active.
+REQUIRED_SIMD_METRICS = [
+    ("counters", "query.kernel_simd_words"),
+    ("counters", "query.kernel_simd_fallback"),
+    ("counters", "query.kernel_words_dense"),
+]
+
+# SIMD speedup floor for fig9_simd, asserted only on capable machines
+# (>= MIN_SIMD_CORES cores, uninstrumented, non-scalar backend resolved).
+MIN_SIMD_SPEEDUP = 1.3
+MIN_SIMD_CORES = 2
+
 
 def fail(path, msg):
     print(f"check_bench_baseline: {path}: {msg}", file=sys.stderr)
@@ -119,6 +139,16 @@ def check_file(path):
         if machine.get("sanitizer") not in ("none", "thread", "address"):
             return fail(
                 path, 'machine "sanitizer" must be "none", "thread" or "address"'
+            )
+        # simd_backend is optional (pre-SIMD baselines predate it) but must
+        # name a real backend when present.
+        if "simd_backend" in machine and machine["simd_backend"] not in (
+            "scalar",
+            "avx2",
+            "neon",
+        ):
+            return fail(
+                path, 'machine "simd_backend" must be "scalar", "avx2" or "neon"'
             )
 
     for name, hist in metrics["histograms"].items():
@@ -229,6 +259,52 @@ def check_file(path):
                 else f'{machine["cores"]} cores, sanitizer "{machine["sanitizer"]}"'
             )
             print(f"{path}: pause-flattening assertion skipped ({why})")
+
+    if doc["bench"] == "fig9_simd":
+        for section, name in REQUIRED_SIMD_METRICS:
+            if name not in metrics[section]:
+                return fail(path, f'required metric "{name}" missing from {section}')
+        for key in ("scalar_p50_us", "simd_p50_us", "simd_speedup"):
+            if key not in doc["headline"]:
+                return fail(path, f'fig9_simd headline missing "{key}"')
+        backend = machine.get("simd_backend") if machine is not None else None
+        if backend is not None and backend != "scalar":
+            if metrics["counters"].get("query.kernel_simd_words", 0) <= 0:
+                return fail(
+                    path,
+                    f'simd_backend "{backend}" active but '
+                    "query.kernel_simd_words is zero — the vector kernels "
+                    "never ran",
+                )
+        capable = (
+            machine is not None
+            and machine["cores"] >= MIN_SIMD_CORES
+            and machine["sanitizer"] == "none"
+            and backend is not None
+            and backend != "scalar"
+        )
+        if capable:
+            speedup = doc["headline"]["simd_speedup"]
+            if speedup < MIN_SIMD_SPEEDUP:
+                return fail(
+                    path,
+                    f"SIMD fold speedup {speedup:.2f}x below the "
+                    f"{MIN_SIMD_SPEEDUP}x floor with backend "
+                    f'"{backend}" on a {machine["cores"]}-core machine',
+                )
+        else:
+            if machine is None:
+                why = "no machine stamp"
+            elif backend is None:
+                why = "no simd_backend stamp"
+            elif backend == "scalar":
+                why = "backend resolved to scalar (no AVX2/NEON on this CPU)"
+            else:
+                why = (
+                    f'{machine["cores"]} cores, sanitizer '
+                    f'"{machine["sanitizer"]}"'
+                )
+            print(f"{path}: SIMD speedup assertion skipped ({why})")
 
     n_metrics = sum(len(metrics[s]) for s in ("counters", "gauges", "histograms"))
     print(

@@ -2,7 +2,7 @@
 //
 //   check_si --mode=single|cluster|both --seeds=N --seed0=S --ops=K [-v]
 //            [--parallel=P] [--cache] [--online] [--purge-stress]
-//            [--dump-metrics]
+//            [--simd=scalar|avx2|neon|auto] [--dump-metrics]
 //
 // Runs N seeds starting at S; each seed derives a configuration via
 // MakeSeedConfig and runs the full workload. Exit code 0 when every seed
@@ -30,6 +30,12 @@
 // is unchanged. Combine with --cache --parallel=P --online for the full
 // reclamation surface. Cluster seeds ignore it.
 //
+// --simd=B forces the scan-kernel SIMD backend (common/simd.h) for the
+// whole run. Kernel results are bit-identical across backends by contract,
+// so the oracle comparison is unchanged; the flag exists so CI can prove
+// serial==parallel==cached equivalence under every dispatch target
+// (ctest check_si_single_simd_scalar*).
+//
 // --online additionally installs the online SI checker (online_checker.h)
 // for every seed: sampled transactions and scans are validated against the
 // visibility rules while the workload runs, and any violation the checker
@@ -51,6 +57,7 @@
 #include <string>
 
 #include "check/stress.h"
+#include "common/simd.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 
@@ -65,6 +72,7 @@ struct Args {
   bool cache = false;  // MakeSeedConfig default stays uncached
   bool online = false;  // install the online SI checker per seed
   bool purge_stress = false;  // dedicated concurrent-purge thread per seed
+  std::string simd;  // empty: keep the process default backend
   bool verbose = false;
   bool dump_metrics = false;
 };
@@ -98,6 +106,8 @@ Args ParseArgs(int argc, char** argv) {
       args.online = true;
     } else if (std::strcmp(argv[i], "--purge-stress") == 0) {
       args.purge_stress = true;
+    } else if (ParseFlag(argv[i], "--simd", &value)) {
+      args.simd = value;
     } else if (std::strcmp(argv[i], "-v") == 0 ||
                std::strcmp(argv[i], "--verbose") == 0) {
       args.verbose = true;
@@ -108,7 +118,8 @@ Args ParseArgs(int argc, char** argv) {
                    "unknown argument: %s\n"
                    "usage: check_si [--mode=single|cluster|both] [--seeds=N] "
                    "[--seed0=S] [--ops=K] [--parallel=P] [--cache] "
-                   "[--online] [--purge-stress] [-v] [--dump-metrics]\n",
+                   "[--online] [--purge-stress] [--simd=B] [-v] "
+                   "[--dump-metrics]\n",
                    argv[i]);
       std::exit(2);
     }
@@ -157,6 +168,11 @@ bool RunOne(const Args& args, uint64_t seed, bool cluster) {
 
 int main(int argc, char** argv) {
   const Args args = ParseArgs(argc, argv);
+  if (!args.simd.empty()) {
+    cubrick::simd::ConfigureFromString(args.simd.c_str());
+    std::printf("[check_si] simd backend: %s\n",
+                cubrick::simd::ActiveBackendName());
+  }
   const bool run_single = args.mode == "single" || args.mode == "both";
   const bool run_cluster = args.mode == "cluster" || args.mode == "both";
   uint64_t passed = 0;

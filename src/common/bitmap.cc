@@ -1,5 +1,6 @@
 #include "common/bitmap.h"
 
+#include "common/simd.h"
 #include "common/status.h"
 
 namespace cubrick {
@@ -63,11 +64,7 @@ void Bitmap::ClearAll() {
 }
 
 size_t Bitmap::CountSet() const {
-  size_t count = 0;
-  for (uint64_t w : words_) {
-    count += static_cast<size_t>(__builtin_popcountll(w));
-  }
-  return count;
+  return simd::ActiveKernels().count_bits(words_.data(), words_.size());
 }
 
 size_t Bitmap::CountSetInRange(size_t begin, size_t end) const {
@@ -103,23 +100,20 @@ bool Bitmap::All() const { return CountSet() == size_; }
 
 void Bitmap::And(const Bitmap& other) {
   CUBRICK_CHECK(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    words_[i] &= other.words_[i];
-  }
+  simd::ActiveKernels().and_words(words_.data(), other.words_.data(),
+                                  words_.size());
 }
 
 void Bitmap::Or(const Bitmap& other) {
   CUBRICK_CHECK(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    words_[i] |= other.words_[i];
-  }
+  simd::ActiveKernels().or_words(words_.data(), other.words_.data(),
+                                 words_.size());
 }
 
 void Bitmap::AndNot(const Bitmap& other) {
   CUBRICK_CHECK(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    words_[i] &= ~other.words_[i];
-  }
+  simd::ActiveKernels().andnot_words(words_.data(), other.words_.data(),
+                                     words_.size());
 }
 
 size_t Bitmap::FindNextSet(size_t from) const {

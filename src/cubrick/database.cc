@@ -4,11 +4,15 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 
 namespace cubrick {
 
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {
+  if (!options_.simd.empty()) {
+    simd::ConfigureFromString(options_.simd.c_str());
+  }
   if (options_.online_check) {
     check::OnlineCheckerOptions checker_options;
     checker_options.sample_permille = options_.online_check_sample_permille;

@@ -62,6 +62,11 @@ struct DatabaseOptions {
   /// Sampling rate out of 1000 for the online checker (1000 = check every
   /// transaction). Ignored unless online_check is set.
   uint32_t online_check_sample_permille = 1000;
+  /// Scan-kernel SIMD backend override: "scalar"|"avx2"|"neon"|"auto"
+  /// (common/simd.h). Empty keeps the process default (CUBRICK_SIMD env, or
+  /// auto-detect). Process-global: results are bit-identical across
+  /// backends, so this only affects speed, never answers.
+  std::string simd;
 };
 
 /// Per-load timing breakdown (single-node flavor of cluster::LoadStats).

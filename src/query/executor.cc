@@ -8,6 +8,7 @@
 #include "aosi/vis_cache.h"
 #include "aosi/visibility.h"
 #include "common/ebr.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -39,6 +40,8 @@ struct ScanInstruments {
   obs::Counter* kernel_words_skipped;
   obs::Counter* kernel_words_dense;
   obs::Histogram* kernel_dense_words_permille;
+  obs::Counter* kernel_simd_words;
+  obs::Counter* kernel_simd_fallback;
 };
 
 const ScanInstruments& Instruments() {
@@ -64,6 +67,8 @@ const ScanInstruments& Instruments() {
         reg.GetCounter("query.kernel_words_skipped"),
         reg.GetCounter("query.kernel_words_dense"),
         reg.GetHistogram("query.kernel_dense_words_permille"),
+        reg.GetCounter("query.kernel_simd_words"),
+        reg.GetCounter("query.kernel_simd_fallback"),
     };
   }();
   return m;
@@ -74,8 +79,11 @@ const ScanInstruments& Instruments() {
 /// zero), so dense fast paths never read past num_records.
 constexpr uint64_t kDenseWord = ~0ULL;
 
-/// One aggregate's metric read path, resolved once per brick so the row
-/// loops carry no per-row type branch or metric-index indirection.
+/// One aggregate's metric read path, resolved once per brick. The ungrouped
+/// fold pass branches on is_count/is_double once per WORD and then reads the
+/// typed pointer directly (the per-word typed kernels); Fetch's per-row
+/// dispatch only remains on the grouped path, where group-key derivation
+/// interleaves with every value read anyway.
 struct MetricAccessor {
   bool is_count = false;
   bool is_double = false;
@@ -267,9 +275,14 @@ void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
   // copy-on-write: the visibility bitmap may be shared cache state, so the
   // first filter needing row work takes a private copy; fully-covered
   // queries never copy at all. Word-wise kernel: zero words are skipped,
-  // dense words evaluate 64 rows in a straight loop, sparse words
-  // enumerate set bits with ctz.
+  // dense words bulk-decode 64 coordinates and run the backend's
+  // compare-to-bitmask kernel (common/simd.h), sparse words enumerate set
+  // bits with ctz (integer-exact, so no cross-backend concern).
   obs::ObsSpan filter_span("query.filter", ins.filter_us);
+  const simd::Kernels& kern = simd::ActiveKernels();
+  const bool simd_active = kern.backend != simd::Backend::kScalar;
+  uint64_t words_simd = 0;
+  uint64_t words_fallback = 0;
   Bitmap filtered;
   for (const auto& filter : query.filters) {
     uint64_t lo = 0, hi = 0;
@@ -280,18 +293,29 @@ void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
       mask = &filtered;
     }
     const size_t num_words = filtered.num_words();
+    uint64_t coords[64];
     for (size_t w = 0; w < num_words; ++w) {
       const uint64_t word = filtered.Word(w);
       if (word == 0) continue;
       const size_t base = w * 64;
       uint64_t out = word;
       if (word == kDenseWord) {
-        out = 0;
-        for (size_t b = 0; b < 64; ++b) {
-          if (filter.Matches(brick.DimCoord(base + b, filter.dim))) {
-            out |= 1ULL << b;
-          }
+        // Dense words never overlap the ragged tail (SetWord masks trailing
+        // bits), so decoding 64 consecutive rows is always in bounds.
+        brick.DecodeDimCoords(base, 64, filter.dim, coords);
+        switch (filter.op) {
+          case FilterClause::Op::kEq:
+            out = kern.filter_eq(coords, filter.values[0]);
+            break;
+          case FilterClause::Op::kRange:
+            out = kern.filter_range(coords, filter.range_lo, filter.range_hi);
+            break;
+          case FilterClause::Op::kIn:
+            out = kern.filter_in(coords, filter.values.data(),
+                                 filter.values.size());
+            break;
         }
+        ++(simd_active ? words_simd : words_fallback);
       } else {
         uint64_t bits = word;
         while (bits != 0) {
@@ -301,16 +325,21 @@ void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
             out &= ~(1ULL << b);
           }
         }
+        ++words_fallback;
       }
       if (out != word) filtered.SetWord(w, out);
     }
   }
   filter_span.Finish();
 
-  // Aggregation pass, word-wise over the final mask. Row order within the
-  // brick is strictly increasing on every path (dense loop, ctz
-  // enumeration), so the floating-point fold order — and therefore the
-  // result bits — match the serial row-at-a-time executor exactly.
+  // Aggregation pass, word-wise over the final mask. Ungrouped folds run
+  // through the per-word typed SIMD kernels: the is_count/is_double dispatch
+  // happens once per word (not once per row), dense words fold a direct
+  // column slice, sparse words ctz-compress the visible rows' values into a
+  // gather buffer (pure data movement, identical on every backend) and fold
+  // that. The fold order is the pinned contract in common/simd.h, so result
+  // bits are identical whichever backend runs — proved by
+  // tests/simd_kernel_test.cc.
   obs::ObsSpan agg_span("query.aggregate", ins.agg_us);
   const std::vector<MetricAccessor> accessors = ResolveAccessors(brick, query);
   const size_t num_words = mask->num_words();
@@ -320,7 +349,14 @@ void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
   if (query.group_by.empty()) {
     // Ungrouped fast path: fold the whole brick into local states (no map
     // walk anywhere in the loop), merge once at the end.
+    bool need_values = false;
+    for (const auto& acc : accessors) {
+      if (!acc.is_count) need_values = true;
+    }
     std::vector<AggState> locals(query.aggs.size());
+    size_t rows[64];
+    int64_t ibuf[64];
+    double dbuf[64];
     for (size_t w = 0; w < num_words; ++w) {
       const uint64_t word = mask->Word(w);
       if (word == 0) {
@@ -333,58 +369,105 @@ void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
       rows_aggregated += word_rows;
       const bool dense = word == kDenseWord;
       if (dense) ++words_dense;
-      for (size_t a = 0; a < accessors.size(); ++a) {
-        const MetricAccessor& acc = accessors[a];
-        if (acc.is_count) {
-          // COUNT needs no row values: one popcount per word.
-          locals[a].AccumulateRepeated(1.0, word_rows);
-        } else if (dense) {
-          for (size_t b = 0; b < 64; ++b) {
-            locals[a].Accumulate(acc.Fetch(base + b));
-          }
-        } else {
-          uint64_t bits = word;
-          while (bits != 0) {
-            const size_t b = static_cast<size_t>(__builtin_ctzll(bits));
-            bits &= bits - 1;
-            locals[a].Accumulate(acc.Fetch(base + b));
-          }
+      size_t num_rows = 0;
+      if (need_values && !dense) {
+        // Compress the visible row indexes once; every accessor gathers
+        // from the same list.
+        uint64_t bits = word;
+        while (bits != 0) {
+          const size_t b = static_cast<size_t>(__builtin_ctzll(bits));
+          bits &= bits - 1;
+          rows[num_rows++] = base + b;
         }
       }
+      for (size_t a = 0; a < accessors.size(); ++a) {
+        const MetricAccessor& acc = accessors[a];
+        AggState& st = locals[a];
+        if (acc.is_count) {
+          // COUNT needs no row values: one popcount per word.
+          st.AccumulateRepeated(1.0, word_rows);
+        } else if (acc.is_double) {
+          const double* v;
+          if (dense) {
+            v = acc.doubles + base;
+          } else {
+            for (size_t i = 0; i < num_rows; ++i) dbuf[i] = acc.doubles[rows[i]];
+            v = dbuf;
+          }
+          double s, mn, mx;
+          kern.fold_double(v, word_rows, &s, &mn, &mx);
+          st.sum += s;
+          st.count += word_rows;
+          if (mn < st.min) st.min = mn;
+          if (mx > st.max) st.max = mx;
+        } else {
+          const int64_t* v;
+          if (dense) {
+            v = acc.ints + base;
+          } else {
+            for (size_t i = 0; i < num_rows; ++i) ibuf[i] = acc.ints[rows[i]];
+            v = ibuf;
+          }
+          uint64_t s;
+          int64_t mn, mx;
+          kern.fold_int64(v, word_rows, &s, &mn, &mx);
+          // The exact wrapping word sum converts to double exactly once.
+          st.sum += static_cast<double>(static_cast<int64_t>(s));
+          st.count += word_rows;
+          const double mnd = static_cast<double>(mn);
+          const double mxd = static_cast<double>(mx);
+          if (mnd < st.min) st.min = mnd;
+          if (mxd > st.max) st.max = mxd;
+        }
+      }
+      if (need_values) ++(simd_active ? words_simd : words_fallback);
     }
     if (rows_aggregated > 0) {
       result->MergeGroup(QueryResult::GroupKey(), locals);
     }
   } else {
-    // Grouped path: ctz row enumeration with current-group memoization —
+    // Grouped path: per-row accumulation with current-group memoization —
     // granular partitioning clusters group-by coordinates, so consecutive
-    // rows usually share a key and skip the map walk.
+    // rows usually share a key and skip the map walk. Dense words take a
+    // straight 64-row loop (no ctz chain); sparse words enumerate set bits.
+    // Always a per-row scalar path (group keys interleave with values), so
+    // every word here counts as kernel_simd_fallback.
     QueryResult::GroupKey key(query.group_by.size());
     QueryResult::GroupKey prev_key;
     std::vector<AggState>* states = nullptr;
+    const auto accumulate_row = [&](size_t row) {
+      for (size_t g = 0; g < query.group_by.size(); ++g) {
+        key[g] = brick.DimCoord(row, query.group_by[g]);
+      }
+      if (states == nullptr || key != prev_key) {
+        states = result->GroupStates(key);
+        prev_key = key;
+      }
+      for (size_t a = 0; a < accessors.size(); ++a) {
+        (*states)[a].Accumulate(accessors[a].Fetch(row));
+      }
+    };
     for (size_t w = 0; w < num_words; ++w) {
       uint64_t bits = mask->Word(w);
       if (bits == 0) {
         ++words_skipped;
         continue;
       }
-      if (bits == kDenseWord) ++words_dense;
       const size_t base = w * 64;
+      ++words_fallback;
+      if (bits == kDenseWord) {
+        ++words_dense;
+        rows_aggregated += 64;
+        for (size_t b = 0; b < 64; ++b) {
+          accumulate_row(base + b);
+        }
+        continue;
+      }
       while (bits != 0) {
         const size_t b = static_cast<size_t>(__builtin_ctzll(bits));
         bits &= bits - 1;
-        const size_t row = base + b;
         ++rows_aggregated;
-        for (size_t g = 0; g < query.group_by.size(); ++g) {
-          key[g] = brick.DimCoord(row, query.group_by[g]);
-        }
-        if (states == nullptr || key != prev_key) {
-          states = result->GroupStates(key);
-          prev_key = key;
-        }
-        for (size_t a = 0; a < accessors.size(); ++a) {
-          (*states)[a].Accumulate(accessors[a].Fetch(row));
-        }
+        accumulate_row(base + b);
       }
     }
   }
@@ -392,6 +475,8 @@ void ScanBrick(const Brick& brick, const aosi::Snapshot& snapshot,
   ins.kernel_words_scanned->Add(num_words);
   ins.kernel_words_skipped->Add(words_skipped);
   ins.kernel_words_dense->Add(words_dense);
+  ins.kernel_simd_words->Add(words_simd);
+  ins.kernel_simd_fallback->Add(words_fallback);
   if (num_words > 0) {
     ins.kernel_dense_words_permille->Record(words_dense * 1000 / num_words);
   }

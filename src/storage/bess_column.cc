@@ -40,6 +40,20 @@ uint64_t BessColumn::Get(uint64_t row, size_t dim) const {
   return ReadBits(row * bits_per_record_ + field_shift_[dim], width);
 }
 
+void BessColumn::DecodeDim(uint64_t row_begin, uint64_t count, size_t dim,
+                           uint64_t* out) const {
+  CUBRICK_CHECK(row_begin + count <= num_records_ && dim < field_bits_.size());
+  const uint32_t width = field_bits_[dim];
+  if (width == 0) {
+    for (uint64_t i = 0; i < count; ++i) out[i] = 0;
+    return;
+  }
+  uint64_t bit_pos = row_begin * bits_per_record_ + field_shift_[dim];
+  for (uint64_t i = 0; i < count; ++i, bit_pos += bits_per_record_) {
+    out[i] = ReadBits(bit_pos, width);
+  }
+}
+
 void BessColumn::WriteBits(uint64_t bit_pos, uint32_t width, uint64_t value) {
   const uint64_t word = bit_pos >> 6;
   const uint32_t offset = static_cast<uint32_t>(bit_pos & 63);

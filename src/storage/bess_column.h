@@ -26,6 +26,14 @@ class BessColumn {
   /// Reads the offset of dimension `dim` for record `row`.
   uint64_t Get(uint64_t row, size_t dim) const;
 
+  /// Bulk-decodes dimension `dim` for rows [row_begin, row_begin + count)
+  /// into `out[0..count)`. Equivalent to count calls to Get(), but hoists
+  /// the per-row bit-position math into a running stride — this feeds the
+  /// SIMD filter kernels (common/simd.h), which compare 64 decoded
+  /// coordinates at a time. Zero-width fields decode as zeros.
+  void DecodeDim(uint64_t row_begin, uint64_t count, size_t dim,
+                 uint64_t* out) const;
+
   uint64_t num_records() const { return num_records_; }
   uint32_t bits_per_record() const { return bits_per_record_; }
 

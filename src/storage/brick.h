@@ -66,6 +66,17 @@ class Brick {
     return range_base_[dim] + bess_.Get(row, dim);
   }
 
+  /// Bulk DimCoord: decodes `count` consecutive coordinates of `dim`
+  /// starting at `row_begin` into `out` (BessColumn::DecodeDim plus the
+  /// range base). The executor's SIMD filter path decodes one visibility
+  /// word (64 rows) at a time through this.
+  void DecodeDimCoords(uint64_t row_begin, uint64_t count, size_t dim,
+                       uint64_t* out) const {
+    bess_.DecodeDim(row_begin, count, dim, out);
+    const uint64_t base = range_base_[dim];
+    for (uint64_t i = 0; i < count; ++i) out[i] += base;
+  }
+
   const MetricColumn& metric(size_t m) const { return metrics_[m]; }
   const BessColumn& bess() const { return bess_; }
   const aosi::EpochVector& history() const { return history_; }

@@ -590,6 +590,40 @@ TEST(Program, EbrRawDeleteOfManagedTypeFlaggedUnlessMarked) {
   EXPECT_TRUE(OfRule(CheckEbrGuard(self), "ebr-guard").empty());
 }
 
+TEST(FileRules, SimdIsolationKeepsIntrinsicsInTheSimdImpl) {
+  auto simd_findings = [](const std::string& src, const std::string& rel) {
+    SourceFile f;
+    LoadFromString(src, rel, &f);
+    std::set<std::string> atomics;
+    std::set<const Token*> decls;
+    CollectAtomicNames(f, &atomics, &decls);
+    std::vector<Finding> findings;
+    LintFile(f, atomics, decls, &findings);
+    return OfRule(findings, "simd-isolation");
+  };
+  const std::string open_coded =
+      "#include <immintrin.h>\n"
+      "uint64_t F(const uint64_t* c) {\n"
+      "  __m256i v = _mm256_set1_epi64x(1);\n"
+      "  (void)v;\n"
+      "  return __builtin_cpu_supports(\"avx2\");\n"
+      "}\n";
+  // Intrinsics open-coded in scan code are flagged (header, type, call and
+  // CPU probe each produce a finding)...
+  EXPECT_GE(simd_findings(open_coded, "src/query/executor.cc").size(), 3u);
+  // ...but the SIMD layer itself may use them,
+  EXPECT_TRUE(simd_findings(open_coded, "src/common/simd.cc").empty());
+  EXPECT_TRUE(simd_findings(open_coded, "src/common/simd.h").empty());
+  // and code outside src/ (tools, benches) is out of scope.
+  EXPECT_TRUE(simd_findings(open_coded, "bench/micro.cc").empty());
+  // Dispatched calls through the kernel table are the legal shape.
+  const std::string dispatched =
+      "uint64_t F(const uint64_t* c, uint64_t v) {\n"
+      "  return simd::ActiveKernels().filter_eq(c, v);\n"
+      "}\n";
+  EXPECT_TRUE(simd_findings(dispatched, "src/query/executor.cc").empty());
+}
+
 // ---------------------------------------------------------------------------
 // Reporters
 // ---------------------------------------------------------------------------

@@ -253,5 +253,33 @@ TEST(BitmapTest, RangePreconditionsChecked) {
   EXPECT_THROW(bm.CountSetInRange(3, 2), CheckFailure);
 }
 
+// The dense-word SIMD paths in the executor rely on this contract: a tail
+// word of a ragged bitmap (size % 64 != 0) can never read as ~0ULL, so a
+// word equal to ~0ULL always covers 64 real rows.
+TEST(BitmapTest, SetWordMasksRaggedTail) {
+  Bitmap bm(100);  // tail word holds bits 64..99
+  bm.SetWord(1, ~0ULL);
+  EXPECT_EQ(bm.Word(1), (1ULL << 36) - 1);  // bits 100..127 masked off
+  EXPECT_NE(bm.Word(1), ~0ULL);
+  EXPECT_EQ(bm.CountSet(), 36u);
+  // A full interior word is untouched by the mask.
+  bm.SetWord(0, ~0ULL);
+  EXPECT_EQ(bm.Word(0), ~0ULL);
+}
+
+TEST(BitmapTest, TailWordNeverDenseUnlessSizeIsWordMultiple) {
+  for (size_t size : {1u, 63u, 65u, 100u, 127u, 129u, 255u}) {
+    Bitmap bm(size);
+    bm.SetAll();
+    if (size % 64 != 0) {
+      EXPECT_NE(bm.Word(bm.num_words() - 1), ~0ULL) << "size " << size;
+    }
+    EXPECT_EQ(bm.CountSet(), size);
+  }
+  Bitmap exact(128);
+  exact.SetAll();
+  EXPECT_EQ(exact.Word(1), ~0ULL);
+}
+
 }  // namespace
 }  // namespace cubrick

@@ -1,0 +1,29 @@
+// aosi-lint-fixture: simd-isolation
+// aosi-lint-as: src/query/simd_isolation_fixture.cc
+//
+// Raw intrinsics, intrinsic headers and the CPUID probe are forbidden in
+// src/ outside src/common/simd.* — a call site that open-codes AVX2 has no
+// scalar fallback and escapes the differential backend tests.
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace cubrick {
+
+uint64_t BadOpenCodedCompare(const uint64_t* coords, uint64_t value) {
+  const __m256i v = _mm256_set1_epi64x(static_cast<long long>(value));
+  uint64_t mask = 0;
+  for (int i = 0; i < 64; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(coords + i));
+    const __m256i eq = _mm256_cmpeq_epi64(x, v);
+    mask |= static_cast<uint64_t>(
+                _mm256_movemask_pd(_mm256_castsi256_pd(eq)))
+            << i;
+  }
+  return mask;
+}
+
+bool BadInlineCpuProbe() { return __builtin_cpu_supports("avx2"); }
+
+}  // namespace cubrick

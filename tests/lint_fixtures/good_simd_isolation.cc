@@ -1,0 +1,22 @@
+// aosi-lint-fixture: simd-isolation
+// aosi-lint-as: src/query/simd_isolation_fixture.cc
+//
+// The legal shape: scan code calls through the simd::ActiveKernels()
+// dispatch table, which keeps the scalar fallback and runtime detection in
+// one place (src/common/simd.*).
+#include <cstdint>
+
+namespace cubrick::simd {
+struct Kernels {
+  uint64_t (*filter_eq)(const uint64_t* coords, uint64_t value);
+};
+const Kernels& ActiveKernels();
+}  // namespace cubrick::simd
+
+namespace cubrick {
+
+uint64_t GoodDispatchedCompare(const uint64_t* coords, uint64_t value) {
+  return simd::ActiveKernels().filter_eq(coords, value);
+}
+
+}  // namespace cubrick

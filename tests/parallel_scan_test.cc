@@ -123,6 +123,43 @@ TEST_P(ParallelScanTest, GroupedMatchesSerial) {
   }
 }
 
+TEST_P(ParallelScanTest, GroupedFullyDenseBrickMatchesSerial) {
+  // 100% dense bricks: no deletes and each brick's row count is an exact
+  // multiple of 64, so every visibility word is ~0ULL and the grouped
+  // dense straight-loop (prev-key memoized) handles every row. Serial and
+  // parallel must agree exactly, and the totals are known in closed form.
+  auto schema = MakeSchema();
+  Table table(schema, 4, threaded());
+  // Each brick covers 2 regions x 1 kind; repeating the full 16x4 grid 32
+  // times puts exactly 64 rows in every brick.
+  std::vector<std::array<int64_t, 3>> rows;
+  for (int rep = 0; rep < 32; ++rep) {
+    for (int64_t r = 0; r < 16; ++r) {
+      for (int64_t k = 0; k < 4; ++k) rows.push_back({r, k, r + k});
+    }
+  }
+  ASSERT_TRUE(table.Append(1, Batches(*schema, rows)).ok());
+  Query q;
+  q.group_by = {0, 1};
+  q.aggs = {{AggSpec::Fn::kSum, 0},
+            {AggSpec::Fn::kCount, 0},
+            {AggSpec::Fn::kMin, 0},
+            {AggSpec::Fn::kMax, 0}};
+  auto serial = table.Scan(Snap(1), ScanMode::kSnapshotIsolation, q);
+  ASSERT_EQ(serial.num_groups(), 64u);
+  for (const auto& [key, states] : serial.groups()) {
+    (void)key;
+    EXPECT_EQ(states[1].count, 32u);  // every (region, kind) seen 32x
+    EXPECT_EQ(states[0].sum, states[2].min * 32.0);
+    EXPECT_EQ(states[2].min, states[3].max);
+  }
+  for (size_t par : {2u, 4u, 8u}) {
+    auto parallel =
+        table.Scan(Snap(1), ScanMode::kSnapshotIsolation, q, nullptr, par);
+    ExpectSameResult(serial, parallel);
+  }
+}
+
 TEST_P(ParallelScanTest, FilteredMatchesSerial) {
   auto schema = MakeSchema();
   Table table(schema, 4, threaded());

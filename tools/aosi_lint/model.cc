@@ -58,6 +58,7 @@ FileClass Classify(std::string rel) {
   fc.in_obs = rel.rfind("src/obs/", 0) == 0;
   fc.checker_hook_header = rel == "src/aosi/checker_hook.h";
   fc.in_check = rel.rfind("src/check/", 0) == 0;
+  fc.simd_impl = rel.rfind("src/common/simd", 0) == 0;
   return fc;
 }
 

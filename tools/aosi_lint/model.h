@@ -63,6 +63,7 @@ struct FileClass {
   bool in_obs = false;        // src/obs/ (relaxed instrument writes allowed)
   bool checker_hook_header = false;  // src/aosi/checker_hook.h
   bool in_check = false;      // src/check/ (the checker implementation)
+  bool simd_impl = false;     // src/common/simd.* (raw intrinsics allowed)
 };
 
 FileClass Classify(std::string rel);

@@ -36,6 +36,13 @@ const std::vector<RuleInfo>& Rules() {
        "orders the hook protocol requires (raw slot access would let an "
        "unordered read observe a half-constructed checker)",
        false},
+      {"simd-isolation",
+       "raw SIMD intrinsics (_mm*/vld1q*-style identifiers, immintrin.h/"
+       "arm_neon.h includes, __builtin_cpu_supports) are forbidden in src/ "
+       "outside src/common/simd.*; kernels go through the "
+       "simd::ActiveKernels() dispatch table so every call site keeps the "
+       "scalar fallback and the backends stay differentially testable",
+       false},
       {"lock-cycle",
        "whole-program lock-order graph: an edge A->B is recorded whenever B "
        "is acquired (directly or through any call depth) while A is held; "
@@ -415,6 +422,32 @@ void CheckCheckerHookSlot(const SourceFile& f, std::vector<Finding>* out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: simd-isolation
+// ---------------------------------------------------------------------------
+
+void CheckSimdIsolation(const SourceFile& f, std::vector<Finding>* out) {
+  for (const Token& t : f.toks) {
+    if (t.kind != TokKind::kIdent) continue;
+    const std::string& s = t.text;
+    // x86 intrinsics (_mm_*, _mm256_*) and vector types (__m128/__m256/...),
+    // the intrinsic headers, and the CPUID probe. NEON intrinsics are only
+    // reachable through <arm_neon.h>, so the include token covers them.
+    const bool x86_intrinsic =
+        s.rfind("_mm", 0) == 0 ||
+        (s.rfind("__m", 0) == 0 && s.size() > 3 && s[3] >= '0' && s[3] <= '9');
+    const bool simd_header = s == "immintrin" || s == "arm_neon";
+    const bool cpu_probe = s == "__builtin_cpu_supports";
+    if (x86_intrinsic || simd_header || cpu_probe) {
+      out->push_back({f.display_path, t.line, "simd-isolation",
+                      "raw SIMD intrinsic/header/CPU probe '" + s +
+                          "' outside src/common/simd.*; call through the "
+                          "simd::ActiveKernels() dispatch table instead",
+                      {}});
+    }
+  }
+}
+
 }  // namespace
 
 void LintFile(const SourceFile& f, const std::set<std::string>& atomic_names,
@@ -426,6 +459,7 @@ void LintFile(const SourceFile& f, const std::set<std::string>& atomic_names,
   if (f.cls.in_src && !f.cls.mutex_header) CheckNakedMutex(f, &raw);
   if (f.cls.in_cluster) CheckMutexAcrossRpc(f, &raw);
   if (!f.cls.checker_hook_header) CheckCheckerHookSlot(f, &raw);
+  if (f.cls.in_src && !f.cls.simd_impl) CheckSimdIsolation(f, &raw);
   for (auto& finding : raw) {
     if (f.Waived(finding.line, finding.rule)) continue;
     findings->push_back(std::move(finding));
