@@ -6,6 +6,11 @@
 // time series shape at laptop scale: an 8-node simulated cluster ingesting
 // from parallel client threads whose number ramps up and then drains,
 // printing records/s and bytes/s per second of wall time.
+//
+// A closing single-node section replays the same load through a Database
+// with ingest_parallelism 1 vs 4 (DESIGN.md §4f) to show the per-node
+// throughput headroom the morsel-parallel pipeline adds; both numbers join
+// the fig10 headline.
 
 #include <atomic>
 #include <cinttypes>
@@ -19,6 +24,39 @@ using namespace cubrick;
 using namespace cubrick::bench;
 using cubrick::cluster::Cluster;
 using cubrick::cluster::ClusterOptions;
+
+namespace {
+
+/// Single-node throughput at a fixed ingest fan-out: string-dimension
+/// records so the parse stage (the part ingest_parallelism accelerates)
+/// carries the cost. Returns records/s.
+double SingleNodeThroughput(size_t ingest_parallelism, uint64_t total_rows) {
+  DatabaseOptions options;
+  options.shards_per_cube = 4;
+  options.threaded_shards = true;
+  options.ingest_parallelism = ingest_parallelism;
+  Database db(options);
+  CUBRICK_CHECK(db.CreateCube("node_local",
+                              {{"region", 256, 4, true}},
+                              {{"value", DataType::kInt64}})
+                    .ok());
+  const uint64_t kBatchRows = 10'000;
+  Random rng(99);
+  Stopwatch clock;
+  for (uint64_t loaded = 0; loaded < total_rows; loaded += kBatchRows) {
+    std::vector<Record> records;
+    records.reserve(kBatchRows);
+    for (uint64_t i = 0; i < kBatchRows; ++i) {
+      records.push_back({"region-" + std::to_string(rng.Uniform(256)),
+                         static_cast<int64_t>(rng.Next() & 0xffffff)});
+    }
+    CUBRICK_CHECK(db.Load("node_local", records).ok());
+  }
+  const double secs = clock.ElapsedSeconds();
+  return secs == 0 ? 0 : static_cast<double>(total_rows) / secs;
+}
+
+}  // namespace
 
 int main() {
   InitBenchObs();
@@ -113,8 +151,22 @@ int main() {
       cluster.TotalRecords(), options.num_nodes);
   const double rows =
       static_cast<double>(rows_ingested.load(std::memory_order_relaxed));
-  EmitBenchJson("fig10", {{"records", rows},
-                          {"wall_seconds", secs},
-                          {"records_per_second", secs == 0 ? 0 : rows / secs}});
+
+  const uint64_t kSingleNodeRows = Scaled(400'000);
+  const double serial_rps = SingleNodeThroughput(1, kSingleNodeRows);
+  const double parallel_rps = SingleNodeThroughput(4, kSingleNodeRows);
+  std::printf(
+      "\nPer-node ingest pipeline (single node, %" PRIu64 " string-dim "
+      "rows): %s records/s at ingest_parallelism=1, %s records/s at "
+      "ingest_parallelism=4.\n",
+      kSingleNodeRows, HumanCount(serial_rps).c_str(),
+      HumanCount(parallel_rps).c_str());
+
+  EmitBenchJson("fig10",
+                {{"records", rows},
+                 {"wall_seconds", secs},
+                 {"records_per_second", secs == 0 ? 0 : rows / secs},
+                 {"node_serial_records_per_second", serial_rps},
+                 {"node_parallel4_records_per_second", parallel_rps}});
   return 0;
 }

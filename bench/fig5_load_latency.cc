@@ -7,11 +7,21 @@
 // cluster with non-zero message latency and prints the same three
 // distributions (parse / flush / total). Expected shape: parse < flush,
 // and total dominated by the forwarding (network) component.
+//
+// A second, single-node section sweeps the morsel-parallel ingest pipeline
+// (DESIGN.md §4f): the same string-heavy batches are parsed serially and
+// at 4-way fan-out in interleaved rounds (so machine noise hits both arms
+// equally), then flushed sequentially vs pipelined through
+// Table::AppendAsync. Emits BENCH_fig5_ingest.json; CI gates the 4-thread
+// parse speedup behind the machine-capability stamp
+// (scripts/check_bench_baseline.py).
 
 #include <cinttypes>
+#include <future>
 
 #include "bench_common.h"
 #include "cluster/cluster.h"
+#include "common/stopwatch.h"
 
 using namespace cubrick;
 using namespace cubrick::bench;
@@ -19,6 +29,122 @@ using cubrick::cluster::Cluster;
 using cubrick::cluster::ClusterOptions;
 using cubrick::cluster::DistTxn;
 using cubrick::cluster::LoadStats;
+
+namespace {
+
+/// String-heavy batch for the ingest-pipeline sweep: a dictionary-encoded
+/// dimension plus a string metric, so the parse cost is dominated by the
+/// two-phase dictionary encode the sweep is measuring.
+std::vector<Record> StringBatch(Random* rng, uint64_t rows) {
+  std::vector<Record> records;
+  records.reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    records.push_back({"region-" + std::to_string(rng->Uniform(64)),
+                       static_cast<int64_t>(rng->Next() & 0xffffff),
+                       "tag-" + std::to_string(rng->Uniform(512))});
+  }
+  return records;
+}
+
+/// Serial-vs-parallel interleaved ingest sweep (single node). Returns the
+/// values EmitBenchJson("fig5_ingest") publishes.
+BenchHeadline RunIngestPipelineSweep() {
+  const uint64_t kRounds = Scaled(20);
+  const uint64_t kRows = 20'000;
+  const size_t kFanOut = 4;
+
+  DatabaseOptions options;
+  options.shards_per_cube = 4;
+  options.threaded_shards = true;
+  Database db(options);
+  CUBRICK_CHECK(db.CreateCube("ingest",
+                              {{"region", 64, 4, true}},
+                              {{"value", DataType::kInt64},
+                               {"tag", DataType::kString}})
+                    .ok());
+  Table* table = db.FindTable("ingest");
+  const CubeSchema& schema = table->schema();
+
+  // Warm-up: one parse populates the dictionaries, so the timed rounds
+  // measure the steady state (snapshot hits, not first-contact inserts).
+  Random rng(23);
+  (void)ParseRecords(schema, StringBatch(&rng, kRows)).value();
+
+  obs::LatencyRecorder serial_parse, parallel_parse;
+  for (uint64_t r = 0; r < kRounds; ++r) {
+    const auto records = StringBatch(&rng, kRows);
+    // Interleaved arms: serial then parallel on the identical batch.
+    Stopwatch s1;
+    auto serial = ParseRecords(schema, records, {}, 1);
+    CUBRICK_CHECK(serial.ok());
+    serial_parse.Record(s1.ElapsedMicros());
+    Stopwatch s2;
+    auto parallel = ParseRecords(schema, records, {}, kFanOut);
+    CUBRICK_CHECK(parallel.ok());
+    parallel_parse.Record(s2.ElapsedMicros());
+    CUBRICK_CHECK(serial->accepted == parallel->accepted);
+  }
+
+  // Flush arms: sequential Append (wait per batch) vs pipelined
+  // AppendAsync (parse of batch k+1 overlaps the flush of batch k).
+  const uint64_t kFlushBatches = 8;
+  std::vector<std::vector<Record>> flush_batches;
+  for (uint64_t b = 0; b < kFlushBatches; ++b) {
+    flush_batches.push_back(StringBatch(&rng, kRows));
+  }
+  Stopwatch sequential_clock;
+  for (const auto& records : flush_batches) {
+    aosi::Txn txn = db.Begin();
+    auto parsed = ParseRecords(schema, records, {}, kFanOut);
+    CUBRICK_CHECK(parsed.ok());
+    CUBRICK_CHECK(table->Append(txn.epoch, std::move(parsed->batches)).ok());
+    CUBRICK_CHECK(db.Commit(txn).ok());
+  }
+  const int64_t sequential_us = sequential_clock.ElapsedMicros();
+
+  Stopwatch pipelined_clock;
+  std::vector<std::pair<aosi::Txn, std::future<void>>> in_flight;
+  for (const auto& records : flush_batches) {
+    aosi::Txn txn = db.Begin();
+    auto parsed = ParseRecords(schema, records, {}, kFanOut);
+    CUBRICK_CHECK(parsed.ok());
+    in_flight.emplace_back(
+        txn, table->AppendAsync(txn.epoch, std::move(parsed->batches)));
+  }
+  for (auto& [txn, done] : in_flight) {
+    done.get();
+    CUBRICK_CHECK(db.Commit(txn).ok());
+  }
+  const int64_t pipelined_us = pipelined_clock.ElapsedMicros();
+
+  const double speedup =
+      parallel_parse.Mean() > 0 ? serial_parse.Mean() / parallel_parse.Mean()
+                                : 0.0;
+  std::printf("\nIngest pipeline sweep (single node, %" PRIu64
+              " interleaved rounds x %" PRIu64 " rows):\n",
+              kRounds, kRows);
+  std::printf("  parse serial     p50 %8" PRId64 " us  mean %8.0f us\n",
+              serial_parse.Percentile(50), serial_parse.Mean());
+  std::printf("  parse 4-way      p50 %8" PRId64 " us  mean %8.0f us  "
+              "(speedup %.2fx)\n",
+              parallel_parse.Percentile(50), parallel_parse.Mean(), speedup);
+  std::printf("  flush sequential %8" PRId64 " us for %" PRIu64 " batches\n",
+              sequential_us, kFlushBatches);
+  std::printf("  flush pipelined  %8" PRId64 " us for %" PRIu64 " batches\n",
+              pipelined_us, kFlushBatches);
+  return {
+      {"rounds", static_cast<double>(kRounds)},
+      {"serial_parse_p50_us",
+       static_cast<double>(serial_parse.Percentile(50))},
+      {"parallel_parse_p50_us",
+       static_cast<double>(parallel_parse.Percentile(50))},
+      {"parse_speedup_4t", speedup},
+      {"sequential_flush_us", static_cast<double>(sequential_us)},
+      {"pipelined_flush_us", static_cast<double>(pipelined_us)},
+  };
+}
+
+}  // namespace
 
 int main() {
   InitBenchObs();
@@ -83,5 +209,7 @@ int main() {
                  {"flush_p50_us", static_cast<double>(flush.Percentile(50))},
                  {"total_p50_us", static_cast<double>(total.Percentile(50))},
                  {"total_p99_us", static_cast<double>(total.Percentile(99))}});
+
+  EmitBenchJson("fig5_ingest", RunIngestPipelineSweep());
   return 0;
 }

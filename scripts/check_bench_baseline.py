@@ -27,7 +27,13 @@ Checks (stdlib only, no third-party deps):
     >= 1.3x faster than the scalar backend — asserted only when the stamp
     shows >= 2 cores, no sanitizer, AND a non-scalar simd_backend (a runner
     without AVX2/NEON resolves to scalar and reports ~1.0x by construction;
-    it skips with a printed reason, never silently passes).
+    it skips with a printed reason, never silently passes);
+  * for the ingest pipeline sweep (bench == "fig5_ingest", from fig5), the
+    morsel-parallel parse instruments (ingest.parse_us, dictionary
+    snapshot hit/miss counters, group-append coalescing counter) are
+    present, dictionary snapshot lookups actually hit, and the 4-way parse
+    speedup clears its floor — asserted under the same machine-capability
+    gate as fig9_parallel (>= 4 cores, uninstrumented build).
 
 Exit codes: 0 ok, 1 validation failure, 2 usage/IO error.
 """
@@ -99,6 +105,26 @@ REQUIRED_SIMD_METRICS = [
 # (>= MIN_SIMD_CORES cores, uninstrumented, non-scalar backend resolved).
 MIN_SIMD_SPEEDUP = 1.3
 MIN_SIMD_CORES = 2
+
+# The ingest pipeline sweep (bench == "fig5_ingest") must prove the
+# morsel-parallel path actually ran end to end: the parse/flush timers, the
+# two-phase dictionary counters and the shard group-append coalescing
+# counter all have to be present (the sweep's string-heavy workload makes
+# every one of them fire).
+REQUIRED_INGEST_METRICS = [
+    ("histograms", "ingest.parse_us"),
+    ("histograms", "ingest.flush_us"),
+    ("counters", "ingest.records_accepted"),
+    ("counters", "ingest.dict_snapshot_hits"),
+    ("counters", "ingest.dict_batch_misses"),
+    ("counters", "ingest.group_appends"),
+]
+
+# 4-way parse speedup floor for fig5_ingest, asserted only on capable
+# machines (same gate as fig9_parallel: cores to fan out onto and no
+# sanitizer slowing one arm more than the other).
+MIN_INGEST_SPEEDUP = 1.8
+MIN_INGEST_CORES = 4
 
 
 def fail(path, msg):
@@ -305,6 +331,47 @@ def check_file(path):
                     f'"{machine["sanitizer"]}"'
                 )
             print(f"{path}: SIMD speedup assertion skipped ({why})")
+
+    if doc["bench"] == "fig5_ingest":
+        for section, name in REQUIRED_INGEST_METRICS:
+            if name not in metrics[section]:
+                return fail(path, f'required metric "{name}" missing from {section}')
+        if metrics["counters"].get("ingest.dict_snapshot_hits", 0) <= 0:
+            return fail(
+                path,
+                "ingest sweep recorded zero ingest.dict_snapshot_hits — the "
+                "lock-free dictionary fast path never ran",
+            )
+        for key in (
+            "serial_parse_p50_us",
+            "parallel_parse_p50_us",
+            "parse_speedup_4t",
+            "sequential_flush_us",
+            "pipelined_flush_us",
+        ):
+            if key not in doc["headline"]:
+                return fail(path, f'fig5_ingest headline missing "{key}"')
+        capable = (
+            machine is not None
+            and machine["cores"] >= MIN_INGEST_CORES
+            and machine["sanitizer"] == "none"
+        )
+        if capable:
+            speedup = doc["headline"]["parse_speedup_4t"]
+            if speedup < MIN_INGEST_SPEEDUP:
+                return fail(
+                    path,
+                    f"4-way parse speedup {speedup:.2f}x below the "
+                    f"{MIN_INGEST_SPEEDUP}x floor on a "
+                    f'{machine["cores"]}-core machine',
+                )
+        else:
+            why = (
+                "no machine stamp"
+                if machine is None
+                else f'{machine["cores"]} cores, sanitizer "{machine["sanitizer"]}"'
+            )
+            print(f"{path}: ingest parse-speedup assertion skipped ({why})")
 
     n_metrics = sum(len(metrics[s]) for s in ("counters", "gauges", "histograms"))
     print(

@@ -1,8 +1,9 @@
 // check_si: seeded snapshot-isolation stress runner (see stress.h).
 //
 //   check_si --mode=single|cluster|both --seeds=N --seed0=S --ops=K [-v]
-//            [--parallel=P] [--cache] [--online] [--purge-stress]
-//            [--simd=scalar|avx2|neon|auto] [--dump-metrics]
+//            [--parallel=P] [--ingest-parallel=P] [--cache] [--online]
+//            [--purge-stress] [--simd=scalar|avx2|neon|auto]
+//            [--dump-metrics]
 //
 // Runs N seeds starting at S; each seed derives a configuration via
 // MakeSeedConfig and runs the full workload. Exit code 0 when every seed
@@ -14,6 +15,15 @@
 // comparison is unchanged because the workload's metric values are small
 // integers, so aggregation is exact regardless of merge order. Cluster
 // seeds ignore it (cluster tables scan serially).
+//
+// --ingest-parallel=P runs single-node seeds with the morsel-parallel
+// ingest pipeline at fan-out P (DatabaseOptions::ingest_parallelism;
+// DESIGN.md §4f). The two-phase dictionary encode makes parallel parse
+// output bit-identical to serial — ids depend only on prior dictionary
+// state plus the set of new strings — so the oracle comparison is
+// unchanged; the flag exists to race snapshot publication, sorted batch
+// inserts and group shard appends against scans, purge and recovery.
+// Cluster seeds ignore it (the coordinator parses serially).
 //
 // --cache runs single-node seeds with the per-brick visibility-bitmap
 // cache enabled (DatabaseOptions::query_visibility_cache; DESIGN.md §4c).
@@ -69,6 +79,7 @@ struct Args {
   uint64_t seed0 = 1;
   int ops = 0;  // 0: keep MakeSeedConfig default
   int parallel = 0;  // 0: keep MakeSeedConfig default (serial)
+  int ingest_parallel = 0;  // 0: keep MakeSeedConfig default (serial)
   bool cache = false;  // MakeSeedConfig default stays uncached
   bool online = false;  // install the online SI checker per seed
   bool purge_stress = false;  // dedicated concurrent-purge thread per seed
@@ -100,6 +111,8 @@ Args ParseArgs(int argc, char** argv) {
       args.ops = std::atoi(value);
     } else if (ParseFlag(argv[i], "--parallel", &value)) {
       args.parallel = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--ingest-parallel", &value)) {
+      args.ingest_parallel = std::atoi(value);
     } else if (std::strcmp(argv[i], "--cache") == 0) {
       args.cache = true;
     } else if (std::strcmp(argv[i], "--online") == 0) {
@@ -117,9 +130,9 @@ Args ParseArgs(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown argument: %s\n"
                    "usage: check_si [--mode=single|cluster|both] [--seeds=N] "
-                   "[--seed0=S] [--ops=K] [--parallel=P] [--cache] "
-                   "[--online] [--purge-stress] [--simd=B] [-v] "
-                   "[--dump-metrics]\n",
+                   "[--seed0=S] [--ops=K] [--parallel=P] "
+                   "[--ingest-parallel=P] [--cache] [--online] "
+                   "[--purge-stress] [--simd=B] [-v] [--dump-metrics]\n",
                    argv[i]);
       std::exit(2);
     }
@@ -140,6 +153,9 @@ bool RunOne(const Args& args, uint64_t seed, bool cluster) {
   if (args.ops > 0) opt.ops_per_thread = args.ops;
   if (args.parallel > 0) {
     opt.query_parallelism = static_cast<size_t>(args.parallel);
+  }
+  if (args.ingest_parallel > 0) {
+    opt.ingest_parallelism = static_cast<size_t>(args.ingest_parallel);
   }
   if (args.cache) opt.visibility_cache = true;
   if (args.online) opt.online_check = true;

@@ -671,6 +671,7 @@ std::string ConfigLine(const StressOptions& opt, bool cluster) {
       << " online=" << opt.online_check;
   if (!cluster) {
     out << " parallel=" << opt.query_parallelism
+        << " ingest_parallel=" << opt.ingest_parallelism
         << " cache=" << opt.visibility_cache
         << " purge_stress=" << opt.purge_stress;
   }
@@ -683,6 +684,9 @@ std::string ConfigLine(const StressOptions& opt, bool cluster) {
       << opt.ops_per_thread;
   if (!cluster && opt.query_parallelism > 1) {
     out << " --parallel=" << opt.query_parallelism;
+  }
+  if (!cluster && opt.ingest_parallelism > 1) {
+    out << " --ingest-parallel=" << opt.ingest_parallelism;
   }
   if (!cluster && opt.visibility_cache) {
     out << " --cache";
@@ -822,6 +826,7 @@ StressReport RunSingleNodeStress(const StressOptions& opt) {
   db_options.threaded_shards = opt.threaded_shards;
   db_options.rollback_index = opt.rollback_index;
   db_options.query_parallelism = opt.query_parallelism;
+  db_options.ingest_parallelism = opt.ingest_parallelism;
   db_options.query_visibility_cache = opt.visibility_cache;
   db_options.online_check = opt.online_check;
   if (opt.with_persistence) {

@@ -57,6 +57,16 @@ struct StressOptions {
   /// metric values are small integers, so double aggregation is exact and
   /// merge order cannot change any query result.
   size_t query_parallelism = 1;
+  /// Morsel-parallel ingest pipeline fan-out (single-node mode; see
+  /// DatabaseOptions::ingest_parallelism). 1 keeps the serial parse path.
+  /// MakeSeedConfig never raises this — replay determinism stays pinned to
+  /// the serial path — so parallel runs are opted into via check_si
+  /// --ingest-parallel=N. Safe to diff against the oracle either way:
+  /// the two-phase dictionary encode makes parallel parse output
+  /// bit-identical to serial (DESIGN.md §4f), so what the flag adds is
+  /// coverage of snapshot publication, sorted batch inserts and group
+  /// shard appends racing scans, purge and recovery.
+  size_t ingest_parallelism = 1;
   /// Per-brick visibility-bitmap cache (single-node mode; see
   /// DatabaseOptions::query_visibility_cache). Off by default so seed
   /// replays keep exercising the uncached build path; check_si --cache

@@ -340,9 +340,11 @@ Status Cluster::Append(DistTxn* dist, const std::string& cube,
     auto batches =
         std::make_shared<PerBrickBatches>(std::move(per_node[o - 1]));
     Rpc().append_forwards->Add();
+    // Delivery closures run at most once per node, so the payload can be
+    // moved out of the shared handle into the engine.
     DeliverOrQueue(dist->coordinator, o, [epoch, cube, batches](
                                              ClusterNode& n) {
-      return n.HandleAppend(epoch, cube, *batches);
+      return n.HandleAppend(epoch, cube, std::move(*batches));
     });
   }
 

@@ -56,12 +56,12 @@ bool ClusterNode::HandleRegisterHorizon(aosi::Epoch epoch,
 }
 
 Status ClusterNode::HandleAppend(aosi::Epoch epoch, const std::string& cube,
-                                 const PerBrickBatches& batches) {
+                                 PerBrickBatches&& batches) {
   Table* table = FindTable(cube);
   if (table == nullptr) {
     return Status::NotFound("cube '" + cube + "' does not exist");
   }
-  return table->Append(epoch, batches);
+  return table->Append(epoch, std::move(batches));
 }
 
 Status ClusterNode::HandleDelete(aosi::Epoch epoch, const std::string& cube,

@@ -69,9 +69,9 @@ class ClusterNode {
   /// must abort the draft and redraw (TxnManager::RegisterRemoteHorizon).
   bool HandleRegisterHorizon(aosi::Epoch epoch, aosi::Epoch horizon);
 
-  /// Appends forwarded, already-parsed batches.
+  /// Appends forwarded, already-parsed batches (consumed by move).
   Status HandleAppend(aosi::Epoch epoch, const std::string& cube,
-                      const PerBrickBatches& batches);
+                      PerBrickBatches&& batches);
 
   /// Partition-granular delete (validate + mark).
   Status HandleDelete(aosi::Epoch epoch, const std::string& cube,

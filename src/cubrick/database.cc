@@ -121,7 +121,8 @@ Status Database::Load(const std::string& cube,
     (void)txns_.Rollback(txn);
     return Status::NotFound("cube '" + cube + "' does not exist");
   }
-  auto parsed = ParseRecords(table->schema(), records, options);
+  auto parsed =
+      ParseRecords(table->schema(), records, options, options_.ingest_parallelism);
   if (!parsed.ok()) {
     (void)txns_.Rollback(txn);
     return parsed.status();
@@ -129,7 +130,7 @@ Status Database::Load(const std::string& cube,
   const int64_t parse_us = parse_timer.ElapsedMicros();
 
   Stopwatch flush_timer;
-  const Status append = table->Append(txn.epoch, parsed->batches);
+  const Status append = table->Append(txn.epoch, std::move(parsed->batches));
   if (!append.ok()) {
     (void)Rollback(txn);
     return append;
@@ -199,9 +200,10 @@ Status Database::LoadIn(const aosi::Txn& txn, const std::string& cube,
   if (table == nullptr) {
     return Status::NotFound("cube '" + cube + "' does not exist");
   }
-  auto parsed = ParseRecords(table->schema(), records, options);
+  auto parsed =
+      ParseRecords(table->schema(), records, options, options_.ingest_parallelism);
   if (!parsed.ok()) return parsed.status();
-  return table->Append(txn.epoch, parsed->batches);
+  return table->Append(txn.epoch, std::move(parsed->batches));
 }
 
 Result<QueryResult> Database::QueryIn(const aosi::Txn& txn,

@@ -44,6 +44,12 @@ struct DatabaseOptions {
   /// 1 (the default) keeps the serial executor — the deterministic path the
   /// src/check/ harness replays by default.
   size_t query_parallelism = 1;
+  /// Morsel-parallel ingestion (DESIGN.md §4f): maximum parse/encode
+  /// workers per load request (record morsels fanned out on
+  /// ThreadPool::Global(); see ParseRecords). Output is bit-identical to
+  /// the serial walk at any setting; 1 (the default) keeps the serial
+  /// path that src/check/ replays by default.
+  size_t ingest_parallelism = 1;
   /// Per-brick visibility-bitmap cache (DESIGN.md §4c): memoizes §III-C3
   /// bitmaps keyed on (epochs-vector version, effective horizon, deps).
   /// Results are identical either way; the src/check/ harness keeps it off

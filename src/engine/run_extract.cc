@@ -66,7 +66,7 @@ Status ReplayExtracted(Table* table,
       } else {
         PerBrickBatches one;
         one.emplace(brick.bid, run.batch);
-        CUBRICK_RETURN_IF_ERROR(table->Append(run.epoch, one));
+        CUBRICK_RETURN_IF_ERROR(table->Append(run.epoch, std::move(one)));
       }
     }
   }

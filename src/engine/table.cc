@@ -23,10 +23,12 @@ Table::Table(std::shared_ptr<const CubeSchema> schema, size_t num_shards,
     : schema_(std::move(schema)) {
   CUBRICK_CHECK(num_shards >= 1);
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  append_stages_.reserve(num_shards);
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     const int cpu =
         pin_shard_threads ? static_cast<int>(i % hw) : -1;
+    append_stages_.push_back(std::make_unique<AppendStage>());
     shards_.push_back(std::make_unique<Shard>(schema_, threaded, cpu));
   }
   if (rollback_index) {
@@ -34,29 +36,95 @@ Table::Table(std::shared_ptr<const CubeSchema> schema, size_t num_shards,
   }
 }
 
-Status Table::Append(aosi::Epoch epoch, const PerBrickBatches& batches) {
-  // Group bricks by shard so each shard receives one operation.
-  std::vector<std::vector<const std::pair<const Bid, EncodedBatch>*>>
-      per_shard(shards_.size());
+Status Table::Append(aosi::Epoch epoch, PerBrickBatches&& batches) {
+  // ingest.flush_us records the synchronous flush wait — what a load
+  // request spends behind the shard queues (docs/OBSERVABILITY.md).
+  static obs::Histogram* flush_us =
+      obs::MetricsRegistry::Global().GetHistogram("ingest.flush_us");
+  obs::ObsSpan span("ingest.flush", flush_us);
+  AppendAsync(epoch, std::move(batches)).get();
+  return Status::OK();
+}
+
+std::future<void> Table::AppendAsync(aosi::Epoch epoch,
+                                     PerBrickBatches&& batches) {
+  uint64_t items = 0;
   for (const auto& entry : batches) {
-    if (entry.second.num_rows == 0) continue;
-    per_shard[ShardOf(entry.first)].push_back(&entry);
-    if (rollback_index_) {
-      rollback_index_->Note(epoch, entry.first);
-    }
+    if (entry.second.num_rows > 0) ++items;
   }
-  std::vector<std::future<void>> done;
+  auto request = std::make_shared<PendingAppend>(items);
+  std::future<void> done = request->done.get_future();
+  if (items == 0) {
+    request->done.set_value();
+    return done;
+  }
+  // Group the moved payloads by shard off-lock, then stage each shard's
+  // run in one mutex hold. A shard whose drain op is already queued or
+  // running picks the new work up in the same op (group append).
+  std::vector<std::vector<StagedBatch>> per_shard(shards_.size());
+  for (auto& [bid, batch] : batches) {
+    if (batch.num_rows == 0) continue;
+    if (rollback_index_) {
+      rollback_index_->Note(epoch, bid);
+    }
+    per_shard[ShardOf(bid)].push_back(
+        StagedBatch{epoch, bid, std::move(batch), request});
+  }
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (per_shard[s].empty()) continue;
-    auto work = std::move(per_shard[s]);
-    done.push_back(shards_[s]->Enqueue([epoch, work](BrickMap& bricks) {
-      for (const auto* entry : work) {
-        bricks.GetOrCreate(entry->first).AppendBatch(epoch, entry->second);
+    AppendStage* stage = append_stages_[s].get();
+    bool schedule = false;
+    {
+      MutexLock lock(stage->mu);
+      for (StagedBatch& staged : per_shard[s]) {
+        stage->staged.push_back(std::move(staged));
       }
-    }));
+      if (!stage->drain_scheduled) {
+        stage->drain_scheduled = true;
+        schedule = true;
+      }
+    }
+    if (schedule) {
+      shards_[s]->Enqueue(
+          [stage](BrickMap& bricks) { DrainAppendStage(stage, bricks); });
+    }
   }
-  for (auto& f : done) f.get();
-  return Status::OK();
+  return done;
+}
+
+void Table::DrainAppendStage(AppendStage* stage, BrickMap& bricks) {
+  static obs::Counter* group_appends =
+      obs::MetricsRegistry::Global().GetCounter("ingest.group_appends");
+  std::vector<StagedBatch> work;
+  while (true) {
+    {
+      MutexLock lock(stage->mu);
+      if (stage->staged.empty()) {
+        stage->drain_scheduled = false;
+        return;
+      }
+      work.swap(stage->staged);
+    }
+    // Requests stage their items contiguously, so a run-length count over
+    // the latch pointers is the number of loads this slice coalesced.
+    const PendingAppend* last = nullptr;
+    uint64_t requests = 0;
+    for (const StagedBatch& staged : work) {
+      if (staged.request.get() != last) {
+        last = staged.request.get();
+        ++requests;
+      }
+    }
+    if (requests > 1) group_appends->Add(requests - 1);
+    for (StagedBatch& staged : work) {
+      bricks.GetOrCreate(staged.bid).AppendBatch(staged.epoch, staged.batch);
+      if (staged.request->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+          1) {
+        staged.request->done.set_value();
+      }
+    }
+    work.clear();
+  }
 }
 
 Status Table::DeleteWhere(aosi::Epoch epoch,

@@ -7,6 +7,8 @@
 
 #pragma once
 
+#include <atomic>
+#include <future>
 #include <map>
 #include <optional>
 #include <memory>
@@ -74,7 +76,20 @@ class Table {
 
   /// Appends parsed batches stamped with `epoch`; returns once every shard
   /// has applied its part (the "flush" step of the ingestion pipeline).
-  Status Append(aosi::Epoch epoch, const PerBrickBatches& batches);
+  /// Takes the batches by move: payloads travel into the shard ops without
+  /// copying. Concurrent appends coalesce per shard — batches staged while
+  /// a shard's drain op is running are applied by that same op ("group
+  /// appends", one shard op per burst instead of one per load), each batch
+  /// keeping its own epoch stamp, so the single-writer invariant and the
+  /// per-epoch EpochVector::RecordAppend ordering are exactly as if the
+  /// loads had run back to back.
+  Status Append(aosi::Epoch epoch, PerBrickBatches&& batches);
+
+  /// Fire-now, wait-later flavor of Append: stages the batches and returns
+  /// a future that resolves once every one has been applied, so a caller
+  /// can parse load N+1 while load N flushes. The future must be waited on
+  /// before the Table is destroyed.
+  std::future<void> AppendAsync(aosi::Epoch epoch, PerBrickBatches&& batches);
 
   /// Partition-granular delete: marks deleted every materialized brick
   /// fully covered by `filters` (empty filters = the whole cube). Fails
@@ -166,6 +181,34 @@ class Table {
   }
 
  private:
+  /// Completion latch shared by every staged batch of one append request.
+  struct PendingAppend {
+    explicit PendingAppend(uint64_t n) : remaining(n) {}
+    std::atomic<uint64_t> remaining;
+    std::promise<void> done;
+  };
+
+  /// One staged (epoch, brick batch) plus its request's latch.
+  struct StagedBatch {
+    aosi::Epoch epoch;
+    Bid bid;
+    EncodedBatch batch;
+    std::shared_ptr<PendingAppend> request;
+  };
+
+  /// Per-shard staging area for the group-append coalescer.
+  struct AppendStage {
+    Mutex mu;
+    std::vector<StagedBatch> staged GUARDED_BY(mu);
+    /// True while a drain op is queued or running on the shard; staging
+    /// under an active op rides along instead of enqueuing another.
+    bool drain_scheduled GUARDED_BY(mu) = false;
+  };
+
+  /// Body of the shard drain op: applies staged batches until the stage is
+  /// empty, so appends staged mid-drain coalesce into the running op.
+  static void DrainAppendStage(AppendStage* stage, BrickMap& bricks);
+
   PurgeStats QuiescentPurge(aosi::Epoch lse);
   PurgeStats ConcurrentPurge(aosi::Epoch lse);
 
@@ -175,6 +218,9 @@ class Table {
                                uint64_t total_entries);
 
   std::shared_ptr<const CubeSchema> schema_;
+  /// Declared before shards_ so the stages outlive the shard threads that
+  /// drain them (members destroy in reverse order).
+  std::vector<std::unique_ptr<AppendStage>> append_stages_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::optional<RollbackIndex> rollback_index_;
 };

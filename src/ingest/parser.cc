@@ -1,15 +1,92 @@
 #include "ingest/parser.h"
 
+#include <algorithm>
 #include <charconv>
+#include <string_view>
 
+#include "common/ebr.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "storage/dictionary.h"
 
 namespace cubrick {
 
 namespace {
 
+/// Records per morsel below which fanning out is not worth the task
+/// overhead; also the floor on morsel size when chunking.
+constexpr size_t kMinMorselRecords = 64;
+
+/// Column indexes (dims then metrics) that are dictionary-encoded, plus
+/// the snapshots acquired for the current phase. Snapshot pointers follow
+/// the EBR contract: valid only while the acquiring thread's Guard lives,
+/// so each worker builds its own Snaps under its own Guard.
+using DictSnaps = std::vector<const StringDictionary::DictSnapshot*>;
+
+std::vector<size_t> StringColumns(const CubeSchema& schema) {
+  std::vector<size_t> cols;
+  for (size_t d = 0; d < schema.num_dimensions(); ++d) {
+    if (schema.dimensions()[d].is_string) cols.push_back(d);
+  }
+  for (size_t m = 0; m < schema.num_metrics(); ++m) {
+    if (schema.metrics()[m].type == DataType::kString) {
+      cols.push_back(schema.num_dimensions() + m);
+    }
+  }
+  return cols;
+}
+
+/// REQUIRES a live ebr::Guard on the calling thread: the returned pointers
+/// outlive this helper, so the pin that keeps them valid must be the
+/// caller's (both call sites declare one immediately before calling).
+DictSnaps AcquireSnaps(const CubeSchema& schema,
+                       const std::vector<size_t>& string_cols) {
+  DictSnaps snaps(schema.num_columns(), nullptr);
+  for (size_t c : string_cols) {
+    snaps[c] = schema.dictionary(c)->AcquireSnapshot();  // aosi-lint: allow(ebr-guard)
+  }
+  return snaps;
+}
+
+/// Phase 1 of the two-phase dictionary encode: walk [begin, end) and
+/// collect, per string column, every type-correct value the snapshot does
+/// not know. Records with the wrong arity contribute nothing (they cannot
+/// be accepted later). `misses` is indexed by column; `hits` counts
+/// snapshot hits for the ingest.dict_snapshot_hits metric.
+void CollectDictMisses(const CubeSchema& schema,
+                       const std::vector<Record>& records, size_t begin,
+                       size_t end, const std::vector<size_t>& string_cols,
+                       std::vector<std::vector<std::string>>* misses,
+                       uint64_t* hits) {
+  const ebr::Guard guard;
+  const DictSnaps snaps = AcquireSnaps(schema, string_cols);
+  const size_t arity = schema.num_columns();
+  uint64_t local_hits = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const Record& record = records[i];
+    if (record.values.size() != arity) continue;
+    for (size_t c : string_cols) {
+      const Value& value = record.values[c];
+      if (!value.is_string()) continue;
+      uint64_t id = 0;
+      if (snaps[c]->Find(value.as_string(), &id)) {
+        ++local_hits;
+      } else {
+        (*misses)[c].push_back(value.as_string());
+      }
+    }
+  }
+  *hits += local_hits;
+}
+
 /// Encodes one dimension value to its coordinate, validating cardinality.
-Result<uint64_t> EncodeDimension(const CubeSchema& schema, size_t dim,
+/// String dimensions resolve through the phase-1/2 snapshot (every string
+/// of an acceptable record is present after the batch insert); the
+/// EncodeOrAdd fallback only fires when a concurrent load raced a fresh
+/// snapshot in, and cannot change ids (the string is already assigned).
+Result<uint64_t> EncodeDimension(const CubeSchema& schema,
+                                 const DictSnaps& snaps, size_t dim,
                                  const Value& value) {
   const DimensionDef& def = schema.dimensions()[dim];
   uint64_t coord = 0;
@@ -18,7 +95,9 @@ Result<uint64_t> EncodeDimension(const CubeSchema& schema, size_t dim,
       return Status::InvalidArgument("dimension '" + def.name +
                                      "' expects a string");
     }
-    coord = schema.dictionary(dim)->EncodeOrAdd(value.as_string());
+    if (!snaps[dim]->Find(value.as_string(), &coord)) {
+      coord = schema.dictionary(dim)->EncodeOrAdd(value.as_string());
+    }
   } else {
     if (!value.is_int64()) {
       return Status::InvalidArgument("dimension '" + def.name +
@@ -40,35 +119,49 @@ Result<uint64_t> EncodeDimension(const CubeSchema& schema, size_t dim,
   return coord;
 }
 
-}  // namespace
+/// One worker's share of the encode phase: validation, encoding and
+/// per-brick grouping for the records in [begin, end). Deterministic by
+/// construction — only reads the shared snapshots — so concatenating
+/// morsel outputs in morsel order reproduces the serial walk exactly.
+struct MorselOutput {
+  PerBrickBatches batches;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  /// First `max_errors` rejection diagnostics of this morsel, in record
+  /// order (the merge concatenates in morsel order and re-truncates).
+  std::vector<std::string> errors;
+};
 
-Result<ParseOutput> ParseRecords(const CubeSchema& schema,
-                                 const std::vector<Record>& records,
-                                 const ParseOptions& options) {
-  ParseOutput out;
+void EncodeMorsel(const CubeSchema& schema, const std::vector<Record>& records,
+                  size_t begin, size_t end, const ParseOptions& options,
+                  const std::vector<size_t>& string_cols, MorselOutput* out) {
+  const ebr::Guard guard;
+  const DictSnaps snaps = AcquireSnaps(schema, string_cols);
   const size_t num_dims = schema.num_dimensions();
   const size_t num_metrics = schema.num_metrics();
-  std::vector<uint64_t> coords(num_dims);
+  const size_t n = end - begin;
 
-  for (const Record& record : records) {
+  // First pass: validate every record, keeping its coordinates and bid, and
+  // build the bid histogram the batch reservation below is sized from.
+  std::vector<uint8_t> valid(n, 0);
+  std::vector<uint64_t> coords(n * num_dims);
+  std::vector<Bid> bids(n);
+  std::map<Bid, uint64_t> histogram;
+  for (size_t i = 0; i < n; ++i) {
+    const Record& record = records[begin + i];
+    uint64_t* record_coords = coords.data() + i * num_dims;
     Status record_status;
     if (record.values.size() != num_dims + num_metrics) {
       record_status = Status::InvalidArgument("wrong number of columns");
     }
-
-    // Dimensions: encode and validate coordinates.
     for (size_t d = 0; record_status.ok() && d < num_dims; ++d) {
-      auto coord = EncodeDimension(schema, d, record.values[d]);
+      auto coord = EncodeDimension(schema, snaps, d, record.values[d]);
       if (!coord.ok()) {
         record_status = coord.status();
         break;
       }
-      coords[d] = *coord;
+      record_coords[d] = *coord;
     }
-
-    // Metrics: type-check (values appended only after full validation).
-    std::vector<int64_t> metric_ints(num_metrics, 0);
-    std::vector<double> metric_doubles(num_metrics, 0);
     for (size_t m = 0; record_status.ok() && m < num_metrics; ++m) {
       const Value& v = record.values[num_dims + m];
       const MetricDef& def = schema.metrics()[m];
@@ -77,68 +170,226 @@ Result<ParseOutput> ParseRecords(const CubeSchema& schema,
           if (!v.is_int64()) {
             record_status = Status::InvalidArgument("metric '" + def.name +
                                                     "' expects int64");
-          } else {
-            metric_ints[m] = v.as_int64();
           }
           break;
         case DataType::kDouble:
           if (v.is_string()) {
             record_status = Status::InvalidArgument("metric '" + def.name +
                                                     "' expects a number");
-          } else {
-            metric_doubles[m] = v.ToDouble().value();
           }
           break;
         case DataType::kString:
           if (!v.is_string()) {
             record_status = Status::InvalidArgument("metric '" + def.name +
                                                     "' expects a string");
-          } else {
-            metric_ints[m] = static_cast<int64_t>(
-                schema.dictionary(num_dims + m)->EncodeOrAdd(v.as_string()));
           }
           break;
       }
     }
-
     if (!record_status.ok()) {
-      ++out.rejected;
-      if (out.errors.size() < options.max_errors) {
-        out.errors.push_back(record_status.ToString());
+      ++out->rejected;
+      if (out->errors.size() < options.max_errors) {
+        out->errors.push_back(record_status.ToString());
       }
       continue;
     }
+    valid[i] = 1;
+    bids[i] = schema
+                  .BidFor(std::vector<uint64_t>(record_coords,
+                                                record_coords + num_dims))
+                  .value();
+    ++histogram[bids[i]];
+  }
 
-    const Bid bid = schema.BidFor(coords).value();
-    auto it = out.batches.find(bid);
-    if (it == out.batches.end()) {
-      it = out.batches.emplace(bid, EncodedBatch(schema)).first;
-    }
+  // Reserve every batch column to its exact row count before filling.
+  for (const auto& [bid, count] : histogram) {
+    auto it = out->batches.emplace(bid, EncodedBatch(schema)).first;
     EncodedBatch& batch = it->second;
+    for (size_t d = 0; d < num_dims; ++d) batch.dim_offsets[d].reserve(count);
+    for (size_t m = 0; m < num_metrics; ++m) {
+      if (schema.metrics()[m].type == DataType::kDouble) {
+        batch.metric_doubles[m].reserve(count);
+      } else {
+        batch.metric_ints[m].reserve(count);
+      }
+    }
+  }
+
+  // Second pass: fill the batches from the stored coordinates.
+  for (size_t i = 0; i < n; ++i) {
+    if (valid[i] == 0) continue;
+    const Record& record = records[begin + i];
+    const uint64_t* record_coords = coords.data() + i * num_dims;
+    EncodedBatch& batch = out->batches.find(bids[i])->second;
     for (size_t d = 0; d < num_dims; ++d) {
       uint64_t range_idx = 0, offset = 0;
-      schema.SplitCoord(d, coords[d], &range_idx, &offset);
+      schema.SplitCoord(d, record_coords[d], &range_idx, &offset);
       batch.dim_offsets[d].push_back(offset);
     }
     for (size_t m = 0; m < num_metrics; ++m) {
-      if (schema.metrics()[m].type == DataType::kDouble) {
-        batch.metric_doubles[m].push_back(metric_doubles[m]);
-      } else {
-        batch.metric_ints[m].push_back(metric_ints[m]);
+      const Value& v = record.values[num_dims + m];
+      switch (schema.metrics()[m].type) {
+        case DataType::kInt64:
+          batch.metric_ints[m].push_back(v.as_int64());
+          break;
+        case DataType::kDouble:
+          batch.metric_doubles[m].push_back(v.ToDouble().value());
+          break;
+        case DataType::kString: {
+          const size_t c = num_dims + m;
+          uint64_t id = 0;
+          if (!snaps[c]->Find(v.as_string(), &id)) {
+            id = schema.dictionary(c)->EncodeOrAdd(v.as_string());
+          }
+          batch.metric_ints[m].push_back(static_cast<int64_t>(id));
+          break;
+        }
       }
     }
     ++batch.num_rows;
-    ++out.accepted;
+    ++out->accepted;
+  }
+}
+
+/// Moves `src`'s rows onto the end of `dst` (same bid). Row order within a
+/// bid is morsel-concatenation order == record order.
+void AppendBatch(EncodedBatch* dst, EncodedBatch&& src) {
+  for (size_t d = 0; d < dst->dim_offsets.size(); ++d) {
+    auto& dcol = dst->dim_offsets[d];
+    auto& scol = src.dim_offsets[d];
+    dcol.insert(dcol.end(), scol.begin(), scol.end());
+  }
+  for (size_t m = 0; m < dst->metric_ints.size(); ++m) {
+    auto& dcol = dst->metric_ints[m];
+    auto& scol = src.metric_ints[m];
+    dcol.insert(dcol.end(), scol.begin(), scol.end());
+  }
+  for (size_t m = 0; m < dst->metric_doubles.size(); ++m) {
+    auto& dcol = dst->metric_doubles[m];
+    auto& scol = src.metric_doubles[m];
+    dcol.insert(dcol.end(), scol.begin(), scol.end());
+  }
+  dst->num_rows += src.num_rows;
+}
+
+/// Splits [0, n) into at most `parallelism` contiguous morsels of at least
+/// kMinMorselRecords records. Chunking never affects the output — the
+/// merge is morsel-order deterministic — only load balance.
+std::vector<std::pair<size_t, size_t>> PlanIngestMorsels(size_t n,
+                                                         size_t parallelism) {
+  const size_t max_morsels =
+      std::max<size_t>(1, (n + kMinMorselRecords - 1) / kMinMorselRecords);
+  const size_t num_morsels =
+      std::max<size_t>(1, std::min(parallelism, max_morsels));
+  std::vector<std::pair<size_t, size_t>> morsels;
+  morsels.reserve(num_morsels);
+  const size_t chunk = (n + num_morsels - 1) / num_morsels;
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    morsels.push_back({begin, std::min(n, begin + chunk)});
+  }
+  if (morsels.empty()) morsels.push_back({0, 0});
+  return morsels;
+}
+
+/// Runs `fn(morsel_index)` for every morsel — on the shared pool when more
+/// than one morsel was planned, inline otherwise. The caller participates
+/// via TaskGroup::Wait, so nested fan-outs cannot deadlock the pool.
+void ForEachMorsel(size_t num_morsels, const std::function<void(size_t)>& fn) {
+  if (num_morsels <= 1) {
+    fn(0);
+    return;
+  }
+  TaskGroup group(&ThreadPool::Global());
+  for (size_t m = 0; m < num_morsels; ++m) {
+    group.Run([&fn, m] { fn(m); });
+  }
+  group.Wait();
+}
+
+}  // namespace
+
+Result<ParseOutput> ParseRecords(const CubeSchema& schema,
+                                 const std::vector<Record>& records,
+                                 const ParseOptions& options,
+                                 size_t parallelism) {
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::Counter* accepted = reg.GetCounter("ingest.records_accepted");
+  static obs::Counter* rejected = reg.GetCounter("ingest.records_rejected");
+  static obs::Counter* batches = reg.GetCounter("ingest.batches_total");
+  static obs::Counter* snapshot_hits =
+      reg.GetCounter("ingest.dict_snapshot_hits");
+  static obs::Counter* batch_misses =
+      reg.GetCounter("ingest.dict_batch_misses");
+  static obs::Histogram* parse_us = reg.GetHistogram("ingest.parse_us");
+  obs::ObsSpan span("ingest.parse", parse_us);
+
+  const std::vector<size_t> string_cols = StringColumns(schema);
+  const auto morsels = PlanIngestMorsels(records.size(), parallelism);
+  const size_t num_morsels = morsels.size();
+
+  // Phase 1: every morsel collects the strings its snapshot does not know.
+  std::vector<std::vector<std::vector<std::string>>> misses(
+      num_morsels,
+      std::vector<std::vector<std::string>>(schema.num_columns()));
+  std::vector<uint64_t> hits(num_morsels, 0);
+  if (!string_cols.empty()) {
+    ForEachMorsel(num_morsels, [&](size_t m) {
+      CollectDictMisses(schema, records, morsels[m].first, morsels[m].second,
+                        string_cols, &misses[m], &hits[m]);
+    });
   }
 
-  static obs::Counter* accepted =
-      obs::MetricsRegistry::Global().GetCounter("ingest.records_accepted");
-  static obs::Counter* rejected =
-      obs::MetricsRegistry::Global().GetCounter("ingest.records_rejected");
-  static obs::Counter* batches =
-      obs::MetricsRegistry::Global().GetCounter("ingest.batches_total");
-  rejected->Add(out.rejected);
+  // Phase 2: one deterministic batch insert per dictionary — the misses
+  // are deduped and sorted, so the assigned ids depend only on the
+  // dictionary's prior state and the *set* of new strings, never on record
+  // order or chunking (serial replay assigns identical ids).
+  uint64_t total_hits = 0;
+  uint64_t total_batch_misses = 0;
+  for (uint64_t h : hits) total_hits += h;
+  for (size_t c : string_cols) {
+    std::vector<std::string> merged;
+    for (size_t m = 0; m < num_morsels; ++m) {
+      auto& part = misses[m][c];
+      merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+    }
+    if (merged.empty()) continue;
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    total_batch_misses += schema.dictionary(c)->InsertSortedBatch(merged);
+  }
+  snapshot_hits->Add(total_hits);
+  batch_misses->Add(total_batch_misses);
 
+  // Phase 3: morsel-parallel validate + encode against the post-insert
+  // snapshots, merged in morsel order below.
+  std::vector<MorselOutput> outputs(num_morsels);
+  ForEachMorsel(num_morsels, [&](size_t m) {
+    EncodeMorsel(schema, records, morsels[m].first, morsels[m].second,
+                 options, string_cols, &outputs[m]);
+  });
+
+  ParseOutput out;
+  for (size_t m = 0; m < num_morsels; ++m) {
+    MorselOutput& part = outputs[m];
+    out.accepted += part.accepted;
+    out.rejected += part.rejected;
+    for (std::string& err : part.errors) {
+      if (out.errors.size() < options.max_errors) {
+        out.errors.push_back(std::move(err));
+      }
+    }
+    for (auto& [bid, batch] : part.batches) {
+      auto it = out.batches.find(bid);
+      if (it == out.batches.end()) {
+        out.batches.emplace(bid, std::move(batch));
+      } else {
+        AppendBatch(&it->second, std::move(batch));
+      }
+    }
+  }
+
+  rejected->Add(out.rejected);
   if (out.rejected > options.max_rejected) {
     // The whole batch is discarded, so its accepted rows never land.
     std::string detail = out.errors.empty() ? "" : " (first: " +
@@ -156,25 +407,28 @@ Result<ParseOutput> ParseRecords(const CubeSchema& schema,
 
 Result<Record> ParseCsvLine(const CubeSchema& schema,
                             const std::string& line) {
-  std::vector<std::string> fields;
-  size_t start = 0;
-  while (true) {
-    const size_t comma = line.find(',', start);
-    fields.push_back(line.substr(
-        start, comma == std::string::npos ? std::string::npos
-                                          : comma - start));
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  if (fields.size() != schema.num_columns()) {
-    return Status::InvalidArgument("expected " +
-                                   std::to_string(schema.num_columns()) +
-                                   " fields, got " +
-                                   std::to_string(fields.size()));
-  }
-
+  // Single pass over comma-separated slices: no intermediate field vector,
+  // no substr temporaries — each slice is materialized at most once, as
+  // the Value it becomes.
   Record record;
-  for (size_t i = 0; i < fields.size(); ++i) {
+  record.values.reserve(schema.num_columns());
+  const std::string_view view(line);
+  size_t start = 0;
+  size_t index = 0;
+  bool done = false;
+  while (!done) {
+    const size_t comma = view.find(',', start);
+    std::string_view field;
+    if (comma == std::string_view::npos) {
+      field = view.substr(start);
+      done = true;
+    } else {
+      field = view.substr(start, comma - start);
+      start = comma + 1;
+    }
+    const size_t i = index++;
+    if (i >= schema.num_columns()) continue;  // counted, reported below
+
     const bool is_dim = i < schema.num_dimensions();
     DataType type;
     bool is_string;
@@ -185,16 +439,17 @@ Result<Record> ParseCsvLine(const CubeSchema& schema,
       type = schema.metrics()[i - schema.num_dimensions()].type;
       is_string = type == DataType::kString;
     }
-    const std::string& field = fields[i];
     if (is_string) {
-      record.values.emplace_back(field);
+      record.values.emplace_back(std::string(field));
       continue;
     }
     if (type == DataType::kDouble) {
-      char* end = nullptr;
-      const double v = std::strtod(field.c_str(), &end);
-      if (end == field.c_str()) {
-        return Status::InvalidArgument("bad double: '" + field + "'");
+      double v = 0;
+      auto [ptr, ec] =
+          std::from_chars(field.data(), field.data() + field.size(), v);
+      if (ec != std::errc() || ptr != field.data() + field.size()) {
+        return Status::InvalidArgument("bad double: '" + std::string(field) +
+                                       "'");
       }
       record.values.emplace_back(v);
     } else {
@@ -202,10 +457,16 @@ Result<Record> ParseCsvLine(const CubeSchema& schema,
       auto [ptr, ec] =
           std::from_chars(field.data(), field.data() + field.size(), v);
       if (ec != std::errc() || ptr != field.data() + field.size()) {
-        return Status::InvalidArgument("bad integer: '" + field + "'");
+        return Status::InvalidArgument("bad integer: '" + std::string(field) +
+                                       "'");
       }
       record.values.emplace_back(v);
     }
+  }
+  if (index != schema.num_columns()) {
+    return Status::InvalidArgument("expected " +
+                                   std::to_string(schema.num_columns()) +
+                                   " fields, got " + std::to_string(index));
   }
   return record;
 }

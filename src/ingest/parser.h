@@ -48,10 +48,20 @@ struct ParseOutput {
 /// Validates and encodes `records`, grouping them per brick. Returns
 /// InvalidArgument when rejected > options.max_rejected (batch discarded).
 /// String dimension/metric values are encoded through the schema's
-/// dictionaries (and inserted when new).
+/// dictionaries via the two-phase scheme (DESIGN.md §4f): a lock-free
+/// lookup pass against each dictionary's immutable snapshot, then one
+/// deterministic sorted batch insert of the misses. Ids therefore depend
+/// only on the dictionaries' prior state and the set of new strings —
+/// never on record order within the batch or on `parallelism`.
+///
+/// `parallelism` > 1 chunks the record vector into morsels fanned out on
+/// ThreadPool::Global() (the caller participates while waiting). Output is
+/// bit-identical to the serial walk: batches, rejection counts and
+/// retained error strings are merged in morsel (= record) order.
 Result<ParseOutput> ParseRecords(const CubeSchema& schema,
                                  const std::vector<Record>& records,
-                                 const ParseOptions& options = {});
+                                 const ParseOptions& options = {},
+                                 size_t parallelism = 1);
 
 /// Parses one comma-separated line into a Record using the schema's column
 /// types (no quoting/escaping: this is the test/example loader, not an RFC

@@ -275,7 +275,8 @@ Result<RecoveryResult> FlushManager::Recover(Table* table) {
         PerBrickBatches one;
         one.emplace(*bid, std::move(batch));
         CUBRICK_RETURN_IF_ERROR(
-            table->Append(*epoch, one));  // aosi-lint: allow(hold-across-blocking)
+            table->Append(  // aosi-lint: allow(hold-across-blocking)
+                *epoch, std::move(one)));
         result.rows_recovered += *n;
       }
     }

@@ -1,8 +1,20 @@
 #include "storage/dictionary.h"
 
+#include "common/ebr.h"
 #include "common/mutex.h"
 
 namespace cubrick {
+
+StringDictionary::~StringDictionary() {
+  // The published snapshot is retired, not deleted: a reader pinned before
+  // this destructor ran may still be walking it (schema lifetime is the
+  // caller's contract, but retirement makes the teardown race-free for
+  // free).
+  const DictSnapshot* snap = snapshot_.load(std::memory_order_acquire);
+  if (snap != nullptr) {
+    ebr::RetireDelete(snap, snap->to_id.size() * sizeof(std::string));
+  }
+}
 
 uint64_t StringDictionary::EncodeOrAdd(const std::string& value) {
   MutexLock lock(mutex_);
@@ -11,6 +23,11 @@ uint64_t StringDictionary::EncodeOrAdd(const std::string& value) {
   const uint64_t id = to_string_.size();
   to_string_.push_back(value);
   to_id_.emplace(value, id);
+  // Lazy invalidation: the next AcquireSnapshot() rebuilds. Keeping the
+  // single-insert path O(1) matters because recovery replays dictionaries
+  // entry by entry through here.
+  version_.store(version_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_release);
   return id;
 }
 
@@ -30,6 +47,62 @@ Result<std::string> StringDictionary::Decode(uint64_t id) const {
                               std::to_string(id));
   }
   return to_string_[id];
+}
+
+const StringDictionary::DictSnapshot* StringDictionary::AcquireSnapshot()
+    const {
+  // Fast path: the published snapshot reflects every insert so far. The
+  // acquire loads pair with the release stores in PublishSnapshotLocked and
+  // the version bumps, so a version match proves the snapshot's map is
+  // fully visible.
+  const DictSnapshot* snap = snapshot_.load(std::memory_order_acquire);
+  if (snap != nullptr &&
+      snap->version == version_.load(std::memory_order_acquire)) {
+    return snap;
+  }
+  MutexLock lock(mutex_);
+  snap = snapshot_.load(std::memory_order_acquire);
+  if (snap != nullptr &&
+      snap->version == version_.load(std::memory_order_relaxed)) {
+    return snap;  // another thread rebuilt while we waited for the mutex
+  }
+  return PublishSnapshotLocked();
+}
+
+const StringDictionary::DictSnapshot* StringDictionary::PublishSnapshotLocked()
+    const {
+  auto* fresh = new DictSnapshot();
+  fresh->version = version_.load(std::memory_order_relaxed);
+  fresh->to_id = to_id_;
+  const DictSnapshot* old = snapshot_.load(std::memory_order_relaxed);
+  snapshot_.store(fresh, std::memory_order_release);
+  if (old != nullptr) {
+    ebr::RetireDelete(old, old->to_id.size() * sizeof(std::string));
+  }
+  return fresh;
+}
+
+size_t StringDictionary::InsertSortedBatch(
+    const std::vector<std::string>& sorted_misses) {
+  if (sorted_misses.empty()) return 0;
+  MutexLock lock(mutex_);
+  size_t inserted = 0;
+  for (const std::string& value : sorted_misses) {
+    if (to_id_.count(value) > 0) continue;
+    const uint64_t id = to_string_.size();
+    to_string_.push_back(value);
+    to_id_.emplace(value, id);
+    ++inserted;
+  }
+  if (inserted > 0) {
+    version_.store(version_.load(std::memory_order_relaxed) + inserted,
+                   std::memory_order_release);
+    // Eager republication: the encode phase that follows a batch insert
+    // re-acquires immediately, so building the snapshot here (once, under
+    // the same lock hold) beats every worker racing to rebuild it.
+    PublishSnapshotLocked();
+  }
+  return inserted;
 }
 
 size_t StringDictionary::size() const {

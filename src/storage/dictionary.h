@@ -3,9 +3,25 @@
 // An auxiliary map is associated with each string column to encode values
 // into a monotonically increasing dense id. Encoding all strings lets the
 // aggregation core deal exclusively with numbers.
+//
+// Two-phase encode (DESIGN.md §4f): the ingest pipeline first looks every
+// string up against an immutable snapshot of the map — lock-free, so
+// parallel encode workers stop serializing on the dictionary mutex — then
+// collects the misses, dedupes and sorts them, and inserts them in one
+// deterministic batch. Sorted-batch assignment makes the ids a pure
+// function of (dictionary state, set of new strings): independent of
+// record order within the batch and of how the batch was chunked across
+// threads, which is what keeps parallel ingest bit-identical to serial
+// replay.
+//
+// Snapshot lifetime follows the EBR safety contract (common/ebr.h):
+// AcquireSnapshot() returns a pointer that is only valid while the calling
+// thread's ebr::Guard is live; displaced snapshots are retired through the
+// collector so pinned readers finish before the memory goes away.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -18,6 +34,29 @@ namespace cubrick {
 
 class StringDictionary {
  public:
+  /// Immutable copy of the encode map published for the lock-free lookup
+  /// phase. EBR-managed: dereference only under the ebr::Guard that was
+  /// live when AcquireSnapshot() returned it.
+  struct DictSnapshot {
+    /// Insert version the snapshot reflects (staleness check).
+    uint64_t version = 0;
+    std::unordered_map<std::string, uint64_t> to_id;
+
+    /// Lookup against the snapshot; returns false on miss.
+    bool Find(const std::string& value, uint64_t* id) const {
+      auto it = to_id.find(value);
+      if (it == to_id.end()) return false;
+      *id = it->second;
+      return true;
+    }
+  };
+
+  StringDictionary() = default;
+  ~StringDictionary();
+
+  StringDictionary(const StringDictionary&) = delete;
+  StringDictionary& operator=(const StringDictionary&) = delete;
+
   /// Returns the id for `value`, inserting it if new. Thread-safe: parsing
   /// runs on whichever node received the load buffer.
   uint64_t EncodeOrAdd(const std::string& value);
@@ -28,15 +67,41 @@ class StringDictionary {
   /// Returns the string for `id` or OutOfRange.
   Result<std::string> Decode(uint64_t id) const;
 
+  /// The current immutable snapshot for lock-free lookups, rebuilt (under
+  /// the mutex) when inserts have made the cached one stale. The caller
+  /// must hold a live ebr::Guard for as long as it dereferences the result.
+  const DictSnapshot* AcquireSnapshot() const;
+
+  /// Deterministic batch insert: `sorted_misses` must be sorted and
+  /// deduplicated. Every string not already present is assigned the next
+  /// dense id in sorted order. Returns how many strings were inserted
+  /// (already-present entries — e.g. raced in by a concurrent load — are
+  /// skipped, never reassigned).
+  size_t InsertSortedBatch(const std::vector<std::string>& sorted_misses);
+
   size_t size() const;
 
-  /// Approximate heap bytes held by the dictionary (both directions).
+  /// Approximate heap bytes held by the dictionary (both directions;
+  /// excludes the transient lookup snapshot).
   size_t MemoryUsage() const;
 
  private:
+  /// Rebuilds and publishes the snapshot from the authoritative map.
+  /// REQUIRES mutex_ held; retires the displaced snapshot via EBR.
+  const DictSnapshot* PublishSnapshotLocked() const REQUIRES(mutex_);
+
   mutable Mutex mutex_;
   std::unordered_map<std::string, uint64_t> to_id_ GUARDED_BY(mutex_);
   std::vector<std::string> to_string_ GUARDED_BY(mutex_);
+
+  /// Insert counter. Written under mutex_ (release); read lock-free by the
+  /// AcquireSnapshot fast path (acquire) to detect a stale snapshot.
+  mutable std::atomic<uint64_t> version_{0};
+  /// The published snapshot. Written under mutex_ (release store after the
+  /// snapshot is fully built); read lock-free (acquire). Displaced
+  /// snapshots are EBR-retired, so a pointer loaded under a live Guard
+  /// stays dereferenceable for the guard's lifetime.
+  mutable std::atomic<const DictSnapshot*> snapshot_{nullptr};
 };
 
 }  // namespace cubrick

@@ -146,7 +146,7 @@ TEST(EdgeCaseTest, ZeroRowBatchesIgnored) {
   Table table(schema, 1, false);
   PerBrickBatches batches;
   batches.emplace(0, EncodedBatch(*schema));  // zero rows
-  ASSERT_TRUE(table.Append(1, batches).ok());
+  ASSERT_TRUE(table.Append(1, std::move(batches)).ok());
   EXPECT_EQ(table.TotalRecords(), 0u);
   EXPECT_EQ(table.NumBricks(), 0u);  // never materialized
 }

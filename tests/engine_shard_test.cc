@@ -124,7 +124,7 @@ TEST(ShardTest, TablePinningOptionWorksEndToEnd) {
   batch.dim_offsets[0].push_back(0);
   batch.metric_ints[0].push_back(5);
   batches.emplace(0, batch);
-  ASSERT_TRUE(table.Append(1, batches).ok());
+  ASSERT_TRUE(table.Append(1, std::move(batches)).ok());
   EXPECT_EQ(table.TotalRecords(), 1u);
 }
 

@@ -221,7 +221,7 @@ TEST(TableConcurrencyTest, ParallelAppendsFromManyClients) {
         const aosi::Epoch e = next_epoch.fetch_add(1, std::memory_order_relaxed);
         auto batches = Batches(*schema, {{static_cast<int64_t>(e % 16), 0, 1},
                                          {static_cast<int64_t>(e % 16), 1, 1}});
-        ASSERT_TRUE(table.Append(e, batches).ok());
+        ASSERT_TRUE(table.Append(e, std::move(batches)).ok());
       }
     });
   }

@@ -1,0 +1,250 @@
+// Morsel-parallel ingestion tests (DESIGN.md §4f): max_rejected threshold
+// semantics, error-string retention order under parallel parse, and the
+// serial==parallel equivalence contract — identical dictionary ids, brick
+// contents and epochs-vector state regardless of fan-out.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cubrick/database.h"
+#include "engine/table.h"
+#include "ingest/parser.h"
+
+namespace cubrick {
+namespace {
+
+// Large enough that --ingest-parallel style fan-outs actually plan several
+// morsels (the planner only splits at >= 64-record chunks).
+constexpr size_t kManyRecords = 400;
+
+std::shared_ptr<CubeSchema> StringSchema() {
+  return CubeSchema::Make(
+             "ingest", {{"region", 64, 4, /*is_string=*/true}},
+             {{"n", DataType::kInt64}, {"tag", DataType::kString}})
+      .value();
+}
+
+/// A record mix with string dims/metrics in deliberately unsorted order and
+/// a rejection (bad metric type) at every index where `reject(i)` holds.
+std::vector<Record> MixedRecords(size_t n,
+                                 const std::function<bool(size_t)>& reject) {
+  std::vector<Record> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Descending suffix so first-encounter order != sorted order.
+    const std::string region = "region-" + std::to_string(31 - (i % 32));
+    const std::string tag = "tag-" + std::to_string((n - i) % 48);
+    if (reject && reject(i)) {
+      records.push_back({region, Value("not-an-int"), tag});
+    } else {
+      records.push_back({region, static_cast<int64_t>(i), tag});
+    }
+  }
+  return records;
+}
+
+TEST(IngestParallelTest, RejectedExactlyAtThresholdIsAccepted) {
+  for (size_t parallelism : {size_t{1}, size_t{4}}) {
+    auto schema = StringSchema();
+    ParseOptions opts;
+    opts.max_rejected = 5;
+    auto records =
+        MixedRecords(kManyRecords, [](size_t i) { return i % 80 == 7; });
+    auto out = ParseRecords(*schema, records, opts, parallelism);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(out->rejected, opts.max_rejected);
+    EXPECT_EQ(out->accepted, kManyRecords - opts.max_rejected);
+  }
+}
+
+TEST(IngestParallelTest, OneOverThresholdDiscardsBatch) {
+  for (size_t parallelism : {size_t{1}, size_t{4}}) {
+    auto schema = StringSchema();
+    ParseOptions opts;
+    opts.max_rejected = 4;  // the workload rejects 5
+    auto records =
+        MixedRecords(kManyRecords, [](size_t i) { return i % 80 == 7; });
+    auto out = ParseRecords(*schema, records, opts, parallelism);
+    EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(out.status().ToString().find("max_rejected=4"),
+              std::string::npos);
+  }
+}
+
+TEST(IngestParallelTest, AllRejectedBatch) {
+  auto schema = StringSchema();
+  ParseOptions opts;
+  opts.max_rejected = kManyRecords;
+  auto records = MixedRecords(kManyRecords, [](size_t) { return true; });
+  auto out = ParseRecords(*schema, records, opts, /*parallelism=*/4);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->accepted, 0u);
+  EXPECT_EQ(out->rejected, kManyRecords);
+  EXPECT_TRUE(out->batches.empty());
+  EXPECT_EQ(out->errors.size(), opts.max_errors);
+}
+
+TEST(IngestParallelTest, EmptyBatch) {
+  auto schema = StringSchema();
+  auto out = ParseRecords(*schema, {}, {}, /*parallelism=*/4);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->accepted, 0u);
+  EXPECT_EQ(out->rejected, 0u);
+  EXPECT_TRUE(out->batches.empty());
+  EXPECT_TRUE(out->errors.empty());
+}
+
+TEST(IngestParallelTest, ErrorRetentionOrderMatchesRecordOrder) {
+  // Rejections land in different morsels; each carries a distinguishable
+  // message (the dimension value), so retention order is checkable.
+  auto schema = CubeSchema::Make("c", {{"d", 1000, 100, false}},
+                                 {{"m", DataType::kInt64}})
+                    .value();
+  std::vector<Record> records;
+  std::vector<size_t> reject_at = {3, 71, 142, 260, 388};
+  for (size_t i = 0; i < kManyRecords; ++i) {
+    const bool bad =
+        std::find(reject_at.begin(), reject_at.end(), i) != reject_at.end();
+    // Out-of-cardinality coordinate 1000+i names the record in the error.
+    records.push_back({static_cast<int64_t>(bad ? 1000 + i : i % 1000),
+                       static_cast<int64_t>(i)});
+  }
+  ParseOptions opts;
+  opts.max_rejected = 10;
+  opts.max_errors = 3;  // fewer than the rejection count: must truncate
+  auto serial = ParseRecords(*schema, records, opts, 1);
+  auto parallel = ParseRecords(*schema, records, opts, 4);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial->errors.size(), 3u);
+  EXPECT_EQ(serial->errors, parallel->errors);
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_NE(
+        serial->errors[k].find("value " + std::to_string(1000 + reject_at[k])),
+        std::string::npos)
+        << serial->errors[k];
+  }
+}
+
+TEST(IngestParallelTest, SerialAndParallelProduceIdenticalState) {
+  auto records =
+      MixedRecords(kManyRecords, [](size_t i) { return i % 100 == 50; });
+  ParseOptions opts;
+  opts.max_rejected = 10;
+
+  auto run = [&](size_t parallelism) {
+    auto schema = StringSchema();
+    auto out = ParseRecords(*schema, records, opts, parallelism);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return std::make_pair(schema, std::move(*out));
+  };
+  auto [serial_schema, serial] = run(1);
+  for (size_t parallelism : {size_t{2}, size_t{4}, size_t{13}}) {
+    auto [par_schema, parallel] = run(parallelism);
+
+    EXPECT_EQ(serial.accepted, parallel.accepted);
+    EXPECT_EQ(serial.rejected, parallel.rejected);
+    EXPECT_EQ(serial.errors, parallel.errors);
+
+    // Identical dictionary ids: same size, and every id decodes to the
+    // same string on both sides (dimension 0 and string metric).
+    for (size_t col : {size_t{0}, size_t{2}}) {
+      const StringDictionary* a = serial_schema->dictionary(col);
+      const StringDictionary* b = par_schema->dictionary(col);
+      ASSERT_EQ(a->size(), b->size()) << "column " << col;
+      for (uint64_t id = 0; id < a->size(); ++id) {
+        EXPECT_EQ(a->Decode(id).value(), b->Decode(id).value())
+            << "column " << col << " id " << id;
+      }
+    }
+
+    // Identical brick contents, column by column, row for row.
+    ASSERT_EQ(serial.batches.size(), parallel.batches.size());
+    auto it_a = serial.batches.begin();
+    auto it_b = parallel.batches.begin();
+    for (; it_a != serial.batches.end(); ++it_a, ++it_b) {
+      EXPECT_EQ(it_a->first, it_b->first);
+      EXPECT_EQ(it_a->second.num_rows, it_b->second.num_rows);
+      EXPECT_EQ(it_a->second.dim_offsets, it_b->second.dim_offsets);
+      EXPECT_EQ(it_a->second.metric_ints, it_b->second.metric_ints);
+      EXPECT_EQ(it_a->second.metric_doubles, it_b->second.metric_doubles);
+    }
+  }
+}
+
+TEST(IngestParallelTest, DatabaseLoadEquivalentAcrossParallelism) {
+  // End-to-end: identical queries and epochs-vector footprint whether the
+  // loads ran through the serial or the morsel-parallel pipeline.
+  auto run = [&](size_t parallelism) {
+    DatabaseOptions db_opts;
+    db_opts.ingest_parallelism = parallelism;
+    auto db = std::make_unique<Database>(db_opts);
+    EXPECT_TRUE(db->ExecuteDdl("CREATE CUBE c (region string CARDINALITY 64, "
+                               "n int)")
+                    .ok());
+    for (int load = 0; load < 3; ++load) {
+      std::vector<Record> records;
+      for (size_t i = 0; i < kManyRecords; ++i) {
+        records.push_back(
+            {"r" + std::to_string((i * 7 + load) % 50),
+             static_cast<int64_t>(i + load)});
+      }
+      EXPECT_TRUE(db->Load("c", records).ok());
+    }
+    return db;
+  };
+  auto serial = run(1);
+  auto parallel = run(4);
+
+  EXPECT_EQ(serial->TotalRecords(), parallel->TotalRecords());
+  EXPECT_EQ(serial->HistoryMemoryUsage(), parallel->HistoryMemoryUsage());
+  Query q;
+  q.aggs = {{AggSpec::Fn::kSum, 0}, {AggSpec::Fn::kCount, 0}};
+  q.group_by = {0};
+  auto qa = serial->Query("c", q);
+  auto qb = parallel->Query("c", q);
+  ASSERT_TRUE(qa.ok());
+  ASSERT_TRUE(qb.ok());
+  ASSERT_EQ(qa->num_groups(), qb->num_groups());
+  for (const auto& [key, states] : qa->groups()) {
+    // Same dictionary ids on both sides, so group keys line up directly.
+    EXPECT_DOUBLE_EQ(qa->Value(key, 0, AggSpec::Fn::kSum),
+                     qb->Value(key, 0, AggSpec::Fn::kSum));
+    EXPECT_DOUBLE_EQ(qa->Value(key, 0, AggSpec::Fn::kCount),
+                     qb->Value(key, 0, AggSpec::Fn::kCount));
+  }
+}
+
+TEST(IngestParallelTest, AppendAsyncOverlapsAndGroupAppendsCoalesce) {
+  auto schema = CubeSchema::Make("events",
+                                 {{"k", 16, 2, /*is_string=*/false}},
+                                 {{"n", DataType::kInt64}})
+                    .value();
+  Table table(schema, 2, /*threaded=*/true);
+  std::vector<std::future<void>> pending;
+  for (aosi::Epoch e = 1; e <= 8; ++e) {
+    std::vector<Record> records;
+    for (int64_t k = 0; k < 16; ++k) {
+      records.push_back({k, static_cast<int64_t>(e)});
+    }
+    auto parsed = ParseRecords(*schema, records);
+    ASSERT_TRUE(parsed.ok());
+    pending.push_back(
+        table.AppendAsync(e, std::move(parsed->batches)));
+  }
+  for (auto& f : pending) f.get();
+  EXPECT_EQ(table.TotalRecords(), 8u * 16u);
+  // Each epoch keeps its own stamp even when drains coalesce requests.
+  auto result = table.Scan(aosi::Snapshot{4, {}},
+                           ScanMode::kSnapshotIsolation, [] {
+                             Query q;
+                             q.aggs = {{AggSpec::Fn::kCount, 0}};
+                             return q;
+                           }());
+  EXPECT_DOUBLE_EQ(result.Single(0, AggSpec::Fn::kCount), 4.0 * 16.0);
+}
+
+}  // namespace
+}  // namespace cubrick

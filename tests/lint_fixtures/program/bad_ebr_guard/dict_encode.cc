@@ -1,0 +1,35 @@
+// aosi-lint-as: src/ingest/dict_encode.cc
+//
+// Dictionary-snapshot misuse, both directions: AcquireSnapshot() is called
+// with no ebr::Guard declared anywhere in the function (the returned
+// DictSnapshot pointer is only valid while a pin covers the thread), and a
+// displaced DictSnapshot is deleted raw instead of being routed through
+// ebr::Retire/RetireDelete. Both must trip the ebr-guard pass.
+
+namespace cubrick {
+
+struct DictSnapshot {
+  unsigned long long version;
+};
+
+class StringDictionary;
+
+class DictEncode {
+ public:
+  void EncodeColumn();
+  void DropStaleSnapshot(const DictSnapshot* stale);
+
+ private:
+  StringDictionary* dict_;
+};
+
+void DictEncode::EncodeColumn() {
+  const void* snap = dict_->AcquireSnapshot();
+  (void)snap;
+}
+
+void DictEncode::DropStaleSnapshot(const DictSnapshot* stale) {
+  delete stale;
+}
+
+}  // namespace cubrick

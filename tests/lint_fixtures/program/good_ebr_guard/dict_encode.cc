@@ -1,0 +1,45 @@
+// aosi-lint-as: src/ingest/dict_encode.cc
+//
+// The compliant dictionary-snapshot counterpart: AcquireSnapshot() is
+// dominated by an ebr::Guard in the same function, and the displaced
+// DictSnapshot goes through ebr::RetireDelete. The program pass must stay
+// silent.
+
+namespace cubrick {
+
+namespace ebr {
+class Guard {
+ public:
+  Guard();
+  ~Guard();
+};
+template <typename T>
+void RetireDelete(const T* ptr, unsigned long long extra_bytes);
+}  // namespace ebr
+
+struct DictSnapshot {
+  unsigned long long version;
+};
+
+class StringDictionary;
+
+class DictEncode {
+ public:
+  void EncodeColumn();
+  void DropStaleSnapshot(const DictSnapshot* stale);
+
+ private:
+  StringDictionary* dict_;
+};
+
+void DictEncode::EncodeColumn() {
+  const ebr::Guard guard;
+  const void* snap = dict_->AcquireSnapshot();
+  (void)snap;
+}
+
+void DictEncode::DropStaleSnapshot(const DictSnapshot* stale) {
+  ebr::RetireDelete(stale, 0);
+}
+
+}  // namespace cubrick

@@ -624,13 +624,14 @@ std::vector<Finding> CheckCheckerHookGate(const ProgramModel& pm) {
 std::vector<Finding> CheckEbrGuard(const ProgramModel& pm) {
   // Member calls returning pointers that stay valid only while the calling
   // thread's ebr::Guard is live (common/ebr.h safety contract).
-  static const std::set<std::string> kProtectedReads = {"Lookup",
-                                                        "PinnedSnapshot"};
+  static const std::set<std::string> kProtectedReads = {
+      "Lookup", "PinnedSnapshot", "AcquireSnapshot"};
   // Types that die through ebr::Retire deleters: a raw delete/free of one
   // of these frees memory a pinned reader may still be traversing. Mirrors
-  // the RetireDelete call sites (vis-cache Entry, EpochVector Rep, Brick).
-  static const std::set<std::string> kRetireManaged = {"Entry", "Rep",
-                                                       "Brick"};
+  // the RetireDelete call sites (vis-cache Entry, EpochVector Rep, Brick,
+  // dictionary DictSnapshot).
+  static const std::set<std::string> kRetireManaged = {"Entry", "Rep", "Brick",
+                                                       "DictSnapshot"};
   std::vector<Finding> findings;
   for (const FileModel& fm : pm.files()) {
     const std::string& rel = fm.cls.rel;
@@ -639,7 +640,8 @@ std::vector<Finding> CheckEbrGuard(const ProgramModel& pm) {
     // implementations are the protocol, not its users.
     const bool ebr_impl = rel.rfind("src/common/ebr", 0) == 0 ||
                           rel.rfind("src/aosi/vis_cache", 0) == 0 ||
-                          rel.rfind("src/aosi/epoch_vector", 0) == 0;
+                          rel.rfind("src/aosi/epoch_vector", 0) == 0 ||
+                          rel.rfind("src/storage/dictionary", 0) == 0;
     if (ebr_impl) continue;
     for (const FunctionModel& fn : fm.functions) {
       for (const CallSite& c : fn.calls) {
